@@ -1,0 +1,26 @@
+"""Design-choice ablations beyond the paper's figures (DESIGN.md §3):
+memory-pool block size, embedding-table compaction, multi-merge checkpoint
+spacing and page-buffer sizing."""
+
+from repro.bench.ablations import (
+    ablation_block_size,
+    ablation_buffer_fraction,
+    ablation_compaction,
+    ablation_p_size,
+)
+
+
+def bench_block_size(figure_bench):
+    figure_bench("ablation_block_size", ablation_block_size)
+
+
+def bench_compaction(figure_bench):
+    figure_bench("ablation_compaction", ablation_compaction)
+
+
+def bench_p_size(figure_bench):
+    figure_bench("ablation_p_size", ablation_p_size)
+
+
+def bench_buffer_fraction(figure_bench):
+    figure_bench("ablation_buffer_fraction", ablation_buffer_fraction)

@@ -1,0 +1,8 @@
+"""Cost-model sensitivity: the paper's orderings must survive 4x swings of
+every calibrated constant (methodology check; docs/COSTMODEL.md)."""
+
+from repro.bench.calibration import sensitivity_analysis
+
+
+def bench_sensitivity(figure_bench):
+    figure_bench("calibration", sensitivity_analysis)

@@ -1,0 +1,8 @@
+"""Crossover map: minimum device size per system (memory-axis view of the
+paper's scalability claim)."""
+
+from repro.bench.crossover import device_size_sweep
+
+
+def bench_crossover(figure_bench):
+    figure_bench("crossover", device_size_sweep)

@@ -1,0 +1,7 @@
+"""Fig. 5 — temporal locality: hot-page overlap between extensions."""
+
+from repro.bench.figures import fig05_temporal_locality
+
+
+def bench_fig05(figure_bench):
+    figure_bench("fig05", fig05_temporal_locality)

@@ -1,0 +1,7 @@
+"""Fig. 10 — peak memory usage of the GPU systems (SM/FPM/kCL)."""
+
+from repro.bench.figures import fig10_memory
+
+
+def bench_fig10(figure_bench):
+    figure_bench("fig10", fig10_memory)

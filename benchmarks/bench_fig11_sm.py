@@ -1,0 +1,7 @@
+"""Fig. 11 — subgraph matching: GAMMA vs GSI vs Peregrine, queries q1-q3."""
+
+from repro.bench.figures import fig11_sm
+
+
+def bench_fig11(figure_bench):
+    figure_bench("fig11", fig11_sm)

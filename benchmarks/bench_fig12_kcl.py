@@ -1,0 +1,7 @@
+"""Fig. 12 — k-clique: GAMMA vs Pangolin-GPU/ST vs Peregrine."""
+
+from repro.bench.figures import fig12_kcl
+
+
+def bench_fig12(figure_bench):
+    figure_bench("fig12", fig12_kcl)

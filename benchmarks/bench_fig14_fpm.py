@@ -1,0 +1,7 @@
+"""Fig. 14 — FPM: GAMMA vs GraphMiner/Peregrine/Pangolin."""
+
+from repro.bench.figures import fig14_fpm
+
+
+def bench_fig14(figure_bench):
+    figure_bench("fig14", fig14_fpm)

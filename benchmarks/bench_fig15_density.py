@@ -1,0 +1,7 @@
+"""Fig. 15 — scalability with kronecker graph density."""
+
+from repro.bench.figures import fig15_density
+
+
+def bench_fig15(figure_bench):
+    figure_bench("fig15", fig15_density)

@@ -1,0 +1,7 @@
+"""Fig. 16 — speedup over Pangolin-ST as the warp count grows."""
+
+from repro.bench.figures import fig16_warps
+
+
+def bench_fig16(figure_bench):
+    figure_bench("fig16", fig16_warps)

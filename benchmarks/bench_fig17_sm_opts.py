@@ -1,0 +1,7 @@
+"""Fig. 17 — effect of dynamic-alloc and pre-merge on SM."""
+
+from repro.bench.figures import fig17_sm_optimizations
+
+
+def bench_fig17(figure_bench):
+    figure_bench("fig17", fig17_sm_optimizations)

@@ -1,0 +1,7 @@
+"""Fig. 18 — effect of dynamic-alloc and pre-merge on kCL."""
+
+from repro.bench.figures import fig18_kcl_optimizations
+
+
+def bench_fig18(figure_bench):
+    figure_bench("fig18", fig18_kcl_optimizations)

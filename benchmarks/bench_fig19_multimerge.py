@@ -1,0 +1,7 @@
+"""Fig. 19 — multi-merge sorting vs naive and xtr2sort (64-bit keys)."""
+
+from repro.bench.figures import fig19_multimerge
+
+
+def bench_fig19(figure_bench):
+    figure_bench("fig19", fig19_multimerge)

@@ -1,0 +1,7 @@
+"""Fig. 20 — hybrid host-memory access vs unified-only / zero-copy-only."""
+
+from repro.bench.figures import fig20_hybrid
+
+
+def bench_fig20(figure_bench):
+    figure_bench("fig20", fig20_hybrid)

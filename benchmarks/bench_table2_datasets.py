@@ -1,0 +1,7 @@
+"""Table II — dataset stand-ins (paper sizes vs scaled builds)."""
+
+from repro.bench.figures import table2_datasets
+
+
+def bench_table2(figure_bench):
+    figure_bench("table2", table2_datasets)

@@ -1,0 +1,7 @@
+"""Table III — CPU sorting vs GPU-based external sorts."""
+
+from repro.bench.figures import table3_cpu_sort
+
+
+def bench_table3(figure_bench):
+    figure_bench("table3", table3_cpu_sort)

@@ -1,0 +1,110 @@
+"""Beyond the paper: the extension features of this reproduction.
+
+Four capabilities GAMMA's paper hints at but does not build, exercised on
+one workload each:
+
+1. **symmetry breaking** — automorphism-derived ordering restrictions make
+   subgraph matching enumerate each subgraph once (smaller tables, same
+   answers);
+2. **MNI support** — the anti-monotone frequent-subgraph-mining metric,
+   next to the paper's instance-frequency support;
+3. **graph reordering** — the locality optimization of the related work
+   ([25]/[45]): hubs packed into hot pages help the access-heat planner;
+4. **disk spilling** — a storage tier past host memory: workloads that
+   host-OOM every system in Fig. 14 complete.
+
+Run:  python examples/beyond_the_paper.py   (~2 minutes)
+"""
+
+from repro.algorithms import (
+    count_kcliques,
+    frequent_pattern_mining,
+    match_pattern,
+)
+from repro.core import DISK_IO, Gamma, GammaConfig
+from repro.errors import GammaError
+from repro.graph import (
+    cycle,
+    datasets,
+    default_catalog,
+    reorder,
+)
+
+
+def demo_symmetry_breaking(graph):
+    print("1. symmetry breaking (4-cycle query on cit-Patent stand-in)")
+    query = cycle(4)
+    rows = []
+    for sb in (False, True):
+        with Gamma(graph) as engine:
+            result = match_pattern(engine, query, symmetry_breaking=sb)
+            rows.append((sb, result, engine.peak_host_bytes))
+    for sb, result, peak in rows:
+        print(f"   symmetry_breaking={str(sb):5s}: "
+              f"{result.embeddings:8d} rows enumerated, "
+              f"{result.unique_subgraphs:7d} unique subgraphs, "
+              f"host peak {peak / (1 << 20):6.2f} MiB")
+    print(f"   -> same answers, {query.automorphism_count()}x fewer rows\n")
+
+
+def demo_mni(graph):
+    print("2. MNI vs instance support (2-edge patterns, com-lj stand-in)")
+    catalog = default_catalog(graph.num_labels)
+    supports = {}
+    for metric in ("instances", "mni"):
+        with Gamma(graph) as engine:
+            fpm = frequent_pattern_mining(engine, 2, 1, support_metric=metric)
+            supports[metric] = fpm.patterns
+    print(f"   {'pattern':22s} {'instances':>10s} {'mni':>8s}")
+    shown = 0
+    for name, inst in catalog.describe(supports["instances"]):
+        code = next(c for c, s in supports["instances"].items()
+                    if catalog.name_of(c) == name and s == inst)
+        print(f"   {name:22s} {inst:10d} {supports['mni'][code]:8d}")
+        shown += 1
+        if shown == 5:
+            break
+    print("   -> MNI <= instances always; hubs inflate instance counts\n")
+
+
+def demo_reordering(base):
+    print("3. graph reordering (triangles on soc-Live*5 stand-in)")
+    for order, graph in (("original", base), ("degree", reorder(base, "degree"))):
+        with Gamma(graph) as engine:
+            result = count_kcliques(engine, 3)
+            faults = engine.platform.counters.get("page_faults")
+            print(f"   {order:9s}: {result.simulated_seconds * 1e3:8.2f} ms, "
+                  f"{faults} page faults, {result.cliques} triangles")
+    print("   -> same counts; hub-packed pages change the fault profile\n")
+
+
+def demo_spill():
+    print("4. disk spilling (FPM on com-orkut stand-in, beyond host memory)")
+    graph = datasets.load("CO")
+    min_support = max(2, graph.num_edges // 200)
+    try:
+        with Gamma(graph) as engine:
+            frequent_pattern_mining(engine, 2, min_support)
+        print("   plain GAMMA: completed (unexpected at this scale)")
+    except GammaError as exc:
+        print(f"   plain GAMMA: {type(exc).__name__} — the paper's systems "
+              "all stop here")
+    config = GammaConfig(spill_to_disk=True, spill_budget_bytes=120 << 20)
+    with Gamma(graph, config) as engine:
+        result = frequent_pattern_mining(engine, 2, min_support)
+        disk = engine.platform.clock.time_in(DISK_IO)
+        print(f"   GAMMA+spill: {len(result.patterns)} frequent patterns, "
+              f"{engine.simulated_seconds * 1e3:.0f} ms simulated "
+              f"({disk * 1e3:.0f} ms of it on disk I/O)")
+
+
+def main():
+    cl = datasets.load("CL")
+    demo_symmetry_breaking(datasets.load("CP"))
+    demo_mni(cl)
+    demo_reordering(datasets.load("SL*5"))
+    demo_spill()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Fraud-ring detection: labeled cycle queries on a transaction graph.
+
+A classic GPM motivation (paper §I cites financial markets): money mules
+route funds in short cycles through intermediary accounts.  We synthesize a
+payments graph with account types — 0=retail, 1=merchant, 2=mule — plant a
+handful of mule rings, and use GAMMA's subgraph matching to find every
+mule-only cycle of length 3 and 4.
+
+Run:  python examples/fraud_ring_detection.py
+"""
+
+import numpy as np
+
+from repro.algorithms import match_pattern
+from repro.core import Gamma
+from repro.graph import Pattern, from_edges
+
+
+def build_transaction_graph(seed: int = 7):
+    """Background payment traffic + 3 planted mule rings."""
+    rng = np.random.default_rng(seed)
+    n_accounts = 3000
+    n_payments = 12000
+    src = rng.integers(0, n_accounts, n_payments)
+    dst = rng.integers(0, n_accounts, n_payments)
+
+    labels = rng.choice([0, 1, 2], size=n_accounts, p=[0.80, 0.17, 0.03])
+
+    # Plant rings among mule accounts: a triangle, a 4-cycle, a 5-cycle.
+    mules = np.flatnonzero(labels == 2)
+    planted = []
+    extra_src, extra_dst = [], []
+    offset = 0
+    for ring_size in (3, 4, 5):
+        ring = mules[offset: offset + ring_size]
+        offset += ring_size
+        for i in range(ring_size):
+            extra_src.append(ring[i])
+            extra_dst.append(ring[(i + 1) % ring_size])
+        planted.append(ring.tolist())
+
+    graph = from_edges(
+        np.concatenate([src, extra_src]),
+        np.concatenate([dst, extra_dst]),
+        num_vertices=n_accounts,
+        labels=labels,
+        name="payments",
+    )
+    return graph, planted
+
+
+def ring_query(size: int) -> Pattern:
+    """A cycle of ``size`` mule accounts (label 2)."""
+    edges = [(i, (i + 1) % size) for i in range(size)]
+    return Pattern(edges, labels=[2] * size, name=f"mule-ring-{size}")
+
+
+def main():
+    graph, planted = build_transaction_graph()
+    print(f"payments graph: {graph.num_vertices} accounts, "
+          f"{graph.num_edges} relationships")
+    print(f"planted rings: {planted}")
+
+    for size in (3, 4):
+        query = ring_query(size)
+        with Gamma(graph) as engine:
+            result, table = match_pattern(engine, query, keep_table=True)
+            rings = {tuple(sorted(row)) for row in table.materialize().tolist()}
+            table.release()
+        print(f"\n{query.name}: {len(rings)} distinct rings "
+              f"({result.embeddings} embeddings, "
+              f"{result.simulated_seconds * 1e3:.2f} ms simulated)")
+        for ring in sorted(rings)[:5]:
+            marker = "PLANTED" if list(ring) in [sorted(p) for p in planted] else "organic"
+            print(f"  accounts {ring}  [{marker}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Out-of-core scaling: where in-core GPM dies, GAMMA keeps going.
+
+The paper's headline: GPM explodes along two axes — embedding size (§I:
+length-4 embeddings over cit-Patent produce 13.5 *billion* intermediate
+results) and graph size — and in-core GPU frameworks crash as soon as
+either outgrows device memory.  GAMMA keeps the graph and the embedding
+table in host memory and survives both axes.
+
+This example sweeps both: k-clique size on the com-lj stand-in, and graph
+scale via the paper's upscaling technique (ref [33]).  The simulated device
+has 16 MiB of memory (the paper's 16 GB scaled 1000x, like the datasets).
+
+Run:  python examples/out_of_core_scaling.py   (~1 minute)
+"""
+
+from repro.algorithms import count_kcliques
+from repro.baselines import GSI, PangolinGPU
+from repro.core import Gamma
+from repro.errors import GammaError
+from repro.graph import datasets, upscale
+
+
+def run(engine_cls, graph, k):
+    try:
+        with engine_cls(graph) as engine:
+            result = count_kcliques(engine, k)
+            return f"{engine.simulated_seconds * 1e3:9.2f} ms", result.cliques
+    except GammaError as exc:
+        return f"{type(exc).__name__:>12s}", None
+
+
+def sweep(rows, make_graph, make_k, axis_name):
+    header = (f"{axis_name:>8s} {'edges':>8s} {'GAMMA':>13s} "
+              f"{'Pangolin-GPU':>13s} {'GSI':>13s}  cliques")
+    print(header)
+    print("-" * len(header))
+    for value in rows:
+        graph = make_graph(value)
+        k = make_k(value)
+        gamma_cell, cliques = run(Gamma, graph, k)
+        pangolin_cell, __ = run(PangolinGPU, graph, k)
+        gsi_cell, __ = run(GSI, graph, k)
+        print(f"{value:>8} {graph.num_edges:>8} {gamma_cell:>13s} "
+              f"{pangolin_cell:>13s} {gsi_cell:>13s}  {cliques}")
+    print()
+
+
+def main():
+    base = datasets.load("CL")
+    print(f"base graph: com-lj stand-in, {base.num_vertices} vertices, "
+          f"{base.num_edges} edges; device memory 16 MiB\n")
+
+    print("axis 1 — embedding size (k-cliques on com-lj):")
+    sweep((3, 4, 5), lambda __: base, lambda k: k, "k")
+
+    print("axis 2 — graph size (triangles on upscaled com-lj):")
+    sweep(
+        (1, 2, 4, 8),
+        lambda factor: upscale(base, factor, seed=factor),
+        lambda __: 3,
+        "scale",
+    )
+
+    print("GAMMA completes every cell; the in-core systems die once the\n"
+          "graph or the intermediate results no longer fit device memory —\n"
+          "the scalability gap of the paper's Figs. 11/12/14.")
+
+
+if __name__ == "__main__":
+    main()

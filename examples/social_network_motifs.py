@@ -1,0 +1,53 @@
+"""Social-network motif mining: FPM on a labeled community graph.
+
+The paper's second motivating domain (§I): which small interaction
+patterns are frequent in a social network?  We build an R-MAT graph with
+skewed community labels, mine all frequent patterns up to 2 edges, and
+compare GAMMA's simulated runtime with the Peregrine CPU baseline — the
+comparison Fig. 14 makes at full scale.
+
+Run:  python examples/social_network_motifs.py
+"""
+
+from repro.algorithms import frequent_pattern_mining
+from repro.baselines import Peregrine
+from repro.core import Gamma
+from repro.graph import default_catalog, kronecker
+
+
+def main():
+    # A heavy-tailed "social network": 4k users, ~30k ties, 5 communities.
+    graph = kronecker(12, 8, seed=42, labels=5, name="social")
+    print(f"social graph: {graph.num_vertices} users, {graph.num_edges} ties, "
+          f"max degree {graph.max_degree}")
+
+    min_support = max(2, graph.num_edges // 100)
+    print(f"mining patterns of up to 2 ties with support >= {min_support}\n")
+
+    results = {}
+    for name, engine_cls in (("GAMMA", Gamma), ("Peregrine", Peregrine)):
+        with engine_cls(graph) as engine:
+            fpm = frequent_pattern_mining(
+                engine, iterations=2, min_support=min_support
+            )
+            results[name] = (fpm, engine.simulated_seconds)
+
+    gamma_fpm, gamma_time = results["GAMMA"]
+    __, peregrine_time = results["Peregrine"]
+
+    print(f"frequent patterns found: {len(gamma_fpm.patterns)} "
+          f"(per level: {gamma_fpm.frequent_per_level})")
+    catalog = default_catalog(graph.num_labels)
+    print("most frequent patterns (shape[community labels] -> instances):")
+    for name, support in catalog.describe(gamma_fpm.patterns)[:8]:
+        print(f"  {name:22s} {support:7d}")
+
+    print(f"\nsimulated runtime:  GAMMA {gamma_time * 1e3:8.2f} ms   "
+          f"Peregrine {peregrine_time * 1e3:8.2f} ms   "
+          f"(speedup {peregrine_time / gamma_time:.2f}x)")
+    agree = results["Peregrine"][0].patterns == gamma_fpm.patterns
+    print(f"both systems agree on every pattern: {agree}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Triangle counting — the simplest GPM workload, used by the quickstart
+example and as a fast correctness cross-check for the engines.
+
+Implemented as 3-clique listing with the ascending-order canonicality
+constraint, so each triangle is counted exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .kclique import count_kcliques
+
+
+@dataclass
+class TriangleResult:
+    triangles: int
+    simulated_seconds: float
+    peak_memory_bytes: int
+
+
+def triangle_count(engine) -> TriangleResult:
+    """Count all triangles in the engine's data graph."""
+    result = count_kcliques(engine, 3)
+    return TriangleResult(
+        triangles=result.cliques,
+        simulated_seconds=result.simulated_seconds,
+        peak_memory_bytes=result.peak_memory_bytes,
+    )

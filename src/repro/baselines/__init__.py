@@ -1,0 +1,31 @@
+"""Comparison systems (paper §VI-A "Comparative evaluation").
+
+All baselines speak the same engine protocol as :class:`repro.core.Gamma`,
+so every algorithm driver runs unchanged on every system.  The algorithmic
+differences (two-pass vs dynamic allocation, prealloc vs pool, in-core vs
+out-of-core, CPU vs GPU) are implemented, not faked: in-core engines really
+allocate from the capacity-limited device allocator (and crash), two-pass
+engines really charge the second traversal, CPU engines really bill their
+thread pool.
+"""
+
+from .base import BaselineEngine, CpuEngine, InCoreEngine
+from .graphminer import GraphMiner
+from .gsi import GSI
+from .pangolin import PangolinGPU, PangolinST
+from .peregrine import Peregrine
+from .sort_baselines import cpu_sort, naive_multi_merge_sort, xtr2sort
+
+__all__ = [
+    "BaselineEngine",
+    "CpuEngine",
+    "InCoreEngine",
+    "GraphMiner",
+    "GSI",
+    "PangolinGPU",
+    "PangolinST",
+    "Peregrine",
+    "cpu_sort",
+    "naive_multi_merge_sort",
+    "xtr2sort",
+]

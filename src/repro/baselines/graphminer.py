@@ -1,0 +1,25 @@
+"""GraphMiner baseline (paper ref [35]).
+
+GraphMiner is a multi-core CPU graph-mining library combining several
+state-of-the-art GPM designs; the paper uses its *specialized FPM
+implementation* as the strongest CPU comparison for Fig. 14 ("GAMMA still
+has slightly better performance, achieving 24.7% performance
+improvements").  Modelled as a multi-threaded CPU engine with a better
+per-op factor than the generic frameworks.
+"""
+
+from __future__ import annotations
+
+from .base import CpuEngine
+
+
+class GraphMiner(CpuEngine):
+    """Specialized multi-threaded CPU FPM engine."""
+
+    name = "graphminer"
+    compaction = True
+    pre_merge = True
+    threads = 32
+    #: Hand-specialized kernels: the best per-op constant among the CPU
+    #: systems (but still bound by CPU throughput).
+    op_factor = 0.45

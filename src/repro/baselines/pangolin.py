@@ -1,0 +1,44 @@
+"""Pangolin baselines (paper refs [8]; §VI "Pangolin-GPU"/"Pangolin-ST").
+
+Pangolin is the only prior GPU GPM framework.  Its defining traits, all
+modelled here:
+
+* **in-core only** — graph, embedding tables and aggregation scratch live
+  in device memory; moderate graphs already exhaust it ("it cannot process
+  GPM tasks on even moderate-size graphs", §VII-A);
+* **two-pass extension** — the parallel write conflict is solved by
+  running every extension twice (count, scan, re-extend; §V-B Challenge 1);
+* **no pre-merge grouping** — each embedding re-intersects its full
+  anchor lists (Fig. 8(a));
+* **no embedding-table compression** — filtered rows keep their storage
+  ("the compression is ignored in existing GPM frameworks", §V-A).
+
+``PangolinST`` is the single-thread CPU build the paper uses as the
+normalization baseline of Fig. 16.
+"""
+
+from __future__ import annotations
+
+from ..core.memory_pool import TwoPassStrategy, WriteStrategy
+from .base import CpuEngine, InCoreEngine
+
+
+class PangolinGPU(InCoreEngine):
+    """Pangolin's GPU build: in-core, two-pass, uncompressed."""
+
+    name = "pangolin-gpu"
+    compaction = False
+    pre_merge = False
+
+    def _make_strategy(self) -> WriteStrategy:
+        return TwoPassStrategy(self.platform)
+
+
+class PangolinST(CpuEngine):
+    """Pangolin's single-thread CPU build."""
+
+    name = "pangolin-st"
+    compaction = False
+    pre_merge = False
+    threads = 1
+    op_factor = 1.0

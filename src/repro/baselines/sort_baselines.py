@@ -1,0 +1,44 @@
+"""Sorting comparators for Fig. 19 and Table III.
+
+The implementations live in :mod:`repro.core.sort` next to GAMMA's
+multi-merge (they share the segment machinery); this module gives them
+their benchmark-facing names.
+
+* :func:`naive_multi_merge_sort` — Algorithm 3 without the prefix-sum
+  trick: both search directions of every list pair run.
+* :func:`xtr2sort` — the radix-partitioning out-of-core sort of the
+  [29]/[30] style systems: extra full passes over the data and a host-side
+  scatter.
+* :func:`cpu_sort` — a single-threaded host comparison sort (Table III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sort import CPU_SORT, NAIVE_MERGE, XTR2SORT, out_of_core_sort
+from ..gpusim.platform import GpuPlatform
+
+
+def naive_multi_merge_sort(
+    platform: GpuPlatform,
+    keys: np.ndarray,
+    segment_len: int | None = None,
+    p_size: int | None = None,
+) -> np.ndarray:
+    kwargs = {} if p_size is None else {"p_size": p_size}
+    return out_of_core_sort(
+        platform, keys, method=NAIVE_MERGE, segment_len=segment_len, **kwargs
+    )
+
+
+def xtr2sort(
+    platform: GpuPlatform,
+    keys: np.ndarray,
+    segment_len: int | None = None,
+) -> np.ndarray:
+    return out_of_core_sort(platform, keys, method=XTR2SORT, segment_len=segment_len)
+
+
+def cpu_sort(platform: GpuPlatform, keys: np.ndarray) -> np.ndarray:
+    return out_of_core_sort(platform, keys, method=CPU_SORT)

@@ -1,0 +1,50 @@
+"""Benchmark harness: workloads, comparative runner, reporting and the
+per-figure experiment drivers that regenerate the paper's evaluation
+(§VI).  See DESIGN.md §4 for the experiment index."""
+
+from .figures import ALL_FIGURES, FigureReport
+from .reporting import (
+    crash_summary,
+    format_table,
+    geometric_speedup,
+    grid_table,
+    shape_check,
+)
+from .runner import SYSTEMS, RunResult, run_gamma_variant, run_grid, run_task
+from .workloads import (
+    FPM_DATASETS,
+    KCL_DATASETS,
+    SM_DATASETS,
+    Task,
+    fpm_support,
+    fpm_task,
+    kcl_task,
+    queries_for_dataset,
+    sm_task,
+    triangle_task,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureReport",
+    "crash_summary",
+    "format_table",
+    "geometric_speedup",
+    "grid_table",
+    "shape_check",
+    "SYSTEMS",
+    "RunResult",
+    "run_gamma_variant",
+    "run_grid",
+    "run_task",
+    "FPM_DATASETS",
+    "KCL_DATASETS",
+    "SM_DATASETS",
+    "Task",
+    "fpm_support",
+    "fpm_task",
+    "kcl_task",
+    "queries_for_dataset",
+    "sm_task",
+    "triangle_task",
+]

@@ -1,0 +1,102 @@
+"""Result persistence and regression diffing.
+
+Figure reports are archived as JSON so successive benchmark runs can be
+diffed: a calibration change that silently flips a cell from a win to a
+loss (or a crash) should be caught by comparing against the last archived
+run, not by eyeballing tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Iterable, List
+
+from .figures import FigureReport
+from .runner import RunResult
+
+
+def report_to_dict(report: FigureReport) -> dict:
+    """JSON-serializable view of a figure report."""
+    return {
+        "figure": report.figure,
+        "title": report.title,
+        "checks": list(report.checks),
+        "rows": [dict(row) for row in report.rows],
+        "results": [
+            {
+                "system": r.system,
+                "dataset": r.dataset,
+                "task": r.task,
+                "simulated_seconds": r.simulated_seconds,
+                "peak_memory_bytes": r.peak_memory_bytes,
+                "crashed": r.crashed,
+                "crash_reason": r.crash_reason,
+            }
+            for r in report.results
+        ],
+    }
+
+
+def save_report(report: FigureReport, path: str | os.PathLike) -> None:
+    """Write one report as JSON."""
+    with open(path, "w") as handle:
+        json.dump(report_to_dict(report), handle, indent=2, sort_keys=True)
+
+
+def load_report_dict(path: str | os.PathLike) -> dict:
+    """Read a previously saved report (as a plain dict)."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def diff_reports(
+    old: dict, new: dict, tolerance: float = 0.25
+) -> List[str]:
+    """Human-readable regressions between two saved reports.
+
+    Flags: check-status changes, crash-status changes, and simulated-time
+    movements beyond ``tolerance`` (relative).  Returns an empty list when
+    nothing regressed.
+    """
+    problems: List[str] = []
+
+    old_checks = {c.split("] ", 1)[-1].split(":", 1)[0]: c for c in old["checks"]}
+    new_checks = {c.split("] ", 1)[-1].split(":", 1)[0]: c for c in new["checks"]}
+    for key, new_line in new_checks.items():
+        old_line = old_checks.get(key)
+        if old_line is None:
+            continue
+        old_ok = old_line.startswith("[OK")
+        new_ok = new_line.startswith("[OK")
+        if old_ok and not new_ok:
+            problems.append(f"check regressed: {key}")
+
+    def index(results: Iterable[dict]) -> dict:
+        return {
+            (r["system"], r["dataset"], r["task"]): r for r in results
+        }
+
+    old_cells = index(old.get("results", []))
+    new_cells = index(new.get("results", []))
+    for key, new_cell in new_cells.items():
+        old_cell = old_cells.get(key)
+        if old_cell is None:
+            continue
+        if old_cell["crashed"] != new_cell["crashed"]:
+            problems.append(
+                f"crash status changed for {key}: "
+                f"{old_cell['crashed']} -> {new_cell['crashed']}"
+            )
+            continue
+        t_old = old_cell.get("simulated_seconds")
+        t_new = new_cell.get("simulated_seconds")
+        if t_old and t_new and t_old > 0:
+            drift = abs(t_new - t_old) / t_old
+            if drift > tolerance:
+                problems.append(
+                    f"time drifted {drift * 100:.0f}% for {key}: "
+                    f"{t_old * 1e3:.3f} -> {t_new * 1e3:.3f} ms"
+                )
+    return problems

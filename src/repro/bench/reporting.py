@@ -1,0 +1,109 @@
+"""Benchmark output: paper-style tables and paper-vs-measured summaries.
+
+Every figure's benchmark prints (a) the grid of measured values in the
+layout the paper's figure uses and (b) a shape check comparing the paper's
+claim (e.g. "GAMMA 67.6% faster than Pangolin-GPU on average") with the
+measured ratio, since matching absolute numbers is out of scope
+(DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from .runner import RunResult
+
+
+def format_table(
+    rows: Iterable[Dict[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """A plain fixed-width text table from dict rows."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[str(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    header = line(list(columns))
+    rule = "-" * len(header)
+    return "\n".join([header, rule] + [line(r) for r in rendered])
+
+
+def grid_table(
+    results: Sequence[RunResult], value: str = "time"
+) -> str:
+    """Pivot run results into a dataset x system table.
+
+    ``value`` is "time" (milliseconds) or "memory" (MiB, the Fig. 10 view).
+    """
+    systems: list[str] = []
+    datasets: list[str] = []
+    for r in results:
+        if r.system not in systems:
+            systems.append(r.system)
+        if r.dataset not in datasets:
+            datasets.append(r.dataset)
+    index = {(r.dataset, r.system): r for r in results}
+    rows = []
+    for dataset in datasets:
+        row: Dict[str, object] = {"dataset": dataset}
+        for system in systems:
+            r = index.get((dataset, system))
+            if r is None:
+                row[system] = "-"
+            elif r.crashed:
+                row[system] = "CRASH"
+            elif value == "memory":
+                row[system] = f"{(r.peak_memory_bytes or 0) / (1 << 20):.2f}"
+            else:
+                row[system] = f"{(r.simulated_seconds or 0) * 1e3:.3f}"
+        rows.append(row)
+    return format_table(rows, ["dataset"] + systems)
+
+
+def geometric_speedup(
+    results: Sequence[RunResult], baseline: str, target: str = "GAMMA"
+) -> float | None:
+    """Geometric-mean speedup of ``target`` over ``baseline`` across every
+    (dataset, task) cell where both completed."""
+    import math
+
+    ratios = []
+    by_key: Dict[tuple, Dict[str, RunResult]] = {}
+    for r in results:
+        by_key.setdefault((r.dataset, r.task), {})[r.system] = r
+    for cell in by_key.values():
+        a, b = cell.get(target), cell.get(baseline)
+        if a and b and not a.crashed and not b.crashed and a.simulated_seconds:
+            ratios.append(b.simulated_seconds / a.simulated_seconds)
+    if not ratios:
+        return None
+    return math.exp(sum(math.log(x) for x in ratios) / len(ratios))
+
+
+def shape_check(
+    name: str,
+    paper_claim: str,
+    measured: str,
+    holds: bool | None,
+) -> str:
+    """One line of the paper-vs-measured summary."""
+    status = "?" if holds is None else ("OK" if holds else "DIVERGES")
+    return f"[{status:8s}] {name}: paper: {paper_claim}; measured: {measured}"
+
+
+def crash_summary(results: Sequence[RunResult]) -> str:
+    """Which systems crashed where (the paper's omitted bars)."""
+    crashed = [r for r in results if r.crashed]
+    if not crashed:
+        return "no crashes"
+    return "; ".join(
+        f"{r.system} on {r.dataset} ({r.crash_reason})" for r in crashed
+    )

@@ -1,0 +1,175 @@
+"""Command-line interface.
+
+Run GPM workloads on any system, list the dataset stand-ins, or regenerate
+a figure of the paper's evaluation:
+
+    python -m repro datasets
+    python -m repro systems
+    python -m repro run --task sm --query 2 --dataset CL --system GAMMA
+    python -m repro run --task kcl --k 4 --dataset CP --system Peregrine
+    python -m repro run --task fpm --iterations 2 --min-support 50 --metric mni
+    python -m repro figure fig12
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .algorithms import (
+    count_kcliques,
+    frequent_pattern_mining,
+    graphlet_census,
+    match_pattern,
+    motif_count,
+    triangle_count,
+)
+from .bench.figures import ALL_FIGURES
+from .bench.reporting import format_table
+from .bench.runner import SYSTEMS
+from .errors import GammaError
+from .graph import datasets, sm_query
+from .graph.catalog import default_catalog
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GAMMA (ICDE 2023) reproduction: graph pattern mining "
+                    "on a simulated out-of-core GPU platform",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print the Table II dataset stand-ins")
+    sub.add_parser("systems", help="list the comparable systems")
+
+    run = sub.add_parser("run", help="run one GPM task on one system")
+    run.add_argument("--task", required=True,
+                     choices=("sm", "kcl", "fpm", "triangles", "motifs", "graphlets"))
+    run.add_argument("--dataset", default="CL",
+                     help="Table II abbreviation (default CL)")
+    run.add_argument("--system", default="GAMMA",
+                     help=f"one of: {', '.join(SYSTEMS)}")
+    run.add_argument("--query", type=int, default=1,
+                     help="SM query number q1-q3 (default 1)")
+    run.add_argument("--symmetry-breaking", action="store_true",
+                     help="SM: enumerate each subgraph once")
+    run.add_argument("--k", type=int, default=4, help="kCL clique size")
+    run.add_argument("--iterations", type=int, default=2,
+                     help="FPM: maximum pattern edges")
+    run.add_argument("--min-support", type=int, default=10,
+                     help="FPM: support threshold")
+    run.add_argument("--metric", default="instances",
+                     choices=("instances", "mni"), help="FPM support metric")
+    run.add_argument("--edges", type=int, default=2, help="motifs: size")
+    run.add_argument("--breakdown", action="store_true",
+                     help="print the simulated-time breakdown")
+
+    figure = sub.add_parser("figure", help="regenerate one evaluation figure")
+    figure.add_argument("name", choices=sorted(ALL_FIGURES),
+                        help="figure/table key, e.g. fig12")
+    return parser
+
+
+def _cmd_datasets() -> int:
+    print(format_table(datasets.table2_rows()))
+    return 0
+
+
+def _cmd_systems() -> int:
+    for name, factory in SYSTEMS.items():
+        doc = (factory.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:14s} {summary}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.system not in SYSTEMS:
+        print(f"unknown system {args.system!r}; see `repro systems`",
+              file=sys.stderr)
+        return 2
+    graph = datasets.load(args.dataset)
+    print(f"{args.dataset}: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges (stand-in; see DESIGN.md)")
+    engine = SYSTEMS[args.system](graph)
+    trace = None
+    if args.breakdown:
+        from .gpusim.trace import TraceRecorder
+
+        trace = TraceRecorder().attach(engine.platform)
+    try:
+        if args.task == "sm":
+            result = match_pattern(
+                engine, sm_query(args.query),
+                symmetry_breaking=args.symmetry_breaking,
+            )
+            print(f"query q{args.query}: {result.embeddings} embeddings, "
+                  f"{result.unique_subgraphs} unique subgraphs")
+        elif args.task == "kcl":
+            result = count_kcliques(engine, args.k)
+            print(f"{args.k}-cliques: {result.cliques}")
+        elif args.task == "triangles":
+            result = triangle_count(engine)
+            print(f"triangles: {result.triangles}")
+        elif args.task == "fpm":
+            result = frequent_pattern_mining(
+                engine, args.iterations, args.min_support,
+                support_metric=args.metric,
+            )
+            catalog = default_catalog(graph.num_labels)
+            print(f"frequent patterns (support >= {args.min_support}, "
+                  f"{args.metric}):")
+            for name, support in catalog.describe(result.patterns)[:20]:
+                print(f"  {name:24s} {support}")
+        elif args.task == "motifs":
+            result = motif_count(engine, args.edges)
+            catalog = default_catalog(graph.num_labels)
+            print(f"{args.edges}-edge motifs "
+                  f"({result.total_instances} instances):")
+            for name, support in catalog.describe(result.histogram)[:20]:
+                print(f"  {name:24s} {support}")
+        else:  # graphlets
+            result = graphlet_census(engine, args.k)
+            catalog = default_catalog(graph.num_labels)
+            print(f"{args.k}-vertex graphlets "
+                  f"({result.total} induced occurrences):")
+            for name, support in catalog.describe(result.histogram)[:20]:
+                print(f"  {name:24s} {support}")
+        print(f"simulated time: {engine.simulated_seconds * 1e3:.3f} ms; "
+              f"peak memory: {engine.peak_memory_bytes / (1 << 20):.2f} MiB")
+        if trace is not None:
+            print("\nwhere the time went:")
+            print(trace.render())
+        return 0
+    except GammaError as exc:
+        print(f"CRASH: {type(exc).__name__}: {exc}")
+        return 1
+    finally:
+        engine.close()
+
+
+def _cmd_figure(name: str) -> int:
+    report = ALL_FIGURES[name]()
+    print(report.render())
+    diverged = any(c.startswith("[DIVERGES") for c in report.checks)
+    return 1 if diverged else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets()
+        if args.command == "systems":
+            return _cmd_systems()
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_figure(args.name)
+    except BrokenPipeError:  # output piped into head/less and closed early
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

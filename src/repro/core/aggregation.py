@@ -1,0 +1,165 @@
+"""The aggregation primitive (paper §III-B2 + Optimization 3).
+
+``Aggregation(ET, m_f)`` maps every embedding to its pattern graph via
+canonical labeling, then counts instances per pattern.  The heavy step is
+grouping canonical codes whose total size may exceed device memory — that
+is exactly what the out-of-core multi-merge sort (:mod:`repro.core.sort`)
+exists for.
+
+The canonical map uses the two-level quick-pattern scheme of
+:mod:`repro.graph.canonical`; its device cost is charged per embedding.
+
+The module also provides embedding-set deduplication for edge-oriented
+growth: extending by "any adjacent edge" reaches the same edge set through
+multiple orders, and instance counting requires each set once.  Dedup packs
+each row's sorted edge ids and unique-sorts them with the same external
+sort machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.canonical import QuickPatternEncoder
+from ..gpusim.platform import GpuPlatform
+from .embedding_table import EmbeddingTable
+from .pattern_table import PatternTable
+from .residence import GraphResidence
+from .sort import DEFAULT_P_SIZE, MULTI_MERGE, sort_and_count
+
+#: Charged device ops per embedding for the quick-pattern relabel+pack.
+_QUICK_OPS_PER_EDGE = 24
+
+#: Support metrics: raw instance frequency (the paper's §III definition)
+#: or minimum-image-based support (the anti-monotone FSM standard).
+INSTANCES = "instances"
+MNI = "mni"
+SUPPORT_METRICS = (INSTANCES, MNI)
+
+
+def mni_supports(
+    codes: np.ndarray, positions: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Minimum-image-based support per pattern.
+
+    ``positions[i, p]`` is the data vertex embedding ``i`` maps to the
+    pattern's canonical position ``p`` (-1 past the pattern's size).  A
+    pattern's MNI is the minimum, over its positions, of the number of
+    *distinct* data vertices seen there — the largest support measure that
+    is still anti-monotone.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    uniq, inverse = np.unique(codes, return_inverse=True)
+    if len(uniq) == 0:
+        return uniq, np.empty(0, dtype=np.int64)
+    mni = np.full(len(uniq), np.iinfo(np.int64).max)
+    covered = np.zeros(len(uniq), dtype=bool)
+    for p in range(positions.shape[1]):
+        column = positions[:, p]
+        valid = column >= 0
+        if not valid.any():
+            continue
+        pair_code = inverse[valid]
+        pair_vertex = column[valid]
+        distinct = np.unique(
+            np.stack([pair_code, pair_vertex], axis=1), axis=0
+        )
+        counts = np.bincount(distinct[:, 0], minlength=len(uniq))
+        present = counts > 0
+        mni[present] = np.minimum(mni[present], counts[present])
+        covered |= present
+    mni[~covered] = 0
+    return uniq, mni.astype(np.int64)
+
+
+def aggregate_edge_table(
+    platform: GpuPlatform,
+    residence: GraphResidence,
+    table: EmbeddingTable,
+    encoder: QuickPatternEncoder,
+    pattern_table: PatternTable,
+    sort_method: str = MULTI_MERGE,
+    p_size: int = DEFAULT_P_SIZE,
+    cpu: bool = False,
+    support_metric: str = INSTANCES,
+) -> np.ndarray:
+    """Aggregate an e-ET into the pattern table.
+
+    Returns the per-row canonical codes (needed afterwards by the support
+    filter).  The pattern table gains/updates one entry per pattern, whose
+    support is instance frequency or MNI per ``support_metric``.
+    """
+    if support_metric not in SUPPORT_METRICS:
+        raise ValueError(
+            f"support_metric must be one of {SUPPORT_METRICS}, got {support_metric!r}"
+        )
+    mats = table.materialize()
+    n, k = (mats.shape if mats.size else (0, max(1, table.depth)))
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    src, dst = residence.endpoints_of(mats.ravel())
+    want_mni = support_metric == MNI
+    encoded = encoder.encode_edge_embeddings(
+        src.reshape(n, k), dst.reshape(n, k), residence.graph.labels,
+        return_positions=want_mni,
+    )
+    codes, positions = encoded if want_mni else (encoded, None)
+    quick_ops = n * k * _QUICK_OPS_PER_EDGE
+    if cpu:
+        platform.cpu.work(quick_ops)
+        # CPU baselines group with a hash table rather than a sort.
+        platform.cpu.work(n * 2)
+        uniq, counts = np.unique(codes, return_counts=True)
+    else:
+        platform.kernel.launch("aggregate:quick-pattern", element_ops=quick_ops)
+        uniq, counts = sort_and_count(
+            platform, codes, method=sort_method, p_size=p_size
+        )
+    if want_mni:
+        # One extra sort-like pass per canonical position.
+        extra_ops = positions.shape[1] * n
+        if cpu:
+            platform.cpu.work(extra_ops)
+        else:
+            platform.kernel.launch("aggregate:mni", element_ops=extra_ops)
+        uniq, counts = mni_supports(codes, positions)
+    pattern_table.merge(uniq, counts)
+    return codes
+
+
+def embedding_set_keys(mats: np.ndarray) -> np.ndarray:
+    """Order-insensitive key per embedding row (the sorted id set packed to
+    bytes).  Rows with equal keys are the same subgraph instance."""
+    if mats.size == 0:
+        return np.empty(0, dtype=np.void)
+    ordered = np.sort(mats, axis=1)
+    contiguous = np.ascontiguousarray(ordered)
+    return contiguous.view(
+        np.dtype((np.void, contiguous.dtype.itemsize * contiguous.shape[1]))
+    ).ravel()
+
+
+def dedup_embeddings(
+    platform: GpuPlatform,
+    table: EmbeddingTable,
+    cpu: bool = False,
+) -> int:
+    """Remove duplicate embeddings (same id set, different discovery order).
+
+    Returns the number of rows removed.  Charged as a sort+compact over the
+    packed set keys.
+    """
+    mats = table.materialize()
+    if mats.size == 0:
+        return 0
+    keys = embedding_set_keys(mats)
+    n = len(keys)
+    __, first_idx = np.unique(keys, return_index=True)
+    keep = np.zeros(n, dtype=bool)
+    keep[first_idx] = True
+    log_n = float(np.log2(max(2, n)))
+    if cpu:
+        platform.cpu.work(n * log_n)
+    else:
+        platform.kernel.launch("dedup:sort", element_ops=n * log_n)
+    return table.compact(keep)

@@ -1,0 +1,493 @@
+"""The extension primitives (paper §III-B1, §V-B Challenges 1–2).
+
+One :class:`ExtensionEngine` serves every system in the reproduction; what
+differs per system is its wiring:
+
+* **results layout** — a :class:`~repro.core.memory_pool.WriteStrategy`
+  (GAMMA's dynamic warp-block allocation, Pangolin's two-pass counting, or
+  GSI's worst-case prealloc);
+* **redundancy** — ``pre_merge=True`` groups embeddings sharing a parent
+  and intersects the shared prefix's adjacency lists once per group
+  (Optimization 2 / Fig. 8); ``False`` re-intersects every list for every
+  embedding;
+* **graph residency** — hybrid host memory (GAMMA), device memory
+  (in-core baselines) or plain host memory (CPU baselines);
+* **executor** — device kernels or CPU threads.
+
+The *computation* is vectorized NumPy and identical across wirings (so all
+systems provably produce the same embeddings); the *charged cost* follows
+each system's actual algorithm, which is what the paper's figures compare.
+Computation reads the CSR host-side; every device-visible access is charged
+explicitly from the read multiset the engine derives for its mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..gpusim import stats as st
+from ..gpusim.platform import GpuPlatform
+from ..gpusim.regions import expand_ranges
+from .access_planner import AccessHeatPlanner
+from .embedding_table import EDGE, VERTEX, EmbeddingTable
+from .memory_pool import WriteStrategy
+from .residence import GraphResidence
+
+#: Each appended cell is (value, parent) = 16 bytes.
+_RESULT_BYTES = 16
+
+
+@dataclass
+class ExtensionStats:
+    """Work accounting for one extension call."""
+
+    rows_in: int = 0
+    rows_out: int = 0
+    candidates: int = 0
+    groups: int = 0
+    kernel_ops: float = 0.0
+    list_reads: int = 0
+    per_row_counts: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+
+class ExtensionEngine:
+    """Vertex- and edge-extension over an embedding table."""
+
+    def __init__(
+        self,
+        platform: GpuPlatform,
+        residence: GraphResidence,
+        write_strategy: WriteStrategy | None = None,
+        pre_merge: bool = True,
+        planner: AccessHeatPlanner | None = None,
+        cpu: bool = False,
+        cpu_op_factor: float = 1.0,
+    ) -> None:
+        self.platform = platform
+        self.residence = residence
+        self.write_strategy = write_strategy
+        self.pre_merge = pre_merge
+        self.planner = planner
+        #: CPU engines charge traversal ops to the CPU executor instead of
+        #: launching kernels; ``cpu_op_factor`` scales per-op cost to model
+        #: algorithmic differences between CPU systems.
+        self.cpu = cpu
+        self.cpu_op_factor = cpu_op_factor
+        self.graph = residence.graph
+
+    # -- seeding ------------------------------------------------------------
+    def seed_vertices(
+        self, table: EmbeddingTable, label: int | None = None
+    ) -> EmbeddingTable:
+        """Install the initial v-ET column: all vertices (optionally label-
+        filtered) — line 2 of Algorithm 1."""
+        if table.kind != VERTEX:
+            raise ExecutionError("seed_vertices requires a vertex table")
+        n = self.graph.num_vertices
+        if label is None:
+            values = np.arange(n, dtype=np.int64)
+        else:
+            values = np.flatnonzero(self.graph.labels == label).astype(np.int64)
+        self._charge_scan(n)
+        table.seed(values)
+        return table
+
+    def seed_edges(self, table: EmbeddingTable) -> EmbeddingTable:
+        """Install the initial e-ET column: all length-1 embeddings — line 1
+        of Algorithm 2."""
+        if table.kind != EDGE:
+            raise ExecutionError("seed_edges requires an edge table")
+        values = np.arange(self.graph.num_edges, dtype=np.int64)
+        self._charge_scan(self.graph.num_edges)
+        table.seed(values)
+        return table
+
+    def _charge_scan(self, n: int) -> None:
+        if self.cpu:
+            self.platform.cpu.work(n * self.cpu_op_factor)
+        else:
+            self.platform.kernel.launch("seed", element_ops=n)
+
+    # -- shared helpers -------------------------------------------------------
+    def _adjacency_values(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Host-side CSR expansion (uncharged; charging is explicit)."""
+        starts = self.graph.offsets[vertices]
+        ends = self.graph.offsets[vertices + 1]
+        return self.graph.neighbors[expand_ranges(starts, ends)], ends - starts
+
+    def _incident_values(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        starts = self.graph.offsets[vertices]
+        ends = self.graph.offsets[vertices + 1]
+        return self.graph.edge_ids[expand_ranges(starts, ends)], ends - starts
+
+    def _charge_list_reads(self, region_name: str, vertices: np.ndarray) -> None:
+        """Charge adjacency/incidence list reads for the given vertex
+        multiset through the residence's region (GPU engines only)."""
+        if self.cpu or len(vertices) == 0:
+            return
+        region = getattr(self.residence, region_name, None)
+        if region is None:
+            return
+        starts = self.graph.offsets[vertices]
+        ends = self.graph.offsets[vertices + 1]
+        passes = getattr(self.write_strategy, "passes", 1)
+        for __ in range(passes):
+            region.charge_ranges(starts, ends)
+
+    def _account_writes(
+        self,
+        per_row_counts: np.ndarray,
+        kernel_ops: float,
+        upper_bounds: np.ndarray,
+    ) -> None:
+        """Charge traversal compute + result layout for one extension."""
+        if self.cpu:
+            total = float(kernel_ops) + float(per_row_counts.sum())
+            self.platform.cpu.work(total * self.cpu_op_factor)
+            return
+        if self.write_strategy is None:
+            raise ExecutionError("GPU engines need a write strategy")
+        self.write_strategy.account(
+            per_row_counts, _RESULT_BYTES, kernel_ops,
+            upper_bound_counts=upper_bounds,
+        )
+
+    # -- vertex extension (union mode) -------------------------------------
+    def extend_vertices_any(
+        self,
+        table: EmbeddingTable,
+        anchor_cols: Sequence[int],
+        label: int | None = None,
+        greater_than_col: int | None = None,
+        greater_than_cols: Sequence[int] = (),
+        less_than_cols: Sequence[int] = (),
+        injective: bool = True,
+    ) -> ExtensionStats:
+        """Extend by one vertex adjacent to *at least one* anchor column —
+        Definition 3.1's literal ``N_v(M)`` (the union of the embedding's
+        neighborhoods), used by connected-subgraph enumeration (graphlets).
+
+        Candidates are the union of the anchors' adjacency lists, deduped
+        within each row; the same constraint arguments as
+        :meth:`extend_vertices` apply.
+        """
+        if table.kind != VERTEX:
+            raise ExecutionError("extend_vertices_any requires a vertex table")
+        anchor_cols = sorted(set(int(c) for c in anchor_cols))
+        depth = table.depth
+        if not anchor_cols or anchor_cols[-1] >= depth or anchor_cols[0] < 0:
+            raise ExecutionError(f"bad anchor columns {anchor_cols} for depth {depth}")
+        greater_than_cols = list(greater_than_cols)
+        if greater_than_col is not None:
+            greater_than_cols.append(int(greater_than_col))
+        less_than_cols = list(less_than_cols)
+
+        stats = ExtensionStats(rows_in=table.num_embeddings)
+        mats = table.materialize()
+        n = len(mats)
+        if n == 0:
+            table.append_column(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            )
+            return stats
+
+        # Reads: every anchor list per row (deduped when pre-merge groups
+        # shared vertices, as in edge extension).
+        anchor_vertices = mats[:, anchor_cols].ravel()
+        if self.pre_merge:
+            read_vertices = np.unique(anchor_vertices)
+        else:
+            read_vertices = anchor_vertices
+        stats.list_reads = len(read_vertices)
+        stats.kernel_ops = float(self.residence.degrees_of(anchor_vertices).sum())
+        if self.planner is not None:
+            self.planner.plan_extension(read_vertices)
+        self._charge_list_reads("neighbors", read_vertices)
+
+        # Candidates: concatenate every anchor's neighborhood per row.
+        cand, lengths = self._adjacency_values(anchor_vertices)
+        row_of_anchor = np.repeat(
+            np.arange(n, dtype=np.int64), len(anchor_cols)
+        )
+        cand_row = np.repeat(row_of_anchor, lengths)
+        stats.candidates = len(cand)
+
+        mask = np.ones(len(cand), dtype=bool)
+        if injective:
+            for col in range(depth):
+                mask &= cand != mats[cand_row, col]
+        for col in greater_than_cols:
+            mask &= cand > mats[cand_row, col]
+        for col in less_than_cols:
+            mask &= cand < mats[cand_row, col]
+        if label is not None:
+            live = np.flatnonzero(mask)
+            mask[live] = self.residence.labels_of(cand[live]) == label
+        # Dedup within a row: a candidate adjacent to several anchors
+        # appears once per anchor.
+        key = cand_row * np.int64(self.graph.num_vertices + 1) + cand
+        __, first_idx = np.unique(key, return_index=True)
+        keep = np.zeros(len(cand), dtype=bool)
+        keep[first_idx] = True
+        mask &= keep
+
+        counts = np.bincount(cand_row[mask], minlength=n).astype(np.int64)
+        stats.per_row_counts = counts
+        upper = np.bincount(cand_row, minlength=n).astype(np.int64)
+        self._account_writes(counts, stats.kernel_ops, upper)
+        order = np.argsort(cand_row[mask], kind="stable")
+        table.append_column(cand[mask][order], cand_row[mask][order])
+        stats.rows_out = int(mask.sum())
+        self.platform.counters.add(st.EXTENSION_PASSES)
+        self.platform.counters.add(st.EMBEDDINGS_PRODUCED, stats.rows_out)
+        return stats
+
+    # -- vertex extension ------------------------------------------------------
+    def extend_vertices(
+        self,
+        table: EmbeddingTable,
+        anchor_cols: Sequence[int],
+        label: int | None = None,
+        greater_than_col: int | None = None,
+        greater_than_cols: Sequence[int] = (),
+        less_than_cols: Sequence[int] = (),
+        injective: bool = True,
+    ) -> ExtensionStats:
+        """Extend every embedding by one vertex adjacent to all anchors.
+
+        ``anchor_cols`` are the columns whose vertices the new vertex must
+        neighbor (the matched query neighbors in WOJ, all columns in kCL).
+        ``label`` filters candidates by vertex label;
+        ``greater_than_cols``/``less_than_cols`` enforce id-ordering
+        constraints against already-matched columns (kCL canonicality,
+        symmetry-breaking restrictions); ``greater_than_col`` is the
+        single-column shorthand; ``injective`` excludes vertices already in
+        the embedding.
+
+        Constraint pushdown is the paper's §III-B3: "extended embeddings
+        violating the query graph's constraint can be pruned immediately".
+        """
+        if table.kind != VERTEX:
+            raise ExecutionError("extend_vertices requires a vertex table")
+        anchor_cols = sorted(set(int(c) for c in anchor_cols))
+        depth = table.depth
+        if not anchor_cols or anchor_cols[-1] >= depth or anchor_cols[0] < 0:
+            raise ExecutionError(f"bad anchor columns {anchor_cols} for depth {depth}")
+        greater_than_cols = list(greater_than_cols)
+        if greater_than_col is not None:
+            greater_than_cols.append(int(greater_than_col))
+        less_than_cols = list(less_than_cols)
+        for col in greater_than_cols + less_than_cols:
+            if not 0 <= col < depth:
+                raise ExecutionError(f"ordering column {col} out of range")
+
+        stats = ExtensionStats(rows_in=table.num_embeddings)
+        mats = table.materialize()
+        n = len(mats)
+        if n == 0:
+            table.append_column(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            )
+            return stats
+
+        tail_col = depth - 1 if (depth - 1) in anchor_cols else None
+        prefix_cols = [c for c in anchor_cols if c != tail_col]
+
+        # ---- derive this mode's read multiset + traversal op count ---------
+        kernel_ops, read_vertices, groups = self._vertex_read_plan(
+            table, mats, prefix_cols, tail_col
+        )
+        stats.kernel_ops = kernel_ops
+        stats.groups = groups
+        stats.list_reads = len(read_vertices)
+        if self.planner is not None:
+            self.planner.plan_extension(read_vertices)
+        self._charge_list_reads("neighbors", read_vertices)
+
+        # ---- generate candidates from each row's cheapest anchor ------------
+        # (expanding the smallest adjacency list and verifying the others —
+        # the intersection order every real GPM kernel uses)
+        anchor_deg = np.stack(
+            [self.graph.offsets[mats[:, c] + 1] - self.graph.offsets[mats[:, c]]
+             for c in anchor_cols], axis=1,
+        )
+        source_choice = np.argmin(anchor_deg, axis=1)
+        cand_parts: list[np.ndarray] = []
+        row_parts: list[np.ndarray] = []
+        mask_parts: list[np.ndarray] = []
+        upper_parts: list[np.ndarray] = []
+        for idx, source_col in enumerate(anchor_cols):
+            rows = np.flatnonzero(source_choice == idx)
+            if len(rows) == 0:
+                continue
+            cand, lengths = self._adjacency_values(mats[rows, source_col])
+            cand_row = rows.repeat(lengths)
+            mask = np.ones(len(cand), dtype=bool)
+            for col in anchor_cols:
+                if col == source_col:
+                    continue
+                mask &= self.graph.has_edges(mats[cand_row, col], cand)
+            if injective:
+                for col in range(depth):
+                    mask &= cand != mats[cand_row, col]
+            for col in greater_than_cols:
+                mask &= cand > mats[cand_row, col]
+            for col in less_than_cols:
+                mask &= cand < mats[cand_row, col]
+            if label is not None:
+                live = np.flatnonzero(mask)
+                mask[live] = self.residence.labels_of(cand[live]) == label
+            cand_parts.append(cand)
+            row_parts.append(cand_row)
+            mask_parts.append(mask)
+            upper_parts.append(lengths)
+            stats.candidates += len(cand)
+
+        cand = np.concatenate(cand_parts) if cand_parts else np.empty(0, np.int64)
+        cand_row = np.concatenate(row_parts) if row_parts else np.empty(0, np.int64)
+        mask = np.concatenate(mask_parts) if mask_parts else np.empty(0, bool)
+
+        counts = np.bincount(cand_row[mask], minlength=n).astype(np.int64)
+        stats.per_row_counts = counts
+        upper = np.bincount(
+            np.concatenate(row_parts) if row_parts else np.empty(0, np.int64),
+            weights=np.ones(len(cand)),
+            minlength=n,
+        ).astype(np.int64) if len(cand) else counts
+        self._account_writes(counts, kernel_ops, upper)
+
+        # Keep output grouped by parent row (BFS order) regardless of which
+        # source column produced a candidate.
+        order = np.argsort(cand_row[mask], kind="stable")
+        table.append_column(cand[mask][order], cand_row[mask][order])
+        stats.rows_out = int(mask.sum())
+        self.platform.counters.add(st.EXTENSION_PASSES)
+        self.platform.counters.add(st.EMBEDDINGS_PRODUCED, stats.rows_out)
+        return stats
+
+    def _vertex_read_plan(
+        self,
+        table: EmbeddingTable,
+        mats: np.ndarray,
+        prefix_cols: list[int],
+        tail_col: int | None,
+    ) -> tuple[float, np.ndarray, int]:
+        """Traversal-op count and adjacency-read multiset for one vertex
+        extension, following the mode's actual algorithm:
+
+        * **pre-merge** (Fig. 8(b)): per *group* (= shared parent), read and
+          merge the prefix anchors' lists once into ``L_m``; per row, merge
+          ``N(tail)`` against ``L_m``.
+        * **naive** (Fig. 8(a)): per *row*, read and merge every anchor's
+          full list.
+
+        Returns ``(kernel_ops, read_vertex_multiset, num_groups)``.
+        """
+        n = len(mats)
+        depth = mats.shape[1]
+        anchor_cols = prefix_cols + ([tail_col] if tail_col is not None else [])
+        degrees = self.residence.degrees_of
+        grouped = self.pre_merge and tail_col is not None and prefix_cols
+        if not grouped:
+            vertices = mats[:, anchor_cols].ravel()
+            ops = float(degrees(vertices).sum())
+            return ops, vertices, n
+
+        parents = table.column_parents(table.depth - 1)
+        if depth > 1:
+            group_ids, first_rows = np.unique(parents, return_index=True)
+            group_mats = mats[first_rows]
+        else:  # pragma: no cover - prefix_cols empty at depth 1
+            group_ids = np.arange(n, dtype=np.int64)
+            group_mats = mats
+        prefix_vertices = group_mats[:, prefix_cols].ravel()
+        prefix_deg = degrees(prefix_vertices)
+        group_ops = float(prefix_deg.sum())
+
+        tail_vertices = mats[:, tail_col]
+        tail_deg = degrees(tail_vertices)
+        # |L_m| is bounded by the smallest prefix list in the group.
+        lm_bound = prefix_deg.reshape(len(group_mats), len(prefix_cols)).min(axis=1)
+        bound_by_parent = np.zeros(int(parents.max()) + 1 if len(parents) else 1)
+        bound_by_parent[group_ids] = lm_bound
+        row_ops = float(tail_deg.sum() + bound_by_parent[parents].sum())
+
+        vertices = np.concatenate([prefix_vertices, tail_vertices])
+        return group_ops + row_ops, vertices, len(group_ids)
+
+    # -- edge extension -----------------------------------------------------------
+    def extend_edges(self, table: EmbeddingTable) -> ExtensionStats:
+        """Extend every edge-oriented embedding by one adjacent edge
+        (Definition 3.1's ``Ext_e``): any edge incident to any embedding
+        vertex that is not already in the embedding."""
+        if table.kind != EDGE:
+            raise ExecutionError("extend_edges requires an edge table")
+        stats = ExtensionStats(rows_in=table.num_embeddings)
+        mats = table.materialize()
+        n, depth = (mats.shape if mats.size else (0, table.depth))
+        if n == 0:
+            table.append_column(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            )
+            return stats
+
+        # Embedding vertices: endpoints of every edge column, deduped per row.
+        flat_edges = mats.ravel()
+        src, dst = self.residence.endpoints_of(flat_edges)
+        verts = np.empty((n, 2 * depth), dtype=np.int64)
+        verts[:, 0::2] = src.reshape(n, depth)
+        verts[:, 1::2] = dst.reshape(n, depth)
+        verts_sorted = np.sort(verts, axis=1)
+        fresh = np.ones_like(verts_sorted, dtype=bool)
+        fresh[:, 1:] = verts_sorted[:, 1:] != verts_sorted[:, :-1]
+        row_of_vert = np.repeat(
+            np.arange(n, dtype=np.int64), fresh.sum(axis=1)
+        )
+        distinct_verts = verts_sorted[fresh]
+
+        # Traversal ops: one incident-list merge per (row, vertex).
+        incident_deg = self.residence.degrees_of(distinct_verts)
+        stats.kernel_ops = float(incident_deg.sum())
+        # Reads: pre-merge dedups lists shared across rows; naive re-reads.
+        if self.pre_merge:
+            read_vertices = np.unique(distinct_verts)
+            stats.groups = len(read_vertices)
+        else:
+            read_vertices = distinct_verts
+            stats.groups = n
+        stats.list_reads = len(read_vertices)
+        if self.planner is not None:
+            self.planner.plan_extension(read_vertices)
+        self._charge_list_reads("edge_slots", read_vertices)
+
+        # Candidate edges.
+        cand, lengths = self._incident_values(distinct_verts)
+        cand_row = np.repeat(row_of_vert, lengths)
+        stats.candidates = len(cand)
+
+        # Drop edges already in the embedding, then dedup within each row
+        # (an edge incident to two embedding vertices is generated twice).
+        mask = np.ones(len(cand), dtype=bool)
+        for col in range(depth):
+            mask &= cand != mats[cand_row, col]
+        key = cand_row * np.int64(self.graph.num_edges + 1) + cand
+        __, first_idx = np.unique(key, return_index=True)
+        keep = np.zeros(len(cand), dtype=bool)
+        keep[first_idx] = True
+        mask &= keep
+
+        counts = np.bincount(cand_row[mask], minlength=n).astype(np.int64)
+        stats.per_row_counts = counts
+        per_row_bound = np.bincount(row_of_vert, weights=incident_deg, minlength=n)
+        self._account_writes(counts, stats.kernel_ops, per_row_bound.astype(np.int64))
+        table.append_column(cand[mask], cand_row[mask])
+        stats.rows_out = int(mask.sum())
+        self.platform.counters.add(st.EXTENSION_PASSES)
+        self.platform.counters.add(st.EMBEDDINGS_PRODUCED, stats.rows_out)
+        return stats

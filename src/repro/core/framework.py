@@ -1,0 +1,351 @@
+"""GAMMA: the user-facing framework object (paper Fig. 3).
+
+:class:`Gamma` wires the whole stack for one data graph: the simulated
+platform, the hybrid graph residency with one access-heat planner per
+adjacency region, the result-buffer memory pool, the extension engine and
+the canonical encoder.  Its methods mirror the paper's user-visible
+interfaces — ``vertex_extension``, ``edge_extension``, ``aggregation``,
+``filtering``, ``output_results`` — so the algorithm drivers in
+:mod:`repro.algorithms` read like Algorithms 1 and 2.
+
+:class:`GammaConfig` exposes every design knob the evaluation ablates:
+write strategy (Fig. 17/18), pre-merge (Fig. 17/18), access mode (Fig. 20),
+sort method (Fig. 19), compaction (Fig. 10) and warp count (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..graph.canonical import QuickPatternEncoder
+from ..graph.csr import CSRGraph
+from ..gpusim.platform import GpuPlatform, make_platform
+from ..gpusim.spec import CostModel
+from .access_planner import ACCESS_MODES, HYBRID, AccessHeatPlanner
+from .aggregation import aggregate_edge_table, dedup_embeddings
+from .embedding_table import EDGE, VERTEX, EmbeddingTable
+from .extension import ExtensionEngine, ExtensionStats
+from .filtering import MinSupport, filter_by_support, filter_rows
+from .memory_pool import (
+    DEFAULT_BLOCK_BYTES,
+    DYNAMIC,
+    STRATEGIES,
+    MemoryPool,
+    make_write_strategy,
+)
+from .pattern_table import PatternTable
+from .residence import GammaResidence
+from .sort import DEFAULT_P_SIZE, MULTI_MERGE, SORT_METHODS
+from .spill import SpillPolicy, SpillStore
+
+
+@dataclass(frozen=True)
+class GammaConfig:
+    """Design knobs of the framework (defaults = the paper's GAMMA)."""
+
+    #: Active warps (Fig. 16 sweeps this); ``None`` = device default.
+    num_warps: Optional[int] = None
+    #: Device memory override in bytes (``None`` = scaled V100 default).
+    device_memory_bytes: Optional[int] = None
+    #: Host access strategy for the CSR: hybrid | unified | zerocopy (Fig. 20).
+    access_mode: str = HYBRID
+    #: Optimization 2 (Fig. 17/18 "pre-merge").
+    pre_merge: bool = True
+    #: Optimization 1 (Fig. 17/18 "dynamic-alloc"); dynamic | two_pass | prealloc.
+    write_strategy: str = DYNAMIC
+    #: Embedding-table compression after filtering (§V-A).
+    compaction: bool = True
+    #: Memory-pool block size (8 KB in the paper).
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+    #: Fraction of device memory for the result-buffer pool.
+    pool_fraction: float = 0.25
+    #: Fraction of device memory for each hybrid region's page buffer.
+    buffer_fraction: float = 0.2
+    #: Optimization 3 (Fig. 19): multi_merge | naive_merge | xtr2sort | cpu_sort.
+    sort_method: str = MULTI_MERGE
+    #: Checkpoint spacing for the multi-merge.
+    p_size: int = DEFAULT_P_SIZE
+    #: Device write buffer for extension results (§V-A).
+    write_buffer_bytes: int = 2 << 20
+    #: Extension tier beyond host memory: spill cold embedding-table
+    #: columns to disk (repro.core.spill) instead of dying with host OOM.
+    spill_to_disk: bool = False
+    #: Host bytes an embedding table may hold before spilling; ``None`` =
+    #: half the simulated host memory.
+    spill_budget_bytes: Optional[int] = None
+    #: Most recent columns kept resident when spilling.
+    spill_keep_columns: int = 2
+    #: Cost-model override (calibration experiments).
+    cost: Optional[CostModel] = None
+
+    def __post_init__(self) -> None:
+        if self.access_mode not in ACCESS_MODES:
+            raise ExecutionError(f"access_mode must be one of {ACCESS_MODES}")
+        if self.write_strategy not in STRATEGIES:
+            raise ExecutionError(f"write_strategy must be one of {STRATEGIES}")
+        if self.sort_method not in SORT_METHODS:
+            raise ExecutionError(f"sort_method must be one of {SORT_METHODS}")
+        if not 0 < self.pool_fraction < 1 or not 0 < self.buffer_fraction < 1:
+            raise ExecutionError("pool/buffer fractions must be in (0, 1)")
+
+    def variant(self, **changes) -> "GammaConfig":
+        """A copy with some knobs changed (ablation convenience)."""
+        return replace(self, **changes)
+
+
+class Gamma:
+    """The GAMMA framework bound to one data graph."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: GammaConfig | None = None,
+        platform: GpuPlatform | None = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config if config is not None else GammaConfig()
+        if platform is None:
+            platform = make_platform(
+                num_warps=self.config.num_warps,
+                device_memory_bytes=self.config.device_memory_bytes,
+                cost=self.config.cost,
+            )
+        self.platform = platform
+
+        page = platform.spec.page_size
+        buffer_pages = max(
+            1, int(platform.spec.device_memory_bytes * self.config.buffer_fraction) // page
+        )
+        self.residence = GammaResidence(platform, graph, buffer_pages)
+        self.planners = {
+            "neighbors": AccessHeatPlanner(
+                platform, self.residence.neighbors, graph.offsets,
+                mode=self.config.access_mode,
+            ),
+        }
+        pool_bytes = max(
+            self.config.block_bytes,
+            int(platform.spec.device_memory_bytes * self.config.pool_fraction),
+        )
+        self.pool = (
+            MemoryPool(platform, pool_bytes, self.config.block_bytes)
+            if self.config.write_strategy == DYNAMIC
+            else None
+        )
+        self._strategy = make_write_strategy(
+            self.config.write_strategy, platform, self.pool
+        )
+        self._vertex_engine = ExtensionEngine(
+            platform, self.residence, self._strategy,
+            pre_merge=self.config.pre_merge,
+            planner=self.planners["neighbors"],
+        )
+        # Built on first edge extension, so vertex-only workloads never map
+        # the edge-side CSR copies (see GammaResidence).
+        self._edge_engine_cache: ExtensionEngine | None = None
+        self.encoder = QuickPatternEncoder()
+        self._tables: list[EmbeddingTable] = []
+        self._spill_store: SpillStore | None = None
+        self._closed = False
+
+    # -- table construction (Fig. 3 data structures) -----------------------------
+    def _write_buffer_bytes(self) -> int:
+        """The configured ET write buffer, capped so small simulated devices
+        (memory-scaling experiments) still leave room for everything else."""
+        return min(
+            self.config.write_buffer_bytes,
+            self.platform.spec.device_memory_bytes // 8,
+        )
+
+    def _attach_spill(self, table: EmbeddingTable) -> None:
+        if not self.config.spill_to_disk:
+            return
+        if self._spill_store is None:
+            self._spill_store = SpillStore(self.platform)
+        budget = self.config.spill_budget_bytes
+        if budget is None:
+            budget = self.platform.spec.host_memory_bytes // 2
+        table.attach_spill(
+            self._spill_store,
+            SpillPolicy(budget, keep_columns=self.config.spill_keep_columns),
+        )
+
+    def new_vertex_table(self, name: str = "v-ET") -> EmbeddingTable:
+        table = EmbeddingTable(
+            self.platform, VERTEX, name,
+            write_buffer_bytes=self._write_buffer_bytes(),
+        )
+        self._attach_spill(table)
+        table.owner = self  # lets the Fig. 3 free functions find the engine
+        self._tables.append(table)
+        return table
+
+    def new_edge_table(self, name: str = "e-ET") -> EmbeddingTable:
+        table = EmbeddingTable(
+            self.platform, EDGE, name,
+            write_buffer_bytes=self._write_buffer_bytes(),
+        )
+        self._attach_spill(table)
+        table.owner = self
+        self._tables.append(table)
+        return table
+
+    @property
+    def _edge_engine(self) -> ExtensionEngine:
+        if self._edge_engine_cache is None:
+            planner = AccessHeatPlanner(
+                self.platform, self.residence.edge_slots, self.graph.offsets,
+                mode=self.config.access_mode,
+            )
+            self.planners["edge_slots"] = planner
+            self._edge_engine_cache = ExtensionEngine(
+                self.platform, self.residence, self._strategy,
+                pre_merge=self.config.pre_merge, planner=planner,
+            )
+        return self._edge_engine_cache
+
+    # -- the five user-visible interfaces (Fig. 3) ---------------------------------
+    def seed_vertices(self, table: EmbeddingTable, label: int | None = None):
+        return self._vertex_engine.seed_vertices(table, label)
+
+    def seed_edges(self, table: EmbeddingTable):
+        return self._edge_engine.seed_edges(table)
+
+    def vertex_extension(
+        self,
+        table: EmbeddingTable,
+        anchor_cols,
+        label: int | None = None,
+        greater_than_col: int | None = None,
+        greater_than_cols=(),
+        less_than_cols=(),
+        injective: bool = True,
+    ) -> ExtensionStats:
+        """``Vertex_Extension(ET, G_d)`` with extension-time pruning."""
+        return self._vertex_engine.extend_vertices(
+            table, anchor_cols, label=label,
+            greater_than_col=greater_than_col,
+            greater_than_cols=greater_than_cols,
+            less_than_cols=less_than_cols,
+            injective=injective,
+        )
+
+    def vertex_extension_any(
+        self,
+        table: EmbeddingTable,
+        anchor_cols,
+        label: int | None = None,
+        greater_than_col: int | None = None,
+        greater_than_cols=(),
+        less_than_cols=(),
+        injective: bool = True,
+    ) -> ExtensionStats:
+        """Union-neighborhood vertex extension (Definition 3.1's literal
+        ``N_v(M)``), used by connected-subgraph enumeration."""
+        return self._vertex_engine.extend_vertices_any(
+            table, anchor_cols, label=label,
+            greater_than_col=greater_than_col,
+            greater_than_cols=greater_than_cols,
+            less_than_cols=less_than_cols,
+            injective=injective,
+        )
+
+    def edge_extension(self, table: EmbeddingTable) -> ExtensionStats:
+        """``Edge_Extension(ET, G_d)``."""
+        return self._edge_engine.extend_edges(table)
+
+    def aggregation(
+        self,
+        table: EmbeddingTable,
+        pattern_table: PatternTable,
+        support_metric: str = "instances",
+    ) -> np.ndarray:
+        """``Aggregation(ET, m_f)`` with the canonical-label map function.
+        Returns per-row canonical codes; ``support_metric`` selects raw
+        instance frequency or MNI."""
+        return aggregate_edge_table(
+            self.platform, self.residence, table, self.encoder, pattern_table,
+            sort_method=self.config.sort_method, p_size=self.config.p_size,
+            support_metric=support_metric,
+        )
+
+    def filtering(
+        self,
+        table: EmbeddingTable,
+        keep_mask: np.ndarray | None = None,
+        pattern_table: PatternTable | None = None,
+        row_codes: np.ndarray | None = None,
+        constraint: MinSupport | None = None,
+    ) -> int:
+        """``Filtering(ET, PT, constraint)``: either a per-row mask or a
+        min-support constraint over a pattern table."""
+        if keep_mask is not None:
+            return filter_rows(table, keep_mask, compact=self.config.compaction)
+        if pattern_table is None or row_codes is None or constraint is None:
+            raise ExecutionError(
+                "support filtering needs pattern_table, row_codes and constraint"
+            )
+        return filter_by_support(
+            self.platform, table, row_codes, pattern_table, constraint,
+            compact=self.config.compaction,
+        )
+
+    def dedup(self, table: EmbeddingTable) -> int:
+        """Remove duplicate embeddings (same id set)."""
+        return dedup_embeddings(self.platform, table)
+
+    def output_results(
+        self,
+        table: EmbeddingTable | None = None,
+        pattern_table: PatternTable | None = None,
+    ):
+        """``output_results(ET, PT)``: materialize what the caller asked for."""
+        outputs = []
+        if table is not None:
+            outputs.append(table.materialize())
+        if pattern_table is not None:
+            outputs.append(pattern_table.as_dict())
+        if not outputs:
+            raise ExecutionError("nothing to output")
+        return outputs[0] if len(outputs) == 1 else tuple(outputs)
+
+    # -- bookkeeping ------------------------------------------------------------
+    @property
+    def simulated_seconds(self) -> float:
+        return self.platform.simulated_seconds
+
+    @property
+    def peak_device_bytes(self) -> int:
+        return self.platform.device.peak
+
+    @property
+    def peak_host_bytes(self) -> int:
+        return self.platform.host_peak
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Fig. 10's quantity: host + device peak."""
+        return self.peak_device_bytes + self.peak_host_bytes
+
+    def close(self) -> None:
+        """Release all platform resources (idempotent)."""
+        if self._closed:
+            return
+        for table in self._tables:
+            table.release()
+        if self.pool is not None:
+            self.pool.release()
+        if self._spill_store is not None:
+            self._spill_store.close()
+        self.residence.release()
+        self._closed = True
+
+    def __enter__(self) -> "Gamma":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,291 @@
+"""Out-of-core GPU sorting (Optimization 3, §V-B Challenge 3, Algorithm 3).
+
+``Aggregation`` sorts canonical pattern labels whose total size can exceed
+device memory.  GAMMA's answer is a two-phase external sort:
+
+1. **Segment phase** — partition the keys into segments that fit device
+   memory and sort each with the in-core GPU sort.
+2. **Multi-merge phase** — merge all sorted segments at once: per-segment
+   *checkpoints* every ``p_size`` elements are pooled into Ω; *matched
+   indices* (Def. 5.1, a binary search) split every segment at every
+   checkpoint, producing aligned subtasks of bounded size that merge
+   independently (one warp each).  Within a subtask, an element's final
+   position is its local index plus its matched index in every other list;
+   for the pair ``(j, k)`` with ``j < k`` only the ``S_j``-over-``S_k``
+   search runs — the reverse direction is recovered with the prefix-sum
+   trick of Fig. 9(c), halving the search work.
+
+The module also implements the comparators of Fig. 19 / Table III: the
+naive multi-merge (both search directions run), an ``xtr2sort``-style
+radix-partitioning external sort, and a CPU in-memory sort.  All four
+produce identical output and differ only in charged cost, which is what the
+figure compares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..gpusim import clock as clk
+from ..gpusim import stats as st
+from ..gpusim.platform import GpuPlatform
+
+MULTI_MERGE = "multi_merge"
+NAIVE_MERGE = "naive_merge"
+XTR2SORT = "xtr2sort"
+CPU_SORT = "cpu_sort"
+
+SORT_METHODS = (MULTI_MERGE, NAIVE_MERGE, XTR2SORT, CPU_SORT)
+
+#: Default checkpoint spacing (elements) for the merge phase.
+DEFAULT_P_SIZE = 1 << 14
+
+
+def _log2(n: int) -> float:
+    return float(np.log2(max(2, n)))
+
+
+def device_sort_segments(
+    platform: GpuPlatform, keys: np.ndarray, segment_len: int
+) -> list[np.ndarray]:
+    """Phase 1: split ``keys`` into device-sized segments, sort each on the
+    device, and write the sorted segments back to host memory."""
+    if segment_len <= 0:
+        raise ExecutionError("segment_len must be positive")
+    keys = np.asarray(keys)
+    segments = []
+    for start in range(0, len(keys), segment_len):
+        chunk = keys[start: start + segment_len]
+        # Stage the segment in, radix-sort it, stream it back out.
+        platform.pcie.explicit_copy(chunk.nbytes, to_device=True)
+        platform.kernel.launch(
+            "segment-sort",
+            element_ops=len(chunk) * _log2(len(chunk)),
+            device_bytes=2 * chunk.nbytes,
+        )
+        platform.pcie.writeback(chunk.nbytes)
+        segments.append(np.sort(chunk))
+    platform.counters.add(st.SORT_ELEMENTS, len(keys))
+    return segments
+
+
+def _collect_checkpoints(segments: list[np.ndarray], p_size: int) -> np.ndarray:
+    """Ω: the pooled checkpoint values of all segments (sorted, unique)."""
+    points = [seg[p_size::p_size] for seg in segments if len(seg) > p_size]
+    if not points:
+        return np.empty(0, dtype=segments[0].dtype if segments else np.int64)
+    return np.unique(np.concatenate(points))
+
+
+def _subtask_boundaries(
+    segments: list[np.ndarray], omega: np.ndarray
+) -> list[np.ndarray]:
+    """Matched indices of every checkpoint in every segment -> per-segment
+    split boundaries ``[0, d_1, ..., |S_i|]`` (Def. 5.1 is ``searchsorted``
+    with side='left')."""
+    bounds = []
+    for seg in segments:
+        inner = np.searchsorted(seg, omega, side="left")
+        bounds.append(np.concatenate([[0], inner, [len(seg)]]).astype(np.int64))
+    return bounds
+
+
+def _merge_subtask(
+    platform: GpuPlatform,
+    lists: list[np.ndarray],
+    out: np.ndarray,
+    offset: int,
+    skip_reverse_search: bool,
+) -> None:
+    """Merge aligned short lists into ``out[offset:...]`` via matched-index
+    positioning.  ``skip_reverse_search=False`` is the naive variant that
+    searches both directions of every pair."""
+    lists = [lst for lst in lists if len(lst)]
+    if not lists:
+        return
+    positions = [np.arange(len(lst), dtype=np.int64) for lst in lists]
+    search_ops = 0.0
+    for j in range(len(lists)):
+        for k in range(j + 1, len(lists)):
+            s_j, s_k = lists[j], lists[k]
+            # Matched index of each S_j element over S_k (ties: j first).
+            idx_jk = np.searchsorted(s_k, s_j, side="left")
+            positions[j] += idx_jk
+            step_cost = platform.cost.search_step_ops
+            search_ops += len(s_j) * _log2(len(s_k)) * step_cost
+            if skip_reverse_search:
+                # Fig. 9(c): recover S_k's offsets over S_j with a
+                # prefix-sum over the matched-index histogram.
+                counts = np.bincount(idx_jk, minlength=len(s_k) + 1)
+                positions[k] += np.cumsum(counts)[: len(s_k)]
+                search_ops += len(s_k)  # prefix-sum pass
+            else:
+                idx_kj = np.searchsorted(s_j, s_k, side="right")
+                positions[k] += idx_kj
+                search_ops += len(s_k) * _log2(len(s_j)) * step_cost
+    total = sum(len(lst) for lst in lists)
+    for lst, pos in zip(lists, positions):
+        out[offset + pos] = lst
+    platform.kernel.launch(
+        "multi-merge:subtask",
+        element_ops=search_ops + total,
+        device_bytes=total * out.dtype.itemsize * 2,
+    )
+
+
+def multi_merge(
+    platform: GpuPlatform,
+    segments: list[np.ndarray],
+    p_size: int = DEFAULT_P_SIZE,
+    skip_reverse_search: bool = True,
+) -> np.ndarray:
+    """Phase 2 (Algorithm 3): merge sorted segments into one sorted array."""
+    segments = [np.asarray(seg) for seg in segments]
+    for seg in segments:
+        # Direct comparison, not np.diff: differences of extreme int64
+        # values overflow and would flag a sorted segment as unsorted.
+        if len(seg) > 1 and (seg[1:] < seg[:-1]).any():
+            raise ExecutionError("multi_merge requires sorted segments")
+    total = sum(len(seg) for seg in segments)
+    if total == 0:
+        return np.empty(0, dtype=segments[0].dtype if segments else np.int64)
+    if p_size <= 0:
+        raise ExecutionError("p_size must be positive")
+
+    omega = _collect_checkpoints(segments, p_size)
+    # Matched indices of all checkpoints over all segments (parallel binary
+    # searches on the device).
+    search_ops = sum(
+        len(omega) * _log2(len(seg)) * platform.cost.search_step_ops
+        for seg in segments
+    )
+    platform.kernel.launch("multi-merge:split", element_ops=search_ops)
+    bounds = _subtask_boundaries(segments, omega)
+
+    out = np.empty(total, dtype=segments[0].dtype)
+    n_subtasks = len(omega) + 1
+    offset = 0
+    for task in range(n_subtasks):
+        lists = [
+            seg[b[task]: b[task + 1]] for seg, b in zip(segments, bounds)
+        ]
+        task_total = sum(len(lst) for lst in lists)
+        # Stream the subtask's data through the device.
+        platform.pcie.explicit_copy(task_total * out.dtype.itemsize, to_device=True)
+        _merge_subtask(platform, lists, out, offset, skip_reverse_search)
+        platform.pcie.writeback(task_total * out.dtype.itemsize)
+        offset += task_total
+    return out
+
+
+def out_of_core_sort(
+    platform: GpuPlatform,
+    keys: np.ndarray,
+    method: str = MULTI_MERGE,
+    segment_len: int | None = None,
+    p_size: int = DEFAULT_P_SIZE,
+) -> np.ndarray:
+    """Sort ``keys`` (host-resident, possibly exceeding device memory).
+
+    ``method`` selects GAMMA's optimized multi-merge, the naive multi-merge,
+    the xtr2sort-style radix partitioner, or a CPU sort (Table III).
+    """
+    keys = np.asarray(keys)
+    if method not in SORT_METHODS:
+        raise ExecutionError(f"unknown sort method {method!r}; use {SORT_METHODS}")
+    if method == CPU_SORT:
+        # A single-threaded comparison sort on the host (Table III's
+        # CPU baseline): n log n ops at one core's effective rate.
+        ops = len(keys) * _log2(len(keys))
+        platform.clock.advance(clk.CPU_COMPUTE, ops / platform.cost.cpu_ops_per_thread)
+        platform.counters.add(st.CPU_OPS, int(ops))
+        platform.counters.add(st.SORT_ELEMENTS, len(keys))
+        return np.sort(keys)
+    if segment_len is None:
+        # Half the *free* device memory for keys, leaving room for the
+        # in-core sort's double buffer.
+        free = max(platform.device.available, 2 * keys.dtype.itemsize)
+        segment_len = max(1, free // (2 * keys.dtype.itemsize))
+    if method == XTR2SORT:
+        return _xtr2sort(platform, keys, segment_len)
+    segments = device_sort_segments(platform, keys, segment_len)
+    if len(segments) == 1:
+        return segments[0]
+    return multi_merge(
+        platform, segments, p_size,
+        skip_reverse_search=(method == MULTI_MERGE),
+    )
+
+
+def _xtr2sort(
+    platform: GpuPlatform, keys: np.ndarray, segment_len: int
+) -> np.ndarray:
+    """xtr2sort-style external sort: radix-partition the keys into
+    device-sized buckets on the host (two extra full passes over the data),
+    then sort each bucket in-core.
+
+    This is the [29]/[30] style of out-of-core GPU sort the paper compares
+    against: correct, but its partitioning passes do not overlap and the
+    bucket scatter is random-access on the host."""
+    keys = np.asarray(keys)
+    if len(keys) == 0:
+        return keys.copy()
+    n_buckets = max(1, -(-len(keys) // segment_len))
+    # Pass 1: histogram/sample pass to find splitters (full read).
+    platform.pcie.explicit_copy(keys.nbytes, to_device=True)
+    platform.kernel.launch("xtr2sort:histogram", element_ops=len(keys))
+    quantiles = np.linspace(0, 1, n_buckets + 1)[1:-1]
+    sample = np.sort(keys[:: max(1, len(keys) // 4096)])
+    splitters = sample[(quantiles * (len(sample) - 1)).astype(np.int64)]
+    # Pass 2: scatter into host-side buckets.  The reorganization is a
+    # random-access pass over host memory (this is what "do not fully
+    # utilize GPU parallelism" costs the [29]/[30] designs).
+    platform.clock.advance(
+        clk.HOST_PREP, 2 * keys.nbytes / platform.cost.host_scatter_bandwidth
+    )
+    platform.kernel.launch("xtr2sort:scatter", element_ops=2 * len(keys))
+    bucket_of = np.searchsorted(splitters, keys, side="right")
+    order = np.argsort(bucket_of, kind="stable")
+    scattered = keys[order]
+    bucket_sizes = np.bincount(bucket_of, minlength=n_buckets)
+    # Pass 3: in-core sort per bucket.  Skewed buckets can exceed the
+    # segment length; they fall back to a (charged) recursive split.
+    out = np.empty_like(keys)
+    offset = 0
+    for size in bucket_sizes:
+        size = int(size)
+        if size == 0:
+            continue
+        chunk = scattered[offset: offset + size]
+        passes = max(1, -(-size // segment_len))
+        platform.pcie.explicit_copy(chunk.nbytes * passes, to_device=True)
+        platform.kernel.launch(
+            "xtr2sort:bucket-sort",
+            element_ops=size * _log2(size) * passes,
+            device_bytes=2 * chunk.nbytes,
+        )
+        platform.pcie.writeback(chunk.nbytes)
+        out[offset: offset + size] = np.sort(chunk)
+        offset += size
+    platform.counters.add(st.SORT_ELEMENTS, len(keys))
+    return out
+
+
+def sort_and_count(
+    platform: GpuPlatform,
+    keys: np.ndarray,
+    method: str = MULTI_MERGE,
+    segment_len: int | None = None,
+    p_size: int = DEFAULT_P_SIZE,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort keys out-of-core, then run-length encode: the aggregation
+    primitive's grouping step.  Returns ``(unique_keys, counts)``."""
+    ordered = out_of_core_sort(platform, keys, method, segment_len, p_size)
+    platform.kernel.launch("run-length", element_ops=len(ordered))
+    if len(ordered) == 0:
+        return ordered, np.empty(0, dtype=np.int64)
+    boundaries = np.flatnonzero(np.diff(ordered)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [len(ordered)]])
+    return ordered[starts], (ends - starts).astype(np.int64)

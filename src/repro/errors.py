@@ -1,0 +1,59 @@
+"""Exception hierarchy for the GAMMA reproduction.
+
+Every error raised by this package derives from :class:`GammaError` so callers
+can catch framework failures without masking programming errors.  The
+out-of-memory errors double as the paper's "crash" cells: in-core baselines
+(Pangolin-GPU, GSI) abort with :class:`DeviceOutOfMemory` on graphs whose
+intermediate results exceed device memory, which the benchmark harness reports
+the same way Figs. 11/12/14 report crashed runs.
+"""
+
+from __future__ import annotations
+
+
+class GammaError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DeviceOutOfMemory(GammaError):
+    """Raised when a device-memory allocation exceeds remaining capacity.
+
+    Mirrors a CUDA ``cudaErrorMemoryAllocation``: in-core engines die with
+    this, while GAMMA avoids it by keeping large structures in host memory.
+    """
+
+    def __init__(self, requested: int, available: int, tag: str = "") -> None:
+        self.requested = requested
+        self.available = available
+        self.tag = tag
+        suffix = f" for {tag!r}" if tag else ""
+        super().__init__(
+            f"device OOM{suffix}: requested {requested} bytes, "
+            f"{available} available"
+        )
+
+
+class HostOutOfMemory(GammaError):
+    """Raised when registered host regions exceed the simulated host budget."""
+
+    def __init__(self, requested: int, available: int, tag: str = "") -> None:
+        self.requested = requested
+        self.available = available
+        self.tag = tag
+        suffix = f" for {tag!r}" if tag else ""
+        super().__init__(
+            f"host OOM{suffix}: requested {requested} bytes, "
+            f"{available} available"
+        )
+
+
+class InvalidGraphError(GammaError):
+    """Raised for malformed graph inputs (bad CSR, negative IDs, ...)."""
+
+
+class InvalidPatternError(GammaError):
+    """Raised for malformed query patterns (disconnected, empty, ...)."""
+
+
+class ExecutionError(GammaError):
+    """Raised when a primitive is invoked in an invalid engine state."""

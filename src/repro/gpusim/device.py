@@ -1,0 +1,100 @@
+"""Device-memory allocator.
+
+A strict, capacity-limited bump-style allocator over the simulated device
+memory.  It tracks live and peak usage per tag, and raises
+:class:`~repro.errors.DeviceOutOfMemory` when capacity is exceeded — this is
+the mechanism by which in-core baselines "crash on some of the datasets"
+(paper Figs. 11/12/14), while GAMMA sidesteps it by keeping the graph and the
+embedding table in host memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import DeviceOutOfMemory
+
+
+class DeviceAllocation:
+    """A live device-memory allocation; free via :meth:`DeviceMemory.free`."""
+
+    __slots__ = ("nbytes", "tag", "_live")
+
+    def __init__(self, nbytes: int, tag: str) -> None:
+        self.nbytes = nbytes
+        self.tag = tag
+        self._live = True
+
+    @property
+    def live(self) -> bool:
+        return self._live
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self._live else "freed"
+        return f"DeviceAllocation({self.nbytes} B, tag={self.tag!r}, {state})"
+
+
+class DeviceMemory:
+    """Capacity-limited device-memory book-keeping."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("device capacity must be positive")
+        self.capacity = int(capacity)
+        self._used = 0
+        self._peak = 0
+        self._peak_by_tag: Dict[str, int] = {}
+        self._used_by_tag: Dict[str, int] = {}
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return self._used
+
+    @property
+    def available(self) -> int:
+        """Bytes still allocatable."""
+        return self.capacity - self._used
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of allocated bytes."""
+        return self._peak
+
+    def peak_for(self, tag: str) -> int:
+        """High-water mark for one allocation tag."""
+        return self._peak_by_tag.get(tag, 0)
+
+    def allocate(self, nbytes: int, tag: str = "") -> DeviceAllocation:
+        """Reserve ``nbytes``; raises :class:`DeviceOutOfMemory` on overflow."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be >= 0")
+        if nbytes > self.available:
+            raise DeviceOutOfMemory(nbytes, self.available, tag)
+        self._used += nbytes
+        self._peak = max(self._peak, self._used)
+        tag_used = self._used_by_tag.get(tag, 0) + nbytes
+        self._used_by_tag[tag] = tag_used
+        self._peak_by_tag[tag] = max(self._peak_by_tag.get(tag, 0), tag_used)
+        return DeviceAllocation(nbytes, tag)
+
+    def free(self, allocation: DeviceAllocation) -> None:
+        """Release a live allocation (double-free raises)."""
+        if not allocation.live:
+            raise ValueError(f"double free of {allocation!r}")
+        allocation._live = False
+        self._used -= allocation.nbytes
+        self._used_by_tag[allocation.tag] -= allocation.nbytes
+
+    def try_allocate(self, nbytes: int, tag: str = "") -> DeviceAllocation | None:
+        """Like :meth:`allocate` but returns ``None`` instead of raising."""
+        try:
+            return self.allocate(nbytes, tag)
+        except DeviceOutOfMemory:
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeviceMemory(used={self._used}/{self.capacity}, "
+            f"peak={self._peak})"
+        )

@@ -1,0 +1,159 @@
+"""GAMMA's hybrid host-memory access (paper §IV).
+
+The data graph's CSR is duplicated in host memory — one copy mapped as
+unified memory, one as zero-copy — and a per-page mode map decides which
+copy serves each page.  The access-heat planner
+(:mod:`repro.core.access_planner`) recomputes the mode map before every
+extension: the hottest ``N_u`` pages go to unified memory (buffered on the
+device), everything else goes to zero-copy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from . import clock as clk
+from . import stats as st
+from .regions import HostRegion, expand_ranges, range_lengths_in_units
+from .unified import PageBuffer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .platform import GpuPlatform
+
+
+class HybridRegion(HostRegion):
+    """A host array with per-page unified/zero-copy access selection.
+
+    ``duplication = 2`` reflects the paper's CSR duplication in both host
+    mappings ("Graph duplication is not a big issue considering the host
+    memory capacity", §IV).
+    """
+
+    duplication = 2
+
+    def __init__(
+        self,
+        name: str,
+        array: np.ndarray,
+        platform: "GpuPlatform",
+        buffer_pages: int,
+    ) -> None:
+        super().__init__(name, array, platform)
+        page = platform.spec.page_size
+        self.total_pages = max(1, -(-array.nbytes // page))
+        buffer_pages = min(buffer_pages, self.total_pages)
+        self._buffer_alloc = platform.device.allocate(
+            buffer_pages * page, f"{name}:page-buffer"
+        )
+        self.buffer = PageBuffer(buffer_pages, self.total_pages)
+        # Default: everything through zero-copy until the planner learns heat.
+        self._unified_mask = np.zeros(self.total_pages, dtype=bool)
+
+    @property
+    def buffer_capacity_pages(self) -> int:
+        """Maximum number of pages the planner may route to unified memory."""
+        return self.buffer.capacity
+
+    @property
+    def unified_pages(self) -> np.ndarray:
+        """Page ids currently routed through unified memory."""
+        return np.flatnonzero(self._unified_mask)
+
+    def set_unified_pages(self, pages: np.ndarray) -> None:
+        """Route exactly ``pages`` through unified memory (rest zero-copy).
+
+        Pages that leave the unified set are dropped from the device buffer:
+        their buffered copies are stale capacity once the planner demotes
+        them.
+
+        The unified set may exceed the device buffer capacity (the
+        unified-only baseline of Fig. 20 routes *every* page here); residency
+        is still bounded by the buffer, so oversubscription shows up as LRU
+        thrashing rather than an error — exactly the pathology the paper's
+        hybrid strategy avoids.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        new_mask = np.zeros(self.total_pages, dtype=bool)
+        new_mask[pages] = True
+        demoted = np.flatnonzero(self._unified_mask & ~new_mask)
+        self.buffer.drop(demoted)
+        self._unified_mask = new_mask
+
+    def _charge_elements(self, indices: np.ndarray) -> None:
+        platform = self._platform
+        if len(indices) == 0:
+            return
+        page_size = platform.spec.page_size
+        byte_pos = np.asarray(indices, dtype=np.int64) * self._itemsize
+        pages = byte_pos // page_size
+        is_unified = self._unified_mask[pages]
+
+        # Unified side: page-granular faults/hits + device-bandwidth reads.
+        uni_pages = np.unique(pages[is_unified])
+        if len(uni_pages):
+            hits, misses = self.buffer.access(uni_pages)
+            platform.counters.add(st.PAGE_HITS, hits)
+            platform.pcie.migrate_pages(misses)
+            nbytes = int(is_unified.sum()) * self._itemsize
+            platform.clock.advance(
+                clk.DEVICE_MEM, nbytes / platform.cost.device_bandwidth
+            )
+            platform.counters.add(st.BYTES_DEVICE, nbytes)
+
+        # Zero-copy side: one transaction per distinct 128 B line.
+        zc_bytes = byte_pos[~is_unified]
+        if len(zc_bytes):
+            lines = np.unique(zc_bytes // platform.spec.zerocopy_line)
+            platform.pcie.zerocopy_transactions(len(lines))
+
+    def _charge_ranges(
+        self, starts: np.ndarray, ends: np.ndarray, flat: np.ndarray
+    ) -> None:
+        """Range reads with per-list access-mode routing.
+
+        Each adjacency list is served by the mode of its first page (hot
+        lists occupy whole hot pages, so mixed-mode lists are rare).
+        Unified lists dedup through the page buffer; zero-copy lists pay one
+        transaction per 128 B line per read, with no cross-read caching.
+        """
+        platform = self._platform
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        live = ends > starts
+        if not live.any():
+            return
+        s, e = starts[live], ends[live]
+        page_size = platform.spec.page_size
+        first_page = (s * self._itemsize) // page_size
+        is_unified = self._unified_mask[first_page]
+
+        if is_unified.any():
+            su, eu = s[is_unified], e[is_unified]
+            last_page = (eu * self._itemsize - 1) // page_size
+            first_u = (su * self._itemsize) // page_size
+            # Enumerate the page span of each unified range, then dedup
+            # through the buffer.
+            pages = np.unique(expand_ranges(first_u, last_page + 1))
+            hits, misses = self.buffer.access(pages)
+            platform.counters.add(st.PAGE_HITS, hits)
+            platform.pcie.migrate_pages(misses)
+            nbytes = int((eu - su).sum()) * self._itemsize
+            platform.clock.advance(
+                clk.DEVICE_MEM, nbytes / platform.cost.device_bandwidth
+            )
+            platform.counters.add(st.BYTES_DEVICE, nbytes)
+
+        if (~is_unified).any():
+            sz, ez = s[~is_unified], e[~is_unified]
+            nlines = int(
+                range_lengths_in_units(
+                    sz, ez, self._itemsize, platform.spec.zerocopy_line
+                ).sum()
+            )
+            platform.pcie.zerocopy_transactions(nlines)
+
+    def release(self) -> None:
+        self._platform.device.free(self._buffer_alloc)
+        super().release()

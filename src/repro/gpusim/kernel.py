@@ -1,0 +1,99 @@
+"""Kernel launch accounting and CPU execution cost.
+
+Engines perform their real work in vectorized NumPy and report the amount of
+logical device work (element ops, device bytes) to :class:`KernelLauncher`,
+which converts it into simulated time.  CPU baselines report work to
+:class:`CpuExecutor` instead.  The two share one clock, so GPU and CPU
+systems can be compared on the same simulated timeline.
+"""
+
+from __future__ import annotations
+
+from . import clock as clk
+from . import stats as st
+from .clock import SimClock
+from .spec import CostModel, DeviceSpec
+from .stats import Counters
+
+
+class KernelLauncher:
+    """Charges simulated time for device kernels."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        cost: CostModel,
+        clock: SimClock,
+        counters: Counters,
+        num_warps: int | None = None,
+    ) -> None:
+        self._spec = spec
+        self._cost = cost
+        self._clock = clock
+        self._counters = counters
+        #: Active warp count; Fig. 16's warp-scaling sweep overrides this.
+        self.num_warps = num_warps if num_warps is not None else spec.active_warps
+
+    @property
+    def ops_per_second(self) -> float:
+        lanes = self.num_warps * self._spec.warp_size
+        return lanes * self._spec.clock_hz * self._cost.gpu_ipc
+
+    def launch(
+        self,
+        name: str,
+        element_ops: float = 0.0,
+        device_bytes: float = 0.0,
+        serial_steps: float = 0.0,
+    ) -> None:
+        """Record one kernel execution.
+
+        ``element_ops`` is work divisible across all lanes; ``serial_steps``
+        is per-warp serial work (e.g. a loop every warp runs in full) charged
+        at single-lane throughput; ``device_bytes`` is device-memory traffic.
+        """
+        if min(element_ops, device_bytes, serial_steps) < 0:
+            raise ValueError("kernel work quantities must be >= 0")
+        self._clock.advance(clk.KERNEL_LAUNCH, self._cost.kernel_launch_overhead)
+        self._counters.add(st.KERNEL_LAUNCHES)
+        if element_ops:
+            self._clock.advance(clk.COMPUTE, element_ops / self.ops_per_second)
+            self._counters.add(st.ELEMENT_OPS, int(element_ops))
+        if serial_steps:
+            lane_rate = self._spec.clock_hz * self._cost.gpu_serial_ipc
+            self._clock.advance(clk.COMPUTE, serial_steps / lane_rate)
+        if device_bytes:
+            self._clock.advance(
+                clk.DEVICE_MEM, device_bytes / self._cost.device_bandwidth
+            )
+            self._counters.add(st.BYTES_DEVICE, int(device_bytes))
+
+
+class CpuExecutor:
+    """Charges simulated time for host-CPU work (baseline systems)."""
+
+    def __init__(
+        self,
+        cost: CostModel,
+        clock: SimClock,
+        counters: Counters,
+        threads: int = 1,
+    ) -> None:
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        self._cost = cost
+        self._clock = clock
+        self._counters = counters
+        self.threads = threads
+
+    @property
+    def ops_per_second(self) -> float:
+        return self._cost.cpu_ops_per_second(self.threads)
+
+    def work(self, element_ops: float) -> None:
+        """Record ``element_ops`` of parallelizable CPU work."""
+        if element_ops < 0:
+            raise ValueError("element_ops must be >= 0")
+        if element_ops:
+            self._clock.advance(clk.CPU_COMPUTE, element_ops / self.ops_per_second)
+            self._counters.add(st.CPU_OPS, int(element_ops))

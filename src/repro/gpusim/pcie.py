@@ -1,0 +1,97 @@
+"""PCIe bus model.
+
+All host<->device traffic flows through one :class:`PcieBus`: explicit bulk
+copies (used by in-core baselines to stage graphs), unified-memory page
+migrations, and zero-copy 128 B transactions.  The bus charges simulated time
+to the clock and records byte counters, so benchmarks can attribute the cost
+of each access strategy (paper §II-B, §VI-F).
+"""
+
+from __future__ import annotations
+
+from . import clock as clk
+from . import stats as st
+from .clock import SimClock
+from .spec import CostModel, DeviceSpec
+from .stats import Counters
+
+
+class PcieBus:
+    """Simulated PCIe link between host and device memory."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        cost: CostModel,
+        clock: SimClock,
+        counters: Counters,
+    ) -> None:
+        self._spec = spec
+        self._cost = cost
+        self._clock = clock
+        self._counters = counters
+
+    def explicit_copy(self, nbytes: int, to_device: bool = True) -> None:
+        """Bulk ``cudaMemcpy``-style transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if nbytes == 0:
+            return
+        self._clock.advance(clk.PCIE_EXPLICIT, nbytes / self._cost.pcie_bandwidth)
+        key = st.BYTES_H2D if to_device else st.BYTES_D2H
+        self._counters.add(key, nbytes)
+
+    def migrate_pages(self, npages: int) -> None:
+        """Unified-memory page migration: fault handling + 4 KB transfers."""
+        if npages < 0:
+            raise ValueError("npages must be >= 0")
+        if npages == 0:
+            return
+        nbytes = npages * self._spec.page_size
+        self._clock.advance(clk.PAGE_FAULT, npages * self._cost.page_fault_overhead)
+        self._clock.advance(clk.PCIE_UNIFIED, nbytes / self._cost.pcie_bandwidth)
+        self._counters.add(st.PAGE_FAULTS, npages)
+        self._counters.add(st.BYTES_H2D, nbytes)
+
+    def bulk_unified(self, nbytes: int, prefetch_pages: int = 16) -> None:
+        """Sequential unified-memory streaming (e.g. embedding-table columns).
+
+        Sequential access lets the driver prefetch runs of pages, so the
+        per-page fault overhead is paid once per ``prefetch_pages`` pages
+        instead of per page ("the access to the embedding table is
+        concentrated and continuous", paper §V-A).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if nbytes == 0:
+            return
+        npages = -(-nbytes // self._spec.page_size)
+        nfaults = -(-npages // max(1, prefetch_pages))
+        self._clock.advance(clk.PAGE_FAULT, nfaults * self._cost.page_fault_overhead)
+        self._clock.advance(clk.PCIE_UNIFIED, nbytes / self._cost.pcie_bandwidth)
+        self._counters.add(st.PAGE_FAULTS, nfaults)
+        self._counters.add(st.BYTES_H2D, nbytes)
+
+    def zerocopy_transactions(self, nlines: int) -> None:
+        """``nlines`` scattered 128 B zero-copy reads over the bus."""
+        if nlines < 0:
+            raise ValueError("nlines must be >= 0")
+        if nlines == 0:
+            return
+        nbytes = nlines * self._spec.zerocopy_line
+        seconds = (
+            nbytes / self._cost.zerocopy_bandwidth
+            + nlines * self._cost.zerocopy_latency
+        )
+        self._clock.advance(clk.PCIE_ZEROCOPY, seconds)
+        self._counters.add(st.ZC_TRANSACTIONS, nlines)
+        self._counters.add(st.BYTES_H2D, nbytes)
+
+    def writeback(self, nbytes: int) -> None:
+        """Device-buffer flush back to host memory (ET write buffer, §V-A)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if nbytes == 0:
+            return
+        self._clock.advance(clk.PCIE_EXPLICIT, nbytes / self._cost.pcie_bandwidth)
+        self._counters.add(st.BYTES_D2H, nbytes)

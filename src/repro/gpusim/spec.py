@@ -1,0 +1,123 @@
+"""Hardware specification and cost model for the simulated GPU platform.
+
+The reproduction has no physical GPU, so GAMMA runs on a deterministic
+cost-model simulator (see DESIGN.md §2).  :class:`DeviceSpec` describes the
+simulated device — a Tesla V100 scaled down ~1000x in memory capacity so the
+paper's in-core/out-of-core crossover appears at laptop-scale graphs — and
+:class:`CostModel` holds the rates used to convert counted events (element
+ops, PCIe transactions, page faults) into simulated seconds.
+
+All values are plain data; the simulator never reads wall-clock time, so runs
+are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Scale factor applied to the paper's memory capacities (16 GB -> 16 MiB).
+MEMORY_SCALE = 1024
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of the simulated device and host.
+
+    Defaults model the paper's testbed (Tesla V100 16 GB, 380 GB host,
+    PCIe 3.0 x16) with memory capacities divided by :data:`MEMORY_SCALE`.
+    """
+
+    name: str = "V100-sim"
+    #: SIMT width of one warp.
+    warp_size: int = 32
+    #: Number of warps the scheduler keeps active ("hundreds of active
+    #: warps" per the paper's Optimization 1 discussion).
+    active_warps: int = 160
+    #: Core clock in Hz.
+    clock_hz: float = 1.38e9
+    #: Device (global) memory capacity in bytes, scaled down.
+    device_memory_bytes: int = 16 * GIB // MEMORY_SCALE
+    #: Host memory capacity in bytes, scaled down (380 GB -> 380 MiB).
+    host_memory_bytes: int = 380 * GIB // MEMORY_SCALE
+    #: On-chip shared memory per thread block (48 KB per the paper §II-A).
+    shared_memory_bytes: int = 48 * KIB
+    #: Unified-memory page size (4 KB per §II-B).
+    page_size: int = 4 * KIB
+    #: Zero-copy transaction size (128 B per §II-B).
+    zerocopy_line: int = 128
+
+    def scaled(self, memory_scale: int) -> "DeviceSpec":
+        """Return a copy with device/host memory re-scaled from the paper's
+        16 GB / 380 GB by ``memory_scale``."""
+        return replace(
+            self,
+            device_memory_bytes=16 * GIB // memory_scale,
+            host_memory_bytes=380 * GIB // memory_scale,
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Rates converting counted simulator events into simulated seconds.
+
+    The absolute values are calibrated so the *shapes* of the paper's
+    figures hold (who wins, crossover points); see DESIGN.md §5.
+    """
+
+    #: Effective device-memory bandwidth (V100 HBM2: ~900 GB/s).
+    device_bandwidth: float = 900e9
+    #: Effective PCIe bandwidth for bulk/page transfers (~12 GB/s).
+    pcie_bandwidth: float = 12e9
+    #: Effective PCIe bandwidth for scattered zero-copy transactions.
+    #: Random 128 B requests achieve less than bulk bandwidth.
+    zerocopy_bandwidth: float = 6e9
+    #: Fixed per-transaction latency share after overlap across warps.
+    zerocopy_latency: float = 40e-9
+    #: Page-fault handling overhead per faulting page, after the GPU's
+    #: fault coalescing overlaps faults across warps.
+    page_fault_overhead: float = 2e-6
+    #: Fraction of peak issue rate that irregular GPM kernels achieve
+    #: (memory-latency-bound workloads are far from peak IPC).
+    gpu_ipc: float = 0.004
+    #: Effective element-ops per binary-search step: each step is a
+    #: dependent, random device-memory access, far costlier than an ALU op.
+    search_step_ops: float = 2.0
+    #: Host-side random scatter bandwidth (xtr2sort's bucket reorganization
+    #: happens on the CPU; random writes achieve a fraction of memcpy).
+    host_scatter_bandwidth: float = 1.8e9
+    #: Fixed cost of one kernel launch.
+    kernel_launch_overhead: float = 5e-6
+    #: Issue-rate fraction for *serialized* per-warp steps (atomics through
+    #: the memory-pool scheduler); far better than divergent traversal IPC.
+    gpu_serial_ipc: float = 0.25
+    #: Effective ops/s of one CPU thread on pointer-chasing GPM work.
+    cpu_ops_per_thread: float = 60e6
+    #: Threads used by multi-core CPU baselines (paper testbed: 32 cores).
+    cpu_threads: int = 32
+    #: Bandwidth at which host memory can be registered/pinned for
+    #: unified/zero-copy use ("preparation of host memory usage", §VI-C).
+    host_register_bandwidth: float = 8e9
+    #: Fixed setup cost for mapping host memory into the device address
+    #: space (context + driver work).  Dominates on tiny graphs (EA/ER),
+    #: which is why GAMMA loses to in-core systems there (Fig. 11).
+    host_register_fixed: float = 100e-6
+
+    def gpu_ops_per_second(self, spec: DeviceSpec) -> float:
+        """Aggregate simulated device throughput in element-ops/second."""
+        lanes = spec.active_warps * spec.warp_size
+        return lanes * spec.clock_hz * self.gpu_ipc
+
+    def cpu_ops_per_second(self, threads: int | None = None) -> float:
+        """Aggregate CPU throughput for ``threads`` threads (default all)."""
+        if threads is None:
+            threads = self.cpu_threads
+        return self.cpu_ops_per_thread * max(1, threads)
+
+
+#: Default spec/cost-model instances shared by the convenience constructors.
+DEFAULT_SPEC = DeviceSpec()
+DEFAULT_COST = CostModel()

@@ -1,0 +1,65 @@
+"""Event counters for the simulated platform.
+
+Counters are the simulator's ground truth: memory regions count transactions
+and page faults, the kernel launcher counts element ops, and the cost model
+converts those into simulated time.  Benchmarks also report raw counters
+(e.g. bytes over PCIe) because they explain *why* one configuration beats
+another — the same style of analysis the paper uses for its hybrid-access
+evaluation (§VI-F).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator
+
+#: Canonical counter names.
+PAGE_FAULTS = "page_faults"
+PAGE_HITS = "page_hits"
+PAGES_EVICTED = "pages_evicted"
+ZC_TRANSACTIONS = "zc_transactions"
+BYTES_H2D = "bytes_h2d"
+BYTES_D2H = "bytes_d2h"
+BYTES_DEVICE = "bytes_device"
+KERNEL_LAUNCHES = "kernel_launches"
+ELEMENT_OPS = "element_ops"
+CPU_OPS = "cpu_ops"
+MEMORY_BLOCKS_ALLOCATED = "memory_blocks_allocated"
+MEMORY_BLOCKS_WASTED_BYTES = "memory_blocks_wasted_bytes"
+EXTENSION_PASSES = "extension_passes"
+EMBEDDINGS_PRODUCED = "embeddings_produced"
+EMBEDDINGS_FILTERED = "embeddings_filtered"
+SORT_ELEMENTS = "sort_elements"
+
+
+class Counters:
+    """A bag of monotonically increasing named counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment ``name`` by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        if amount:
+            self._counts[name] += int(amount)
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of all non-zero counters."""
+        return {k: v for k, v in self._counts.items() if v}
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counts.clear()
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v}" for k, v in self)
+        return f"Counters({parts})"

@@ -1,0 +1,45 @@
+"""Zero-copy host-memory access.
+
+Zero-copy memory maps pinned host memory into the device address space with
+no device-side buffer: every access moves a 128 B transaction across PCIe
+(paper §II-B).  It wins for isolated, infrequently touched data because it
+never migrates a whole 4 KB page for a few bytes — and loses when the same
+data is re-read, since nothing is cached.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .regions import HostRegion, range_lengths_in_units, units_for_indices
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .platform import GpuPlatform
+
+
+class ZeroCopyRegion(HostRegion):
+    """A host array accessed through zero-copy (pinned) mappings."""
+
+    def __init__(self, name: str, array: np.ndarray, platform: "GpuPlatform") -> None:
+        super().__init__(name, array, platform)
+
+    def _charge_elements(self, indices: np.ndarray) -> None:
+        if len(indices) == 0:
+            return
+        lines = units_for_indices(
+            indices, self._itemsize, self._platform.spec.zerocopy_line
+        )
+        self._platform.pcie.zerocopy_transactions(len(lines))
+
+    def _charge_ranges(
+        self, starts: np.ndarray, ends: np.ndarray, flat: np.ndarray
+    ) -> None:
+        # Coalesced within each range; re-fetched across ranges (no cache).
+        nlines = int(
+            range_lengths_in_units(
+                starts, ends, self._itemsize, self._platform.spec.zerocopy_line
+            ).sum()
+        )
+        self._platform.pcie.zerocopy_transactions(nlines)

@@ -1,0 +1,176 @@
+"""Human-readable pattern catalog.
+
+Aggregation reports patterns as opaque 64-bit canonical codes.  The catalog
+inverts that: it pre-registers every connected pattern shape up to a size
+bound (optionally crossed with label assignments seen in a graph) and maps
+codes back to names like ``triangle[0,1,2]`` — so FPM/motif results read
+like results instead of hashes.
+
+The enumeration of unlabeled connected graphs up to 5 vertices / 6 edges is
+exact (canonical-code deduplication over all edge subsets), which doubles
+as a stress test of the canonical labeling itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from .canonical import canonical_code_int
+from .patterns import Pattern
+
+#: Names for the classic small shapes, keyed by (num_vertices, sorted degree
+#: sequence, num_edges).
+_SHAPE_NAMES = {
+    (2, (1, 1), 1): "edge",
+    (3, (1, 1, 2), 2): "wedge",
+    (3, (2, 2, 2), 3): "triangle",
+    (4, (1, 1, 1, 3), 3): "star-3",
+    (4, (1, 1, 2, 2), 3): "path-3",
+    (4, (1, 2, 2, 3), 4): "tailed-triangle",
+    (4, (2, 2, 2, 2), 4): "square",
+    (4, (2, 2, 3, 3), 5): "diamond",
+    (4, (3, 3, 3, 3), 6): "4-clique",
+    (5, (1, 1, 1, 1, 4), 4): "star-4",
+    (5, (1, 1, 1, 2, 3), 4): "fork",
+    (5, (1, 1, 2, 2, 2), 4): "path-4",
+    (5, (2, 2, 2, 2, 2), 5): "5-cycle",
+    (5, (4, 4, 4, 4, 4), 10): "5-clique",
+}
+
+
+def shape_name(edges: Sequence[tuple[int, int]]) -> str:
+    """A readable name for an unlabeled shape (falls back to ``gVkE``)."""
+    n = max(max(e) for e in edges) + 1
+    degree = [0] * n
+    for u, v in edges:
+        degree[u] += 1
+        degree[v] += 1
+    key = (n, tuple(sorted(degree)), len(edges))
+    return _SHAPE_NAMES.get(key, f"g{n}v{len(edges)}e")
+
+
+def connected_shapes(max_vertices: int = 5, max_edges: int = 6) -> list[tuple]:
+    """All connected unlabeled graphs up to the bounds, one representative
+    edge list per isomorphism class."""
+    shapes: Dict[int, tuple] = {}
+    all_pairs = list(itertools.combinations(range(max_vertices), 2))
+    for k in range(1, max_edges + 1):
+        for combo in itertools.combinations(all_pairs, k):
+            vertices = sorted({v for e in combo for v in e})
+            index = {v: i for i, v in enumerate(vertices)}
+            edges = tuple(
+                (index[u], index[v]) for u, v in combo
+            )
+            n = len(vertices)
+            if not _connected(edges, n):
+                continue
+            code = canonical_code_int(edges, [0] * n)
+            shapes.setdefault(code, edges)
+    return list(shapes.values())
+
+
+def _connected(edges: Iterable[tuple[int, int]], n: int) -> bool:
+    adj: list[set] = [set() for __ in range(n)]
+    for u, v in edges:
+        adj[u].add(v)
+        adj[v].add(u)
+    seen = {0}
+    stack = [0]
+    while stack:
+        v = stack.pop()
+        for w in adj[v]:
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return len(seen) == n
+
+
+class PatternCatalog:
+    """Registry mapping canonical codes back to readable descriptions and
+    :class:`~repro.graph.patterns.Pattern` objects."""
+
+    def __init__(self) -> None:
+        self._names: Dict[int, str] = {}
+        self._patterns: Dict[int, tuple] = {}
+
+    def register(self, pattern: Pattern, name: str | None = None) -> int:
+        """Register one pattern; returns its canonical code."""
+        code = canonical_code_int(list(pattern.edges), list(pattern.labels))
+        self._names[code] = name or pattern.name
+        self._patterns[code] = (tuple(pattern.edges), tuple(pattern.labels))
+        return code
+
+    def register_shapes(
+        self,
+        labels: Sequence[int] = (0,),
+        max_vertices: int = 5,
+        max_edges: int = 4,
+    ) -> int:
+        """Register every connected shape up to the bounds, crossed with all
+        label assignments drawn from ``labels``.  Returns the number of
+        catalog entries added.
+
+        The cross product grows as ``|labels|^vertices``; the defaults keep
+        it in the thousands.
+        """
+        added = 0
+        for edges in connected_shapes(max_vertices, max_edges):
+            n = max(max(e) for e in edges) + 1
+            base = shape_name(edges)
+            for assignment in itertools.product(labels, repeat=n):
+                code = canonical_code_int(edges, list(assignment))
+                if code in self._names:
+                    continue
+                if len(set(assignment)) == 1 and assignment[0] == 0:
+                    name = base
+                else:
+                    name = f"{base}[{','.join(map(str, assignment))}]"
+                self._names[code] = name
+                self._patterns[code] = (tuple(edges), tuple(assignment))
+                added += 1
+        return added
+
+    def pattern_of(self, code: int) -> Pattern:
+        """Reconstruct a registered pattern from its canonical code —
+        e.g. to re-match (and so materialize the instances of) a pattern
+        that FPM just discovered.
+
+        The rebuilt pattern keeps its labels: aggregation canonicalizes
+        embeddings with their *actual* vertex labels, so an all-zero label
+        vector means the instances genuinely carry label 0.
+        """
+        entry = self._patterns.get(int(code))
+        if entry is None:
+            raise KeyError(f"code {code} is not in the catalog")
+        edges, labels = entry
+        return Pattern(list(edges), labels=list(labels), name=self.name_of(code))
+
+    def name_of(self, code: int) -> str:
+        """Readable name for a canonical code (hex fallback if unknown)."""
+        return self._names.get(int(code), f"pattern:{int(code) & 0xFFFFFFFFFFFFFFFF:016x}")
+
+    def describe(self, patterns: Dict[int, int]) -> list[tuple[str, int]]:
+        """Turn an FPM/motif result (code -> support) into named rows,
+        sorted by descending support."""
+        rows = [
+            (self.name_of(code), support) for code, support in patterns.items()
+        ]
+        rows.sort(key=lambda item: (-item[1], item[0]))
+        return rows
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, code: int) -> bool:
+        return int(code) in self._names
+
+
+def default_catalog(num_labels: int = 1) -> PatternCatalog:
+    """A catalog covering the common shapes with up to ``num_labels``
+    labels — enough to name every pattern the example workloads mine."""
+    catalog = PatternCatalog()
+    catalog.register_shapes(labels=tuple(range(max(1, num_labels))))
+    return catalog

@@ -1,0 +1,149 @@
+"""Compressed Sparse Row graph representation.
+
+GAMMA stores the data graph as CSR adjacency lists plus vertex labels — "no
+auxiliary data structures other than structural information and labels"
+(paper §IV).  Graphs are undirected: every edge appears in both endpoint
+adjacency lists, and the two slots share one *edge id* so edge-oriented
+embedding tables (e-ET) can refer to edges compactly.
+
+Adjacency lists are sorted ascending, enabling binary-search adjacency
+checks and linear-time sorted intersections — the operations GAMMA's
+complexity analysis (§V-C) counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import InvalidGraphError
+
+
+class CSRGraph:
+    """An undirected, vertex-labeled graph in CSR form.
+
+    Parameters are trusted to be consistent; use
+    :func:`repro.graph.builders.from_edges` to build one safely from raw
+    edge lists.
+    """
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        neighbors: np.ndarray,
+        edge_ids: np.ndarray,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        labels: np.ndarray | None = None,
+        name: str = "graph",
+    ) -> None:
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.neighbors = np.ascontiguousarray(neighbors, dtype=np.int64)
+        self.edge_ids = np.ascontiguousarray(edge_ids, dtype=np.int64)
+        self.edge_src = np.ascontiguousarray(edge_src, dtype=np.int64)
+        self.edge_dst = np.ascontiguousarray(edge_dst, dtype=np.int64)
+        self.name = name
+        n = len(self.offsets) - 1
+        if n < 0:
+            raise InvalidGraphError("offsets must have at least one entry")
+        if labels is None:
+            labels = np.zeros(n, dtype=np.int64)
+        self.labels = np.ascontiguousarray(labels, dtype=np.int64)
+        if len(self.labels) != n:
+            raise InvalidGraphError(
+                f"labels length {len(self.labels)} != num vertices {n}"
+            )
+        if len(self.neighbors) != len(self.edge_ids):
+            raise InvalidGraphError("neighbors and edge_ids must align")
+        if self.offsets[0] != 0 or self.offsets[-1] != len(self.neighbors):
+            raise InvalidGraphError("offsets must span the adjacency array")
+        if np.any(np.diff(self.offsets) < 0):
+            raise InvalidGraphError("offsets must be non-decreasing")
+        # Sorted-edge keys for vectorized adjacency checks.
+        self._edge_keys = np.sort(
+            self._pack_pairs(
+                np.concatenate([self.edge_src, self.edge_dst]),
+                np.concatenate([self.edge_dst, self.edge_src]),
+            )
+        )
+
+    # -- basic shape ----------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count (each edge counted once)."""
+        return len(self.edge_src)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    @property
+    def max_degree(self) -> int:
+        degs = self.degrees
+        return int(degs.max()) if len(degs) else 0
+
+    @property
+    def num_labels(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    def degree(self, v: int) -> int:
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    def neighbors_of(self, v: int) -> np.ndarray:
+        """Sorted neighbor list of ``v`` (host-side view, not charged)."""
+        return self.neighbors[self.offsets[v]: self.offsets[v + 1]]
+
+    def incident_edges_of(self, v: int) -> np.ndarray:
+        """Edge ids incident to ``v`` in adjacency order."""
+        return self.edge_ids[self.offsets[v]: self.offsets[v + 1]]
+
+    def label_of(self, v: int) -> int:
+        return int(self.labels[v])
+
+    # -- adjacency queries ------------------------------------------------------
+    def _pack_pairs(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        return (np.asarray(u, dtype=np.int64) << 32) | np.asarray(v, dtype=np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(self.has_edges(np.array([u]), np.array([v]))[0])
+
+    def has_edges(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Vectorized adjacency test for aligned endpoint arrays."""
+        keys = self._pack_pairs(u, v)
+        pos = np.searchsorted(self._edge_keys, keys)
+        pos = np.minimum(pos, len(self._edge_keys) - 1)
+        if len(self._edge_keys) == 0:
+            return np.zeros(len(keys), dtype=bool)
+        return self._edge_keys[pos] == keys
+
+    def edge_endpoints(self, edge_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(src, dst)`` endpoint arrays for the given edge ids, with
+        ``src < dst`` canonically."""
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        return self.edge_src[edge_ids], self.edge_dst[edge_ids]
+
+    # -- iteration / conversion --------------------------------------------------
+    def edges(self) -> Iterable[tuple[int, int]]:
+        """Iterate undirected edges as ``(u, v)`` with ``u < v``."""
+        return zip(self.edge_src.tolist(), self.edge_dst.tolist())
+
+    def storage_bytes(self) -> int:
+        """Bytes of the CSR payload (structural info + labels), the quantity
+        the paper estimates at 10–15 GB per billion edges (§IV)."""
+        return (
+            self.offsets.nbytes
+            + self.neighbors.nbytes
+            + self.edge_ids.nbytes
+            + self.labels.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSRGraph({self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, labels={self.num_labels})"
+        )

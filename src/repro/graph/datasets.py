@@ -1,0 +1,175 @@
+"""Stand-ins for the paper's datasets (Table II).
+
+The paper evaluates on ten real/synthetic graphs up to 2.4 B edges.  Those
+graphs (and a machine able to hold them) are unavailable here, so each
+dataset has a deterministic synthetic stand-in scaled down by
+:data:`SCALE` (~1000x) with the same vertex:edge ratio and an R-MAT
+degree structure matching the dataset's domain.  Device memory in the
+simulator is scaled by the same factor (see ``repro.gpusim.spec``), so the
+paper's in-core/out-of-core crossovers happen at the same *relative* sizes.
+
+``load(name)`` builds (and memoizes) a stand-in; ``table2_rows()`` prints
+the reproduction of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from .csr import CSRGraph
+from .generators import erdos_renyi, kronecker, zipf_labels
+from .upscale import upscale
+from ..errors import GammaError
+
+#: Downscale factor from the paper's dataset sizes.
+SCALE = 1000
+
+#: Labels per stand-in graph (SM/FPM queries are labeled).
+NUM_LABELS = 8
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table II plus the recipe for its stand-in."""
+
+    name: str
+    abbrev: str
+    paper_nodes: int
+    paper_edges: int
+    kind: str
+    #: Builds the scaled stand-in graph.
+    factory: Callable[[], CSRGraph]
+
+    @property
+    def standin_nodes(self) -> int:
+        return max(32, self.paper_nodes // SCALE)
+
+    @property
+    def standin_edges(self) -> int:
+        return max(64, self.paper_edges // SCALE)
+
+
+def _rmat_standin(spec_name: str, nodes: int, edges: int, seed: int) -> CSRGraph:
+    """R-MAT graph with ~nodes vertices and ~edges edges (heavy-tailed)."""
+    scale = max(5, int(round(nodes)).bit_length() - 1)
+    n = 1 << scale
+    edge_factor = max(1, int(round(edges / n)))
+    graph = kronecker(
+        scale, edge_factor, seed=seed, name=spec_name, labels=NUM_LABELS,
+    )
+    return graph
+
+
+def _build_cp() -> CSRGraph:
+    return _rmat_standin("cit-Patent", 6_000, 17_000, seed=11)
+
+
+def _build_cl() -> CSRGraph:
+    return _rmat_standin("com-lj", 4_000, 34_000, seed=12)
+
+
+def _build_co() -> CSRGraph:
+    return _rmat_standin("com-orkut", 3_000, 117_000, seed=13)
+
+
+def _build_ea() -> CSRGraph:
+    graph = erdos_renyi(265, 729, seed=14, name="email-EuAll", labels=NUM_LABELS)
+    return graph
+
+
+def _build_er() -> CSRGraph:
+    graph = erdos_renyi(64, 368, seed=15, name="email-Euroll", labels=NUM_LABELS)
+    return graph
+
+
+def _build_cl8() -> CSRGraph:
+    base = _build_cl()
+    return upscale(base, 8, seed=16, name="com-lj*8")
+
+
+def _build_sl5() -> CSRGraph:
+    base = _rmat_standin("soc-Live", 4_800, 96_000, seed=17)
+    return upscale(base, 5, seed=18, name="soc-Live*5")
+
+
+def _build_uk() -> CSRGraph:
+    return _rmat_standin("uk2005", 39_000, 1_600_000, seed=19)
+
+
+def _build_it() -> CSRGraph:
+    return _rmat_standin("it2004", 41_000, 2_100_000, seed=20)
+
+
+def _build_tw() -> CSRGraph:
+    return _rmat_standin("twitter_rv", 62_000, 2_400_000, seed=21)
+
+
+#: Registry ordered as in Table II.
+DATASETS: Dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    DATASETS[spec.abbrev] = spec
+
+
+_register(DatasetSpec("cit-Patent", "CP", 6_000_000, 17_000_000, "citation", _build_cp))
+_register(DatasetSpec("com-lj", "CL", 4_000_000, 34_000_000, "social", _build_cl))
+_register(DatasetSpec("com-orkut", "CO", 3_000_000, 117_000_000, "social", _build_co))
+_register(DatasetSpec("email-EuAll", "EA", 265_000, 729_000, "email", _build_ea))
+_register(DatasetSpec("email-Euroll", "ER", 37_000, 368_000, "email", _build_er))
+_register(DatasetSpec("com-lj*8", "CL*8", 32_000_000, 467_000_000, "synthetic", _build_cl8))
+_register(DatasetSpec("soc-Live*5", "SL*5", 24_000_000, 481_000_000, "synthetic", _build_sl5))
+_register(DatasetSpec("uk2005", "UK", 39_000_000, 1_600_000_000, "web", _build_uk))
+_register(DatasetSpec("it2004", "IT", 41_000_000, 2_100_000_000, "web", _build_it))
+_register(DatasetSpec("twitter_rv", "TW", 62_000_000, 2_400_000_000, "social", _build_tw))
+
+#: Dataset groups used by the figures.
+SMALL = ("EA", "ER")
+MEDIUM = ("CP", "CL", "CO")
+LARGE = ("CL*8", "SL*5", "UK", "IT", "TW")
+ALL = MEDIUM + SMALL + LARGE
+
+_cache: Dict[str, CSRGraph] = {}
+
+
+def load(abbrev: str) -> CSRGraph:
+    """Build (or fetch from cache) the stand-in for a Table II dataset."""
+    if abbrev not in DATASETS:
+        known = ", ".join(DATASETS)
+        raise GammaError(f"unknown dataset {abbrev!r}; known: {known}")
+    if abbrev not in _cache:
+        graph = DATASETS[abbrev].factory()
+        if graph.num_labels <= 1:
+            # Upscaled graphs inherit labels; others get a fresh Zipf draw.
+            from .builders import relabel_vertices
+
+            graph = relabel_vertices(
+                graph, zipf_labels(graph.num_vertices, NUM_LABELS, seed=1)
+            )
+        _cache[abbrev] = graph
+    return _cache[abbrev]
+
+
+def clear_cache() -> None:
+    """Drop memoized stand-ins (tests use this to bound memory)."""
+    _cache.clear()
+
+
+def table2_rows() -> list[dict]:
+    """Rows reproducing Table II: paper sizes next to stand-in sizes."""
+    rows = []
+    for spec in DATASETS.values():
+        graph = load(spec.abbrev)
+        rows.append(
+            {
+                "dataset": spec.name,
+                "abbrev": spec.abbrev,
+                "paper_nodes": spec.paper_nodes,
+                "paper_edges": spec.paper_edges,
+                "type": spec.kind,
+                "standin_nodes": graph.num_vertices,
+                "standin_edges": graph.num_edges,
+            }
+        )
+    return rows

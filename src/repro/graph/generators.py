@@ -1,0 +1,148 @@
+"""Synthetic graph generators.
+
+The paper's scalability study (Fig. 15) uses Kronecker graphs [38]; our
+dataset stand-ins (Table II) additionally need heavy-tailed social/web-like
+graphs and skewed vertex labels.  All generators are seeded and produce the
+same graph for the same arguments on every run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builders import from_edges
+from .csr import CSRGraph
+
+
+def kronecker(
+    scale: int,
+    edge_factor: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    name: str | None = None,
+    labels: int = 0,
+    label_seed: int | None = None,
+) -> CSRGraph:
+    """R-MAT/Kronecker generator: ``2**scale`` vertices,
+    ``edge_factor * 2**scale`` sampled edges (before dedup).
+
+    ``(a, b, c)`` are the Graph500 partition probabilities (d = 1-a-b-c).
+    """
+    if scale < 0 or edge_factor < 0:
+        raise ValueError("scale and edge_factor must be non-negative")
+    d = 1.0 - a - b - c
+    if d < -1e-9 or min(a, b, c) < 0:
+        raise ValueError("partition probabilities must be a distribution")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        # Quadrant choice: a -> (0,0), b -> (0,1), c -> (1,0), d -> (1,1).
+        right = (r >= a) & (r < a + b)
+        down = (r >= a + b) & (r < a + b + c)
+        both = r >= a + b + c
+        bit = np.int64(1) << level
+        src += bit * (down | both)
+        dst += bit * (right | both)
+    graph_labels = None
+    if labels > 0:
+        graph_labels = zipf_labels(
+            n, labels, seed=seed + 1 if label_seed is None else label_seed
+        )
+    return from_edges(
+        src, dst, num_vertices=n, labels=graph_labels,
+        name=name or f"kron-s{scale}-e{edge_factor}",
+    )
+
+
+def erdos_renyi(
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 0,
+    name: str | None = None,
+    labels: int = 0,
+) -> CSRGraph:
+    """Uniform random graph with ~``num_edges`` distinct undirected edges."""
+    rng = np.random.default_rng(seed)
+    # Oversample to survive dedup/self-loop removal.
+    m = int(num_edges * 1.3) + 16
+    src = rng.integers(0, num_vertices, m, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, m, dtype=np.int64)
+    graph_labels = zipf_labels(num_vertices, labels, seed + 1) if labels else None
+    graph = from_edges(
+        src, dst, num_vertices=num_vertices, labels=graph_labels,
+        name=name or f"er-{num_vertices}-{num_edges}",
+    )
+    return _trim_edges(graph, num_edges)
+
+
+def _trim_edges(graph: CSRGraph, target_edges: int) -> CSRGraph:
+    """Drop surplus edges to hit a target count exactly (keeps determinism)."""
+    if graph.num_edges <= target_edges:
+        return graph
+    keep = np.sort(
+        np.random.default_rng(0).choice(
+            graph.num_edges, size=target_edges, replace=False
+        )
+    )
+    return from_edges(
+        graph.edge_src[keep],
+        graph.edge_dst[keep],
+        num_vertices=graph.num_vertices,
+        labels=graph.labels,
+        name=graph.name,
+    )
+
+
+def zipf_labels(
+    num_vertices: int, num_labels: int, seed: int = 0, skew: float = 1.2
+) -> np.ndarray:
+    """Skewed vertex labels: label 0 most frequent, Zipf-like tail.
+
+    Real labeled graphs (and the paper's SM workloads) have non-uniform
+    label frequencies; a Zipf draw preserves the pruning behaviour labeled
+    queries rely on.
+    """
+    if num_labels <= 0:
+        raise ValueError("num_labels must be positive")
+    if num_labels == 1:
+        return np.zeros(num_vertices, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, num_labels + 1, dtype=np.float64) ** skew
+    weights /= weights.sum()
+    return rng.choice(num_labels, size=num_vertices, p=weights).astype(np.int64)
+
+
+def clique(num_vertices: int, labels: np.ndarray | None = None) -> CSRGraph:
+    """Complete graph on ``num_vertices`` vertices (test fixture)."""
+    idx = np.arange(num_vertices)
+    u, v = np.meshgrid(idx, idx, indexing="ij")
+    mask = u < v
+    return from_edges(
+        u[mask], v[mask], num_vertices=num_vertices, labels=labels,
+        name=f"K{num_vertices}",
+    )
+
+
+def cycle(num_vertices: int, labels: np.ndarray | None = None) -> CSRGraph:
+    """Simple cycle C_n (test fixture)."""
+    src = np.arange(num_vertices, dtype=np.int64)
+    dst = (src + 1) % num_vertices
+    return from_edges(
+        src, dst, num_vertices=num_vertices, labels=labels, name=f"C{num_vertices}"
+    )
+
+
+def star(num_leaves: int, labels: np.ndarray | None = None) -> CSRGraph:
+    """Star with one hub and ``num_leaves`` leaves (test fixture)."""
+    src = np.zeros(num_leaves, dtype=np.int64)
+    dst = np.arange(1, num_leaves + 1, dtype=np.int64)
+    return from_edges(
+        src, dst, num_vertices=num_leaves + 1, labels=labels,
+        name=f"star-{num_leaves}",
+    )

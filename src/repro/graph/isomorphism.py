@@ -1,0 +1,119 @@
+"""Reference subgraph-isomorphism search (the test oracle).
+
+A direct backtracking enumerator of all (non-induced) subgraph isomorphism
+embeddings of a pattern in a data graph.  It is deliberately simple and
+slow — its job is to certify the GAMMA engines and baselines on small
+graphs, and to serve examples that want exact answers without the
+framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+from .patterns import Pattern
+
+
+def find_isomorphisms(graph: CSRGraph, pattern: Pattern) -> np.ndarray:
+    """All embeddings of ``pattern`` in ``graph`` as an ``(n, k)`` array.
+
+    Row ``i`` maps pattern vertex ``j`` to data vertex ``result[i, j]``.
+    Matching is non-induced subgraph isomorphism: pattern edges must exist
+    in the graph, data labels must equal pattern labels, and the mapping is
+    injective.  Every automorphic image is listed separately (matching the
+    embedding-count semantics of the paper's embedding tables).
+    """
+    order = pattern.matching_order()
+    position = {v: i for i, v in enumerate(order)}
+    # For each step, the pattern neighbors already matched.
+    back_edges = [
+        [position[w] for w in pattern.neighbors(order[step]) if position[w] < step]
+        for step in range(pattern.num_vertices)
+    ]
+    results: list[list[int]] = []
+    assignment = [-1] * pattern.num_vertices
+    used: set[int] = set()
+
+    def candidates(step: int) -> np.ndarray:
+        qv = order[step]
+        if step == 0:
+            if pattern.labeled:
+                return np.flatnonzero(graph.labels == pattern.label(qv))
+            return np.arange(graph.num_vertices, dtype=np.int64)
+        anchor = assignment[back_edges[step][0]]
+        return graph.neighbors_of(anchor)
+
+    def extend(step: int) -> None:
+        qv = order[step]
+        for v in candidates(step):
+            v = int(v)
+            if v in used:
+                continue
+            if pattern.labeled and graph.label_of(v) != pattern.label(qv):
+                continue
+            ok = True
+            for back in back_edges[step]:
+                if not graph.has_edge(assignment[back], v):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            assignment[step] = v
+            if step + 1 == pattern.num_vertices:
+                results.append(list(assignment))
+            else:
+                used.add(v)
+                extend(step + 1)
+                used.discard(v)
+        assignment[step] = -1
+
+    extend(0)
+    if not results:
+        return np.empty((0, pattern.num_vertices), dtype=np.int64)
+    # Rows currently map matching-order steps; reorder to pattern vertex ids.
+    arr = np.asarray(results, dtype=np.int64)
+    out = np.empty_like(arr)
+    for step, qv in enumerate(order):
+        out[:, qv] = arr[:, step]
+    return out
+
+
+def count_isomorphisms(graph: CSRGraph, pattern: Pattern) -> int:
+    """Number of embeddings (automorphic images counted separately)."""
+    return len(find_isomorphisms(graph, pattern))
+
+
+def count_subgraphs(graph: CSRGraph, pattern: Pattern) -> int:
+    """Number of distinct subgraphs (embeddings / automorphisms)."""
+    embeddings = count_isomorphisms(graph, pattern)
+    autos = pattern.automorphism_count()
+    assert embeddings % autos == 0, "embedding count must divide evenly"
+    return embeddings // autos
+
+
+def count_cliques(graph: CSRGraph, k: int) -> int:
+    """Exact k-clique count via ordered backtracking (oracle for kCL)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k == 1:
+        return graph.num_vertices
+    count = 0
+
+    def grow(candidates: np.ndarray, depth: int) -> None:
+        nonlocal count
+        if depth == k:
+            count += len(candidates)
+            return
+        for v in candidates:
+            v = int(v)
+            nbrs = graph.neighbors_of(v)
+            nxt = np.intersect1d(candidates, nbrs[nbrs > v], assume_unique=True)
+            if len(nxt):
+                grow(nxt, depth + 1)
+
+    all_vertices = np.arange(graph.num_vertices, dtype=np.int64)
+    for v in range(graph.num_vertices):
+        nbrs = graph.neighbors_of(v)
+        grow(np.intersect1d(all_vertices, nbrs[nbrs > v], assume_unique=True), 2)
+    return count

@@ -1,0 +1,248 @@
+"""Query patterns (the paper's ``query_graph`` data structure).
+
+A :class:`Pattern` is a small connected, optionally vertex-labeled graph to
+be mined.  It also knows its WOJ matching order (the ``delta_v`` of the
+paper's Algorithm 1), its edge-at-a-time order for binary joins, and its
+automorphism count (needed to convert embedding counts to unique-subgraph
+counts).
+
+The module ships the standard GPM patterns plus the three labeled subgraph
+matching queries used for Fig. 11 (the paper's Fig. 13 shows three small
+labeled queries; we use a labeled triangle, a labeled 4-cycle, and a
+labeled diamond — the canonical shapes in the SM literature the paper
+builds on).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import InvalidPatternError
+
+
+class Pattern:
+    """A small connected query graph with optional vertex labels."""
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[int, int]],
+        labels: Sequence[int] | None = None,
+        name: str = "pattern",
+    ) -> None:
+        edge_set = set()
+        for u, v in edges:
+            if u == v:
+                raise InvalidPatternError("patterns must not contain self loops")
+            edge_set.add((min(u, v), max(u, v)))
+        if not edge_set:
+            raise InvalidPatternError("patterns must contain at least one edge")
+        self.edges = tuple(sorted(edge_set))
+        self.num_vertices = max(max(e) for e in self.edges) + 1
+        #: Labeled patterns constrain data-vertex labels; unlabeled patterns
+        #: match any label (structure-only mining, e.g. kCL and triangles).
+        self.labeled = labels is not None
+        if labels is None:
+            labels = [0] * self.num_vertices
+        self.labels = tuple(int(x) for x in labels)
+        if len(self.labels) != self.num_vertices:
+            raise InvalidPatternError(
+                f"{len(self.labels)} labels for {self.num_vertices} vertices"
+            )
+        self.name = name
+        self._adj: list[set[int]] = [set() for __ in range(self.num_vertices)]
+        for u, v in self.edges:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+        if not self._connected():
+            raise InvalidPatternError(f"pattern {name!r} must be connected")
+
+    # -- structure ------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        return tuple(sorted(self._adj[v]))
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def label(self, v: int) -> int:
+        return self.labels[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj[u]
+
+    def _connected(self) -> bool:
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            v = frontier.pop()
+            for w in self._adj[v]:
+                if w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        return len(seen) == self.num_vertices
+
+    # -- orders ------------------------------------------------------------------
+    def matching_order(self) -> list[int]:
+        """WOJ vertex order: start at the highest-degree vertex, then
+        greedily pick the unmatched vertex with the most already-matched
+        neighbors (ties: higher degree, then lower id).  Guarantees every
+        vertex after the first connects to the prefix, so every extension
+        can prune by adjacency."""
+        order = [max(range(self.num_vertices),
+                     key=lambda v: (self.degree(v), -v))]
+        remaining = set(range(self.num_vertices)) - set(order)
+        while remaining:
+            placed = set(order)
+
+            def score(v: int) -> tuple[int, int, int]:
+                return (len(self._adj[v] & placed), self.degree(v), -v)
+
+            best = max(remaining, key=score)
+            if not self._adj[best] & placed:  # pragma: no cover - connectivity
+                raise InvalidPatternError("disconnected matching order")
+            order.append(best)
+            remaining.discard(best)
+        return order
+
+    def edge_order(self) -> list[tuple[int, int]]:
+        """Edge-at-a-time order for binary joins / FPM-style growth: each
+        edge after the first shares a vertex with the union of its
+        predecessors."""
+        first = self.edges[0]
+        order = [first]
+        covered = set(first)
+        remaining = set(self.edges) - {first}
+        while remaining:
+            nxt = min(
+                (e for e in remaining if covered & set(e)),
+                default=None,
+            )
+            if nxt is None:  # pragma: no cover - connectivity guarantees
+                raise InvalidPatternError("disconnected edge order")
+            order.append(nxt)
+            covered |= set(nxt)
+            remaining.discard(nxt)
+        return order
+
+    # -- symmetry --------------------------------------------------------------
+    def automorphisms(self) -> list[tuple[int, ...]]:
+        """All label- and adjacency-preserving vertex permutations."""
+        autos = []
+        verts = range(self.num_vertices)
+        for perm in itertools.permutations(verts):
+            if any(self.labels[v] != self.labels[perm[v]] for v in verts):
+                continue
+            mapped = {(min(perm[u], perm[v]), max(perm[u], perm[v]))
+                      for u, v in self.edges}
+            if mapped == set(self.edges):
+                autos.append(perm)
+        return autos
+
+    def automorphism_count(self) -> int:
+        """Number of label- and adjacency-preserving vertex permutations."""
+        return len(self.automorphisms())
+
+    def symmetry_breaking_constraints(self) -> list[tuple[int, int]]:
+        """Ordering restrictions ``(a, b)`` meaning "the data vertex matched
+        to ``a`` must have a smaller id than the one matched to ``b``".
+
+        The classic Grochow–Kellis construction: repeatedly pick the
+        smallest pattern vertex moved by some remaining automorphism,
+        constrain it below each of its images, and keep only the
+        automorphisms fixing it.  Enforcing the constraints makes every
+        subgraph appear exactly once (embeddings / automorphisms)."""
+        constraints: list[tuple[int, int]] = []
+        group = self.automorphisms()
+        while len(group) > 1:
+            moved = min(
+                v for v in range(self.num_vertices)
+                if any(perm[v] != v for perm in group)
+            )
+            images = {perm[moved] for perm in group} - {moved}
+            constraints.extend((moved, w) for w in sorted(images))
+            group = [perm for perm in group if perm[moved] == moved]
+        return constraints
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(src, dst, labels)`` NumPy views for the engines."""
+        src = np.array([u for u, __ in self.edges], dtype=np.int64)
+        dst = np.array([v for __, v in self.edges], dtype=np.int64)
+        return src, dst, np.array(self.labels, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pattern({self.name!r}, V={self.num_vertices}, E={self.edges})"
+
+
+# -- the standard unlabeled menagerie ------------------------------------------
+
+def triangle() -> Pattern:
+    return Pattern([(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+def path(length: int) -> Pattern:
+    """Simple path with ``length`` edges."""
+    if length < 1:
+        raise InvalidPatternError("path length must be >= 1")
+    return Pattern([(i, i + 1) for i in range(length)], name=f"path-{length}")
+
+
+def cycle(k: int) -> Pattern:
+    if k < 3:
+        raise InvalidPatternError("cycles need at least 3 vertices")
+    return Pattern(
+        [(i, (i + 1) % k) for i in range(k)], name=f"cycle-{k}"
+    )
+
+
+def clique(k: int) -> Pattern:
+    if k < 2:
+        raise InvalidPatternError("cliques need at least 2 vertices")
+    return Pattern(
+        [(i, j) for i in range(k) for j in range(i + 1, k)], name=f"{k}-clique"
+    )
+
+
+def diamond() -> Pattern:
+    """4-clique minus one edge."""
+    return Pattern([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)], name="diamond")
+
+
+def tailed_triangle() -> Pattern:
+    return Pattern([(0, 1), (1, 2), (0, 2), (2, 3)], name="tailed-triangle")
+
+
+def house() -> Pattern:
+    """5-vertex house: a square with a triangle roof."""
+    return Pattern(
+        [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)], name="house"
+    )
+
+
+# -- the three labeled SM queries of Fig. 11 / Fig. 13 ---------------------------
+
+def sm_query(which: int) -> Pattern:
+    """The labeled subgraph matching queries q1–q3 used in Fig. 11."""
+    if which == 1:
+        return Pattern(
+            [(0, 1), (1, 2), (0, 2)], labels=[0, 1, 2], name="q1-labeled-triangle"
+        )
+    if which == 2:
+        return Pattern(
+            [(0, 1), (1, 2), (2, 3), (3, 0)], labels=[0, 1, 0, 2],
+            name="q2-labeled-square",
+        )
+    if which == 3:
+        return Pattern(
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)], labels=[0, 1, 1, 2],
+            name="q3-labeled-diamond",
+        )
+    raise InvalidPatternError(f"SM queries are q1..q3, got q{which}")
+
+
+SM_QUERIES = (1, 2, 3)

@@ -1,0 +1,85 @@
+"""Graph reordering for locality (paper §VII-C, refs [25]/[45]).
+
+The related work improves unified/zero-copy throughput by reordering
+vertices so that frequently co-accessed adjacency lists share pages.  Two
+standard orders are provided:
+
+* **degree order** — hubs first: the heavy lists GPM re-reads most end up
+  packed into the same few (hot) pages, which is exactly what the access-
+  heat planner wants to promote;
+* **BFS order** (Cuthill–McKee flavored) — neighbors get nearby ids, so
+  one embedding's anchor lists cluster.
+
+``reorder`` returns a relabeled, otherwise identical graph; counts of any
+pattern are invariant (tested), only the page-access pattern changes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import InvalidGraphError
+from .builders import from_edges
+from .csr import CSRGraph
+
+DEGREE = "degree"
+BFS = "bfs"
+
+ORDERS = (DEGREE, BFS)
+
+
+def degree_order(graph: CSRGraph) -> np.ndarray:
+    """Permutation ``perm[old_id] = new_id`` placing high-degree first."""
+    ranks = np.lexsort((np.arange(graph.num_vertices), -graph.degrees))
+    perm = np.empty(graph.num_vertices, dtype=np.int64)
+    perm[ranks] = np.arange(graph.num_vertices)
+    return perm
+
+
+def bfs_order(graph: CSRGraph, root: int | None = None) -> np.ndarray:
+    """BFS numbering from the highest-degree vertex (per component),
+    visiting neighbors in degree-descending order."""
+    n = graph.num_vertices
+    perm = np.full(n, -1, dtype=np.int64)
+    degrees = graph.degrees
+    next_id = 0
+    visit_order = np.lexsort((np.arange(n), -degrees))
+    roots = [root] if root is not None else list(visit_order)
+    for start in roots + list(visit_order):
+        if perm[start] >= 0:
+            continue
+        queue = deque([start])
+        perm[start] = next_id
+        next_id += 1
+        while queue:
+            v = queue.popleft()
+            nbrs = graph.neighbors_of(v)
+            for w in sorted(nbrs.tolist(), key=lambda x: -degrees[x]):
+                if perm[w] < 0:
+                    perm[w] = next_id
+                    next_id += 1
+                    queue.append(w)
+    # isolated vertices picked up by the visit_order sweep above
+    assert next_id == n
+    return perm
+
+
+def reorder(graph: CSRGraph, order: str = DEGREE) -> CSRGraph:
+    """Return the same graph with vertices renumbered by ``order``."""
+    if order == DEGREE:
+        perm = degree_order(graph)
+    elif order == BFS:
+        perm = bfs_order(graph)
+    else:
+        raise InvalidGraphError(f"unknown order {order!r}; use {ORDERS}")
+    labels = np.empty(graph.num_vertices, dtype=np.int64)
+    labels[perm] = graph.labels
+    return from_edges(
+        perm[graph.edge_src],
+        perm[graph.edge_dst],
+        num_vertices=graph.num_vertices,
+        labels=labels,
+        name=f"{graph.name}@{order}",
+    )

@@ -1,0 +1,62 @@
+"""Graph upscaling (paper §VI-A, ref [33]).
+
+The paper scales com-lj 8x and soc-Live 5x to stress scalability.  We use
+the same replicate-and-rewire scheme the upscaling literature describes:
+the vertex set is replicated ``factor`` times; each edge copy keeps its
+endpoints' intra-copy offsets, but with probability ``crossover`` one
+endpoint is redirected to a uniformly random *other* copy.  Degrees are
+preserved exactly and the degree distribution of the original is inherited,
+while crossover edges keep the copies from being disconnected clones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builders import from_edges
+from .csr import CSRGraph
+
+
+def upscale(
+    graph: CSRGraph,
+    factor: int,
+    crossover: float = 0.3,
+    seed: int = 0,
+    name: str | None = None,
+) -> CSRGraph:
+    """Return a ``factor``-times larger graph with the same degree structure.
+
+    ``crossover`` is the probability that an edge copy becomes a cross-copy
+    edge instead of staying inside its replica.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if not 0.0 <= crossover <= 1.0:
+        raise ValueError("crossover must be in [0, 1]")
+    if factor == 1:
+        return graph
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    m = graph.num_edges
+
+    # Tile the edge list once per copy.
+    copies = np.repeat(np.arange(factor, dtype=np.int64), m)
+    src = np.tile(graph.edge_src, factor) + copies * n
+    dst = np.tile(graph.edge_dst, factor) + copies * n
+
+    # Rewire a fraction of the dst endpoints into a random different copy.
+    rewire = rng.random(len(src)) < crossover
+    if rewire.any():
+        shift = rng.integers(1, factor, size=int(rewire.sum()), dtype=np.int64)
+        new_copy = (copies[rewire] + shift) % factor
+        local = dst[rewire] - copies[rewire] * n
+        dst[rewire] = local + new_copy * n
+
+    labels = np.tile(graph.labels, factor)
+    return from_edges(
+        src,
+        dst,
+        num_vertices=n * factor,
+        labels=labels,
+        name=name or f"{graph.name}*{factor}",
+    )

@@ -1,0 +1,114 @@
+"""Tests for the graphlet (induced connected subgraph) census."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import graphlet_census
+from repro.baselines import PangolinGPU, Peregrine
+from repro.core import Gamma
+from repro.errors import ExecutionError
+from repro.graph import (
+    clique_graph,
+    cycle_graph,
+    from_networkx,
+    relabel_vertices,
+    star,
+    triangle_count_exact,
+    wedge_count,
+    zipf_labels,
+)
+from repro.graph.canonical import canonical_code_int
+
+
+def brute_force(G, labels, k):
+    hist = {}
+    for combo in itertools.combinations(G.nodes(), k):
+        sub = G.subgraph(combo)
+        if not nx.is_connected(sub):
+            continue
+        index = {v: i for i, v in enumerate(combo)}
+        edges = [(index[u], index[v]) for u, v in sub.edges()]
+        lab = [int(labels[v]) for v in combo]
+        code = canonical_code_int(edges, lab)
+        hist[code] = hist.get(code, 0) + 1
+    return hist
+
+
+@pytest.fixture(scope="module")
+def labeled_graph():
+    G = nx.gnm_random_graph(26, 60, seed=17)
+    labels = zipf_labels(26, 2, seed=5)
+    return G, labels, relabel_vertices(from_networkx(G), labels)
+
+
+class TestCensusCorrectness:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_matches_brute_force(self, labeled_graph, k):
+        G, labels, g = labeled_graph
+        with Gamma(g) as engine:
+            result = graphlet_census(engine, k)
+        assert result.histogram == brute_force(G, labels, k)
+
+    def test_k2_is_edge_count(self, labeled_graph):
+        __, __, g = labeled_graph
+        with Gamma(g) as engine:
+            assert graphlet_census(engine, 2).total == g.num_edges
+
+    def test_k3_decomposes_into_induced_wedges_and_triangles(self):
+        g = from_networkx(nx.gnm_random_graph(30, 80, seed=2))
+        with Gamma(g) as engine:
+            result = graphlet_census(engine, 3)
+        triangles = triangle_count_exact(g)
+        induced_wedges = wedge_count(g) - 3 * triangles
+        assert result.total == triangles + induced_wedges
+        assert sorted(result.histogram.values()) == sorted(
+            v for v in (triangles, induced_wedges) if v
+        )
+
+    def test_complete_graph_single_class(self):
+        with Gamma(clique_graph(6)) as engine:
+            result = graphlet_census(engine, 4)
+        assert len(result.histogram) == 1
+        assert result.total == 15  # C(6,4)
+
+    def test_cycle_graphlets(self):
+        with Gamma(cycle_graph(8)) as engine:
+            result = graphlet_census(engine, 3)
+        # only induced paths of length 2 exist, one per center vertex
+        assert result.total == 8
+        assert len(result.histogram) == 1
+
+    def test_star_has_no_k4_beyond_claw(self):
+        with Gamma(star(5)) as engine:
+            result = graphlet_census(engine, 4)
+        assert len(result.histogram) == 1  # the claw (star-3)
+        assert result.total == 10  # C(5,3)
+
+    def test_invalid_k(self, labeled_graph):
+        __, __, g = labeled_graph
+        with Gamma(g) as engine:
+            with pytest.raises(ExecutionError):
+                graphlet_census(engine, 1)
+            with pytest.raises(ExecutionError):
+                graphlet_census(engine, 6)
+
+
+class TestCensusOnBaselines:
+    @pytest.mark.parametrize("engine_cls", [PangolinGPU, Peregrine])
+    def test_engines_agree(self, labeled_graph, engine_cls):
+        __, __, g = labeled_graph
+        with Gamma(g) as reference:
+            expected = graphlet_census(reference, 3).histogram
+        with engine_cls(g) as engine:
+            assert graphlet_census(engine, 3).histogram == expected
+
+    def test_metadata(self, labeled_graph):
+        __, __, g = labeled_graph
+        with Gamma(g) as engine:
+            result = graphlet_census(engine, 3)
+        assert result.k == 3
+        assert result.simulated_seconds > 0
+        assert result.peak_memory_bytes > 0

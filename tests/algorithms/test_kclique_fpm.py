@@ -1,0 +1,150 @@
+"""Tests for k-clique, triangle, FPM and motif drivers."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    count_kcliques,
+    frequent_pattern_mining,
+    motif_count,
+    triangle_count,
+)
+from repro.core import Gamma
+from repro.errors import ExecutionError, InvalidPatternError
+from repro.graph import (
+    clique_graph,
+    count_cliques,
+    cycle_graph,
+    from_networkx,
+    relabel_vertices,
+    star,
+    zipf_labels,
+)
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    G = nx.gnm_random_graph(50, 170, seed=23)
+    g = from_networkx(G)
+    return relabel_vertices(g, zipf_labels(50, 3, seed=2))
+
+
+class TestKClique:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_matches_oracle(self, medium_graph, k):
+        with Gamma(medium_graph) as engine:
+            result = count_kcliques(engine, k)
+        assert result.cliques == count_cliques(medium_graph, k)
+
+    def test_k1_counts_vertices(self, medium_graph):
+        with Gamma(medium_graph) as engine:
+            assert count_kcliques(engine, 1).cliques == medium_graph.num_vertices
+
+    def test_complete_graph(self):
+        g = clique_graph(7)
+        with Gamma(g) as engine:
+            assert count_kcliques(engine, 4).cliques == 35  # C(7,4)
+
+    def test_triangle_free_graph(self):
+        g = cycle_graph(10)
+        with Gamma(g) as engine:
+            assert count_kcliques(engine, 3).cliques == 0
+
+    def test_invalid_k(self, medium_graph):
+        with Gamma(medium_graph) as engine:
+            with pytest.raises(InvalidPatternError):
+                count_kcliques(engine, 0)
+
+    def test_keep_table_rows_are_cliques(self, medium_graph):
+        with Gamma(medium_graph) as engine:
+            result, table = count_kcliques(engine, 3, keep_table=True)
+            mats = table.materialize()
+        assert len(mats) == result.cliques
+        for a, b, c in mats.tolist():
+            assert a < b < c  # canonical ascending order
+            assert medium_graph.has_edge(a, b)
+            assert medium_graph.has_edge(b, c)
+            assert medium_graph.has_edge(a, c)
+
+
+class TestTriangle:
+    def test_equals_k3(self, medium_graph):
+        with Gamma(medium_graph) as engine:
+            tri = triangle_count(engine)
+        assert tri.triangles == count_cliques(medium_graph, 3)
+
+    def test_star_has_none(self):
+        with Gamma(star(10)) as engine:
+            assert triangle_count(engine).triangles == 0
+
+
+class TestFPM:
+    def test_level1_counts_label_pairs(self, tiny_graph):
+        with Gamma(tiny_graph) as engine:
+            result = frequent_pattern_mining(engine, 1, 1)
+        assert sum(result.patterns.values()) == tiny_graph.num_edges
+
+    def test_min_support_monotone(self, medium_graph):
+        counts = []
+        for sup in (1, 3, 8):
+            with Gamma(medium_graph) as engine:
+                result = frequent_pattern_mining(engine, 2, sup)
+            counts.append(len(result.patterns))
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_antimonotone_instances(self, medium_graph):
+        """Instances of surviving level-2 patterns extend only level-1
+        frequent edges (Apriori over instance counts)."""
+        with Gamma(medium_graph) as engine:
+            result = frequent_pattern_mining(engine, 2, 5)
+        assert all(v >= 5 for v in result.patterns.values())
+        assert result.frequent_per_level[0] <= len(result.patterns)
+
+    def test_zero_iterations_rejected(self, medium_graph):
+        with Gamma(medium_graph) as engine:
+            with pytest.raises(ExecutionError):
+                frequent_pattern_mining(engine, 0, 1)
+
+    def test_metadata(self, tiny_graph):
+        with Gamma(tiny_graph) as engine:
+            result = frequent_pattern_mining(engine, 2, 1)
+        assert result.iterations == 2
+        assert result.min_support == 1
+        assert len(result.frequent_per_level) == 2
+        assert result.simulated_seconds > 0
+
+
+class TestMotif:
+    def test_two_edge_motifs_are_wedges(self, medium_graph):
+        deg = medium_graph.degrees
+        wedges = int((deg * (deg - 1) // 2).sum())
+        with Gamma(medium_graph) as engine:
+            result = motif_count(engine, 2)
+        assert result.total_instances == wedges
+
+    def test_three_edge_motifs_brute_force(self, tiny_graph):
+        edges = list(tiny_graph.edges())
+        expected = 0
+        for combo in itertools.combinations(range(len(edges)), 3):
+            sub = nx.Graph([edges[i] for i in combo])
+            if sub.number_of_edges() == 3 and nx.is_connected(sub):
+                expected += 1
+        with Gamma(tiny_graph) as engine:
+            result = motif_count(engine, 3)
+        assert result.total_instances == expected
+
+    def test_histogram_separates_patterns(self):
+        """A triangle-plus-tail graph has both wedge classes (by labels)."""
+        with Gamma(clique_graph(4)) as engine:
+            result = motif_count(engine, 2)
+        # K4 unlabeled: all wedges isomorphic -> a single pattern
+        assert len(result.histogram) == 1
+        assert result.total_instances == 12  # 4 * C(3,2)
+
+    def test_invalid_size(self, tiny_graph):
+        with Gamma(tiny_graph) as engine:
+            with pytest.raises(ExecutionError):
+                motif_count(engine, 0)

@@ -1,0 +1,113 @@
+"""Tests for WOJ and binary-join subgraph matching against the oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import Gamma
+from repro.graph import (
+    Pattern,
+    clique,
+    count_isomorphisms,
+    cycle,
+    diamond,
+    from_networkx,
+    house,
+    path,
+    relabel_vertices,
+    sm_query,
+    tailed_triangle,
+    triangle,
+    zipf_labels,
+)
+from repro.algorithms import match_pattern, match_pattern_binary
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    G = nx.gnm_random_graph(70, 240, seed=13)
+    g = from_networkx(G)
+    return relabel_vertices(g, zipf_labels(70, 4, seed=5))
+
+
+ALL_PATTERNS = [
+    triangle(), path(2), path(3), cycle(4), diamond(), tailed_triangle(),
+    clique(4), house(), sm_query(1), sm_query(2), sm_query(3),
+]
+
+
+class TestWOJ:
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: p.name)
+    def test_matches_oracle(self, medium_graph, pattern):
+        with Gamma(medium_graph) as engine:
+            result = match_pattern(engine, pattern)
+        assert result.embeddings == count_isomorphisms(medium_graph, pattern)
+
+    def test_unique_subgraphs_divides_automorphisms(self, medium_graph):
+        pattern = triangle()
+        with Gamma(medium_graph) as engine:
+            result = match_pattern(engine, pattern)
+        assert result.unique_subgraphs * 6 == result.embeddings
+
+    def test_no_matches(self, medium_graph):
+        pattern = Pattern([(0, 1)], labels=[3, 77], name="impossible")
+        with Gamma(medium_graph) as engine:
+            result = match_pattern(engine, pattern)
+        assert result.embeddings == 0
+
+    def test_keep_table_returns_embeddings(self, medium_graph):
+        pattern = sm_query(1)
+        with Gamma(medium_graph) as engine:
+            result, table = match_pattern(engine, pattern, keep_table=True)
+            mats = table.materialize()
+        assert len(mats) == result.embeddings
+        order = pattern.matching_order()
+        for row in mats.tolist():
+            # row columns follow the matching order; verify all query edges
+            assignment = {order[i]: row[i] for i in range(len(order))}
+            for u, v in pattern.edges:
+                assert medium_graph.has_edge(assignment[u], assignment[v])
+
+    def test_result_metadata(self, medium_graph):
+        with Gamma(medium_graph) as engine:
+            result = match_pattern(engine, sm_query(2))
+        assert result.pattern == "q2-labeled-square"
+        assert result.simulated_seconds > 0
+        assert result.peak_memory_bytes > 0
+
+
+class TestBinaryJoin:
+    @pytest.mark.parametrize(
+        "pattern",
+        [triangle(), path(2), cycle(4), sm_query(1), sm_query(2), diamond()],
+        ids=lambda p: p.name,
+    )
+    def test_matches_oracle(self, medium_graph, pattern):
+        with Gamma(medium_graph) as engine:
+            result = match_pattern_binary(engine, pattern)
+        assert result.embeddings == count_isomorphisms(medium_graph, pattern)
+
+    def test_agrees_with_woj(self, medium_graph):
+        pattern = sm_query(3)
+        with Gamma(medium_graph) as e1:
+            woj = match_pattern(e1, pattern)
+        with Gamma(medium_graph) as e2:
+            binary = match_pattern_binary(e2, pattern)
+        assert woj.embeddings == binary.embeddings
+
+
+class TestLabeledSemantics:
+    def test_unlabeled_pattern_ignores_labels(self, medium_graph):
+        unlabeled = relabel_vertices(
+            medium_graph, np.zeros(medium_graph.num_vertices, dtype=np.int64)
+        )
+        with Gamma(medium_graph) as a, Gamma(unlabeled) as b:
+            ra = match_pattern(a, triangle())
+            rb = match_pattern(b, triangle())
+        assert ra.embeddings == rb.embeddings
+
+    def test_labels_prune(self, medium_graph):
+        with Gamma(medium_graph) as a, Gamma(medium_graph) as b:
+            all_tri = match_pattern(a, triangle()).embeddings
+            labeled = match_pattern(b, sm_query(1)).embeddings
+        assert labeled < all_tri

@@ -1,0 +1,157 @@
+"""Tests for the comparison systems: agreement, crash modes and the cost
+relationships the paper's figures rely on."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    count_kcliques,
+    frequent_pattern_mining,
+    match_pattern,
+    triangle_count,
+)
+from repro.baselines import GSI, GraphMiner, PangolinGPU, PangolinST, Peregrine
+from repro.core import Gamma
+from repro.errors import DeviceOutOfMemory
+from repro.graph import (
+    count_cliques,
+    count_isomorphisms,
+    from_networkx,
+    kronecker,
+    relabel_vertices,
+    sm_query,
+    zipf_labels,
+)
+from repro.gpusim import make_platform
+
+ALL_ENGINES = [Gamma, PangolinGPU, PangolinST, Peregrine, GSI, GraphMiner]
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    G = nx.gnm_random_graph(60, 220, seed=31)
+    g = from_networkx(G)
+    return relabel_vertices(g, zipf_labels(60, 4, seed=7))
+
+
+class TestAgreement:
+    """Every system must compute the same answers — only costs differ."""
+
+    @pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+    def test_sm(self, medium_graph, engine_cls):
+        oracle = count_isomorphisms(medium_graph, sm_query(1))
+        with engine_cls(medium_graph) as engine:
+            assert match_pattern(engine, sm_query(1)).embeddings == oracle
+
+    @pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+    def test_kcl(self, medium_graph, engine_cls):
+        oracle = count_cliques(medium_graph, 4)
+        with engine_cls(medium_graph) as engine:
+            assert count_kcliques(engine, 4).cliques == oracle
+
+    @pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+    def test_fpm(self, medium_graph, engine_cls):
+        with Gamma(medium_graph) as reference_engine:
+            reference = frequent_pattern_mining(reference_engine, 2, 4).patterns
+        with engine_cls(medium_graph) as engine:
+            got = frequent_pattern_mining(engine, 2, 4).patterns
+        assert got == reference
+
+
+class TestCrashModes:
+    def test_in_core_graph_staging_oom(self):
+        """Graphs bigger than device memory kill in-core engines at load."""
+        big = kronecker(13, 24, seed=1)  # ~8k vertices, ~190k edges
+        platform = make_platform(device_memory_bytes=1 << 20)
+        with pytest.raises(DeviceOutOfMemory):
+            PangolinGPU(big, platform=platform)
+
+    def test_in_core_embedding_table_oom(self):
+        """Graphs that fit still die once intermediate results outgrow the
+        device (the paper's Fig. 12/14 crashes)."""
+        g = kronecker(9, 12, seed=2)
+        platform = make_platform(device_memory_bytes=1 << 19)
+        engine = PangolinGPU(g, platform=platform)
+        with pytest.raises(DeviceOutOfMemory):
+            count_kcliques(engine, 5)
+
+    def test_gamma_survives_same_workload(self):
+        g = kronecker(9, 12, seed=2)
+        platform = make_platform(device_memory_bytes=1 << 19)
+        with Gamma(g, platform=platform) as engine:
+            result = count_kcliques(engine, 5)
+        assert result.cliques == count_cliques(g, 5)
+
+    def test_cpu_engines_never_oom_on_device(self, medium_graph):
+        platform = make_platform(device_memory_bytes=1 << 14)
+        engine = Peregrine(medium_graph, platform=platform)
+        result = count_kcliques(engine, 4)
+        assert result.cliques == count_cliques(medium_graph, 4)
+
+
+class TestCostShapes:
+    def test_pangolin_st_slowest(self):
+        """On anything beyond toy size, the single-thread CPU build loses
+        (the Fig. 16 normalization baseline)."""
+        g = kronecker(10, 10, seed=4)
+        times = {}
+        for cls in (Gamma, PangolinST, Peregrine):
+            with cls(g) as engine:
+                count_kcliques(engine, 4)
+                times[cls.__name__] = engine.simulated_seconds
+        assert times["PangolinST"] > times["Peregrine"]
+        assert times["PangolinST"] > times["Gamma"]
+
+    def test_gamma_beats_pangolin_gpu_on_kcl(self):
+        """Fig. 12's shape on a mid-size hub-heavy graph."""
+        g = kronecker(10, 10, seed=4)
+        times = {}
+        for cls in (Gamma, PangolinGPU):
+            with cls(g) as engine:
+                count_kcliques(engine, 4)
+                times[cls.__name__] = engine.simulated_seconds
+        assert times["Gamma"] < times["PangolinGPU"]
+
+    def test_in_core_beats_gamma_on_tiny_graphs(self, tiny_graph):
+        """Fig. 11's EA/ER effect: host-memory preparation dominates."""
+        times = {}
+        for cls in (Gamma, GSI):
+            with cls(tiny_graph) as engine:
+                match_pattern(engine, sm_query(1))
+                times[cls.__name__] = engine.simulated_seconds
+        assert times["GSI"] < times["Gamma"]
+
+    def test_gamma_beats_cpu_on_medium(self):
+        g = kronecker(11, 10, seed=6)
+        times = {}
+        for cls in (Gamma, Peregrine, GraphMiner):
+            with cls(g) as engine:
+                triangle_count(engine)
+                times[cls.__name__] = engine.simulated_seconds
+        assert times["Gamma"] < times["Peregrine"]
+        assert times["Gamma"] < times["GraphMiner"]
+
+    def test_compaction_lowers_peak_memory(self):
+        """Fig. 10's mechanism: embedding-table compression reclaims the
+        rows that filtering invalidates."""
+        from repro.core import GammaConfig
+
+        g = kronecker(10, 8, seed=8, labels=6)
+        peaks = {}
+        for compaction in (True, False):
+            with Gamma(g, GammaConfig(compaction=compaction)) as engine:
+                frequent_pattern_mining(engine, 2, 200)
+                peaks[compaction] = engine.peak_host_bytes
+        assert peaks[True] < peaks[False]
+
+    def test_prealloc_inflates_device_peak(self):
+        """GSI's worst-case preallocation shows up as device-memory peak
+        (the 'significant space waste' of §V-B)."""
+        g = kronecker(9, 8, seed=8)
+        peaks = {}
+        for cls in (PangolinGPU, GSI):
+            with cls(g) as engine:
+                match_pattern(engine, sm_query(1))
+                peaks[cls.__name__] = engine.peak_device_bytes
+        assert peaks["GSI"] > peaks["PangolinGPU"]

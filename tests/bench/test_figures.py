@@ -1,0 +1,81 @@
+"""Smoke tests for the lighter figure drivers (the heavy ones run under
+``pytest benchmarks/``)."""
+
+import pytest
+
+from repro.bench.figures import (
+    ALL_FIGURES,
+    fig05_temporal_locality,
+    fig15_density,
+    fig16_warps,
+    fig19_multimerge,
+    table2_datasets,
+    table3_cpu_sort,
+)
+from repro.graph import datasets
+
+
+@pytest.fixture(autouse=True)
+def clear_dataset_cache():
+    yield
+    datasets.clear_cache()
+
+
+class TestFigureRegistry:
+    def test_every_paper_figure_indexed(self):
+        assert set(ALL_FIGURES) == {
+            "fig05", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
+            "fig17", "fig18", "fig19", "fig20", "table2", "table3",
+        }
+
+
+class TestLightFigures:
+    def test_fig05(self):
+        report = fig05_temporal_locality(dataset="ER", k=3)
+        assert report.figure == "Fig. 5"
+        assert report.rows
+
+    def test_fig15_small(self):
+        report = fig15_density(scale=8, factors=(2, 4, 8))
+        assert len(report.rows) == 3
+        assert all(c.startswith("[OK") for c in report.checks)
+
+    def test_fig16_small(self):
+        report = fig16_warps(dataset="ER", warps=(1, 4, 16))
+        assert len(report.rows) == 3
+        times = [float(r["time_ms"]) for r in report.rows]
+        assert times[0] > times[-1]  # more warps, less time
+
+    def test_fig19_small(self):
+        report = fig19_multimerge(tasks=((0.2, 4), (0.2, 8)))
+        assert len(report.rows) == 2
+        assert all(c.startswith("[OK") for c in report.checks)
+
+    def test_table2(self):
+        report = table2_datasets()
+        assert len(report.rows) == 10
+        assert "cit-Patent" in report.table
+
+    def test_table3_small(self):
+        report = table3_cpu_sort(n=200_000)
+        assert all(c.startswith("[OK") for c in report.checks)
+
+    def test_render_contains_checks(self):
+        report = table2_datasets()
+        text = report.render()
+        assert "Table II" in text
+        assert "[OK" in text
+
+
+class TestReportsArchive:
+    def test_archived_reports_have_no_divergences(self):
+        """After a benchmark run, every archived report must be all-[OK]
+        (the conftest enforces it at bench time; this guards stale files)."""
+        import pathlib
+
+        reports = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "reports"
+        if not reports.exists():
+            pytest.skip("no benchmark run archived yet")
+        for path in reports.glob("*.txt"):
+            text = path.read_text()
+            assert "[DIVERGES" not in text, path.name

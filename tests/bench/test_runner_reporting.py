@@ -1,0 +1,135 @@
+"""Tests for the benchmark harness plumbing."""
+
+import pytest
+
+from repro.bench import (
+    SYSTEMS,
+    RunResult,
+    Task,
+    crash_summary,
+    format_table,
+    fpm_support,
+    geometric_speedup,
+    grid_table,
+    kcl_task,
+    queries_for_dataset,
+    run_gamma_variant,
+    run_task,
+    shape_check,
+    sm_task,
+)
+from repro.core import GammaConfig
+from repro.graph import datasets
+
+
+@pytest.fixture(autouse=True)
+def clear_dataset_cache():
+    yield
+    datasets.clear_cache()
+
+
+class TestRunner:
+    def test_systems_registered(self):
+        assert {"GAMMA", "Pangolin-GPU", "Pangolin-ST", "Peregrine",
+                "GSI", "GraphMiner"} <= set(SYSTEMS)
+
+    def test_run_task_success(self):
+        result = run_task("GAMMA", "ER", sm_task(1))
+        assert not result.crashed
+        assert result.simulated_seconds > 0
+        assert result.peak_memory_bytes > 0
+        assert result.display_time.endswith("ms")
+
+    def test_run_task_unknown_system(self):
+        with pytest.raises(KeyError):
+            run_task("HAL9000", "ER", sm_task(1))
+
+    def test_crash_captured_not_raised(self):
+        from repro.gpusim import make_platform
+        from repro.baselines import PangolinGPU
+
+        def cramped_pangolin(graph):
+            return PangolinGPU(
+                graph, platform=make_platform(device_memory_bytes=1 << 12)
+            )
+
+        result = run_task(
+            "Pangolin-GPU", "CP", kcl_task(3), engine_factory=cramped_pangolin
+        )
+        assert result.crashed
+        assert result.crash_reason == "DeviceOutOfMemory"
+        assert result.display_time == "CRASH"
+
+    def test_gamma_variant(self):
+        result = run_gamma_variant(
+            "ER", sm_task(1), GammaConfig(pre_merge=False), "GAMMA-nomerge"
+        )
+        assert result.system == "GAMMA-nomerge"
+        assert not result.crashed
+
+
+class TestWorkloads:
+    def test_fpm_support_scales(self):
+        assert fpm_support(200) == 2
+        assert fpm_support(200_000) == 1000
+
+    def test_queries_for_dataset(self):
+        assert queries_for_dataset("CP") == (1, 2, 3)
+        assert queries_for_dataset("UK") == (1, 3)
+
+    def test_task_names(self):
+        assert sm_task(2).name == "SM:q2"
+        assert kcl_task(5).name == "kCL:5"
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert lines[2].split() == ["1", "x"]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_grid_table_pivots(self):
+        results = [
+            RunResult("S1", "D1", "t", simulated_seconds=1e-3),
+            RunResult("S2", "D1", "t", crashed=True),
+        ]
+        out = grid_table(results)
+        assert "1.000" in out
+        assert "CRASH" in out
+
+    def test_grid_table_memory_view(self):
+        results = [RunResult("S", "D", "t", peak_memory_bytes=2 << 20)]
+        assert "2.00" in grid_table(results, value="memory")
+
+    def test_geometric_speedup(self):
+        results = [
+            RunResult("GAMMA", "D1", "t", simulated_seconds=1.0),
+            RunResult("B", "D1", "t", simulated_seconds=2.0),
+            RunResult("GAMMA", "D2", "t", simulated_seconds=1.0),
+            RunResult("B", "D2", "t", simulated_seconds=8.0),
+        ]
+        assert geometric_speedup(results, "B") == pytest.approx(4.0)
+
+    def test_geometric_speedup_skips_crashes(self):
+        results = [
+            RunResult("GAMMA", "D1", "t", simulated_seconds=1.0),
+            RunResult("B", "D1", "t", crashed=True),
+        ]
+        assert geometric_speedup(results, "B") is None
+
+    def test_shape_check_statuses(self):
+        assert shape_check("x", "p", "m", True).startswith("[OK")
+        assert shape_check("x", "p", "m", False).startswith("[DIVERGES")
+        assert shape_check("x", "p", "m", None).startswith("[?")
+
+    def test_crash_summary(self):
+        results = [
+            RunResult("A", "D", "t"),
+            RunResult("B", "D", "t", crashed=True, crash_reason="DeviceOutOfMemory"),
+        ]
+        assert "B on D" in crash_summary(results)
+        assert crash_summary([results[0]]) == "no crashes"

@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic graphs with known properties."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list
+from repro.gpusim import make_platform
+
+
+@pytest.fixture
+def platform():
+    """A fresh default platform."""
+    return make_platform()
+
+
+@pytest.fixture
+def tiny_graph():
+    """5 vertices: a triangle (0,1,2) with a tail 2-3-4.
+
+    Labels: [0, 2, 1, 0, 2].  Known facts: 1 triangle, degrees [2,2,3,2,1].
+    """
+    return from_edge_list(
+        [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)],
+        labels=np.array([0, 2, 1, 0, 2]),
+    )
+
+
+@pytest.fixture
+def wheel_graph():
+    """Hub 0 connected to a 5-cycle 1-2-3-4-5 (the wheel W5).
+
+    Known facts: 10 edges, 5 triangles, hub degree 5.
+    """
+    edges = [(0, i) for i in range(1, 6)]
+    edges += [(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)]
+    return from_edge_list(edges)
+
+
+@pytest.fixture
+def random_labeled_graph():
+    """A reproducible 50-vertex random graph with 4 labels."""
+    rng = np.random.default_rng(42)
+    m = 160
+    src = rng.integers(0, 50, m)
+    dst = rng.integers(0, 50, m)
+    labels = rng.integers(0, 4, 50)
+    return from_edge_list(
+        list(zip(src.tolist(), dst.tolist())), num_vertices=50, labels=labels
+    )

@@ -1,0 +1,141 @@
+"""Tests for the self-adaptive access-heat planner (paper §IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core import HYBRID, UNIFIED_ONLY, ZEROCOPY_ONLY, AccessHeatPlanner
+from repro.graph import from_edge_list, star
+from repro.gpusim import make_platform
+
+
+def make_setup(buffer_pages=2, mode=HYBRID):
+    """A graph whose hub's adjacency list dominates one page."""
+    graph = star(600)  # hub adjacency list = 600 * 8 B > one 4 KB page
+    platform = make_platform()
+    region = platform.hybrid_region("nbrs", graph.neighbors, buffer_pages)
+    planner = AccessHeatPlanner(platform, region, graph.offsets, mode=mode)
+    return graph, platform, region, planner
+
+
+class TestSpatialLocality:
+    def test_weight_proportional_to_list_size_and_times(self):
+        graph, __, region, planner = make_setup()
+        hub = np.array([0, 0, 0])  # hub list accessed three times
+        heat = planner.spatial_locality(hub)
+        assert heat.sum() > 0
+        leaf = planner.spatial_locality(np.array([5]))
+        # hub spans its pages with weight 600*3; a leaf contributes 1.
+        assert heat.max() > leaf.max()
+
+    def test_empty_access(self):
+        __, __, __, planner = make_setup()
+        heat = planner.spatial_locality(np.array([], dtype=np.int64))
+        assert (heat == 0).all()
+
+    def test_explicit_multiplicities(self):
+        __, __, __, planner = make_setup()
+        a = planner.spatial_locality(np.array([0, 0]))
+        b = planner.spatial_locality(np.array([0]), np.array([2]))
+        assert np.allclose(a, b)
+
+    def test_empty_adjacency_lists_ignored(self):
+        graph = from_edge_list([(0, 1)], num_vertices=4)
+        platform = make_platform()
+        region = platform.hybrid_region("nbrs", graph.neighbors, 2)
+        planner = AccessHeatPlanner(platform, region, graph.offsets)
+        heat = planner.spatial_locality(np.array([2, 3]))  # isolated
+        assert (heat == 0).all()
+
+
+class TestPlanExtension:
+    def test_hot_pages_promoted(self):
+        __, __, region, planner = make_setup(buffer_pages=1)
+        hot = planner.plan_extension(np.array([0, 0, 0, 5]))
+        # The hub's heavily re-read pages are routed to unified memory;
+        # the chosen set is what the region serves via unified access.
+        assert len(hot) >= 1
+        assert (region.unified_pages == hot).all()
+        # the hub's first page carries the most heat and must be included
+        assert 0 in hot.tolist()
+
+    def test_temporal_history_influences_choice(self):
+        """A page hot in past extensions stays unified even when the
+        current extension touches it lightly (Def. 4.2/4.3)."""
+        __, __, region, planner = make_setup(buffer_pages=1)
+        for __ in range(5):
+            planner.plan_extension(np.array([0] * 10))  # hub dominates history
+        hot_before = set(region.unified_pages.tolist())
+        # one light extension elsewhere — history should keep hub pages hot
+        planner.plan_extension(np.array([5]))
+        assert set(region.unified_pages.tolist()) & hot_before
+
+    def test_extension_counter(self):
+        __, __, __, planner = make_setup()
+        planner.plan_extension(np.array([0]))
+        planner.plan_extension(np.array([0]))
+        assert planner.extension_index == 2
+
+    def test_unified_only_mode(self):
+        __, __, region, planner = make_setup(mode=UNIFIED_ONLY)
+        planner.plan_extension(np.array([0]))
+        assert len(region.unified_pages) == region.total_pages
+
+    def test_zerocopy_only_mode(self):
+        __, __, region, planner = make_setup(mode=ZEROCOPY_ONLY)
+        planner.plan_extension(np.array([0]))
+        assert len(region.unified_pages) == 0
+
+    def test_invalid_mode_rejected(self):
+        graph = star(10)
+        platform = make_platform()
+        region = platform.hybrid_region("n", graph.neighbors, 2)
+        with pytest.raises(ValueError):
+            AccessHeatPlanner(platform, region, graph.offsets, mode="wild")
+
+
+class TestHotOverlap:
+    def test_fig5_statistic_recorded(self):
+        __, __, __, planner = make_setup()
+        planner.plan_extension(np.array([0, 0]))
+        planner.plan_extension(np.array([0]))
+        planner.plan_extension(np.array([0]))
+        assert len(planner.hot_overlap_history) == 2
+        # hub pages repeat -> overlap should be perfect here
+        assert planner.hot_overlap_history[-1] == pytest.approx(1.0)
+
+    def test_disjoint_accesses_zero_overlap(self):
+        graph = from_edge_list(
+            [(0, i) for i in range(1, 500)] + [(1000, 1000 + i) for i in range(1, 500)],
+            num_vertices=1600,
+        )
+        platform = make_platform()
+        region = platform.hybrid_region("n", graph.neighbors, 2)
+        planner = AccessHeatPlanner(platform, region, graph.offsets)
+        planner.plan_extension(np.array([0]))
+        planner.plan_extension(np.array([1000]))
+        assert planner.hot_overlap_history[-1] < 0.5
+
+
+class TestHybridBeatsSingleModes:
+    def test_fig20_shape(self):
+        """Mixed hot/cold access: hybrid cheaper than either single mode."""
+        graph = star(2000)
+        times = {}
+        for mode in (HYBRID, UNIFIED_ONLY, ZEROCOPY_ONLY):
+            platform = make_platform()
+            region = platform.hybrid_region("n", graph.neighbors, 2)
+            planner = AccessHeatPlanner(platform, region, graph.offsets, mode=mode)
+            rng = np.random.default_rng(0)
+            for ext in range(6):
+                # hub re-read every time + a few cold leaves
+                vertices = np.concatenate([
+                    np.zeros(4, dtype=np.int64),
+                    rng.integers(1, 2000, 8),
+                ])
+                planner.plan_extension(vertices)
+                starts = graph.offsets[vertices]
+                ends = graph.offsets[vertices + 1]
+                region.gather_ranges(starts, ends)
+            times[mode] = platform.clock.total
+        assert times[HYBRID] <= times[UNIFIED_ONLY]
+        assert times[HYBRID] <= times[ZEROCOPY_ONLY]

@@ -1,0 +1,166 @@
+"""Tests for the columnar embedding table."""
+
+import numpy as np
+import pytest
+
+from repro.core import EDGE, VERTEX, EmbeddingTable
+from repro.errors import DeviceOutOfMemory, ExecutionError, HostOutOfMemory
+from repro.gpusim import make_platform
+from repro.gpusim import stats as st
+
+
+@pytest.fixture
+def table(platform):
+    return EmbeddingTable(platform, VERTEX, "t")
+
+
+class TestShape:
+    def test_empty(self, table):
+        assert table.depth == 0
+        assert table.num_embeddings == 0
+        assert table.materialize().shape == (0, 0)
+
+    def test_seed(self, table):
+        table.seed(np.array([3, 5, 9]))
+        assert table.depth == 1
+        assert table.num_embeddings == 3
+
+    def test_double_seed_rejected(self, table):
+        table.seed(np.array([1]))
+        with pytest.raises(ExecutionError):
+            table.seed(np.array([2]))
+
+    def test_append_before_seed_rejected(self, table):
+        with pytest.raises(ExecutionError):
+            table.append_column(np.array([1]), np.array([0]))
+
+    def test_invalid_kind_rejected(self, platform):
+        with pytest.raises(ExecutionError):
+            EmbeddingTable(platform, "weird")
+
+    def test_bad_parent_rejected(self, table):
+        table.seed(np.array([1, 2]))
+        with pytest.raises(ExecutionError):
+            table.append_column(np.array([5]), np.array([2]))  # only 2 rows
+        with pytest.raises(ExecutionError):
+            table.append_column(np.array([5]), np.array([-1]))
+
+
+class TestMaterialize:
+    def test_prefix_tree_sharing(self, table):
+        # Two seeds; the first has two children (shared parent cell).
+        table.seed(np.array([10, 20]))
+        table.append_column(np.array([11, 12, 21]), np.array([0, 0, 1]))
+        mats = table.materialize()
+        assert mats.tolist() == [[10, 11], [10, 12], [20, 21]]
+
+    def test_three_levels(self, table):
+        table.seed(np.array([1]))
+        table.append_column(np.array([2, 3]), np.array([0, 0]))
+        table.append_column(np.array([4, 5, 6]), np.array([0, 0, 1]))
+        mats = table.materialize()
+        assert mats.tolist() == [[1, 2, 4], [1, 2, 5], [1, 3, 6]]
+
+    def test_row_subset(self, table):
+        table.seed(np.array([1, 2, 3]))
+        mats = table.materialize(np.array([2, 0]))
+        assert mats.tolist() == [[3], [1]]
+
+    def test_total_cells(self, table):
+        table.seed(np.array([1, 2]))
+        table.append_column(np.array([5]), np.array([1]))
+        assert table.total_cells == 3
+        assert table.nbytes == 3 * 16
+
+
+class TestCompact:
+    def test_compact_removes_rows(self, table):
+        table.seed(np.array([1, 2, 3, 4]))
+        removed = table.compact(np.array([True, False, True, False]))
+        assert removed == 2
+        assert table.materialize().ravel().tolist() == [1, 3]
+
+    def test_compact_wrong_mask_rejected(self, table):
+        table.seed(np.array([1, 2]))
+        with pytest.raises(ExecutionError):
+            table.compact(np.array([True]))
+
+    def test_compact_empty_table_rejected(self, table):
+        with pytest.raises(ExecutionError):
+            table.compact(np.array([], dtype=bool))
+
+    def test_compact_reclaims_host_memory(self, platform):
+        table = EmbeddingTable(platform, VERTEX, "t")
+        table.seed(np.arange(1000))
+        used_before = platform.host_used
+        table.compact(np.zeros(1000, dtype=bool))
+        assert platform.host_used < used_before
+
+    def test_compact_charges_three_stages(self, platform):
+        table = EmbeddingTable(platform, VERTEX, "t")
+        table.seed(np.arange(64))
+        launches_before = platform.counters.get(st.KERNEL_LAUNCHES)
+        table.compact(np.ones(64, dtype=bool))
+        # mark + collect kernels (scan charges compute directly)
+        assert platform.counters.get(st.KERNEL_LAUNCHES) >= launches_before + 2
+
+
+class TestResidency:
+    def test_out_of_core_registers_host_bytes(self, platform):
+        table = EmbeddingTable(platform, VERTEX, "t")
+        table.seed(np.arange(100))
+        assert platform.host_used >= 100 * 16
+
+    def test_out_of_core_flushes_over_pcie(self, platform):
+        table = EmbeddingTable(platform, VERTEX, "t")
+        table.seed(np.arange(100))
+        assert platform.counters.get(st.BYTES_D2H) >= 100 * 16
+
+    def test_device_resident_allocates_per_column(self):
+        platform = make_platform()
+        table = EmbeddingTable(platform, VERTEX, "t", device_resident=True)
+        before = platform.device.used
+        table.seed(np.arange(10))
+        assert platform.device.used == before + 160
+
+    def test_device_resident_oom(self):
+        platform = make_platform(device_memory_bytes=1024)
+        table = EmbeddingTable(platform, VERTEX, "t", device_resident=True)
+        with pytest.raises(DeviceOutOfMemory):
+            table.seed(np.arange(100))  # 1600 bytes > 1024
+
+    def test_out_of_core_host_oom(self):
+        platform = make_platform()
+        table = EmbeddingTable(platform, VERTEX, "t")
+        too_many = platform.spec.host_memory_bytes // 16 + 1
+        with pytest.raises(HostOutOfMemory):
+            table.seed(np.zeros(too_many, dtype=np.int64))
+
+    def test_uncharged_table_charges_nothing(self, platform):
+        table = EmbeddingTable(platform, VERTEX, "t", charged=False)
+        table.seed(np.arange(100))
+        table.materialize()
+        assert platform.clock.total == 0.0
+
+    def test_release_returns_resources(self):
+        platform = make_platform()
+        table = EmbeddingTable(platform, VERTEX, "t")
+        table.seed(np.arange(100))
+        table.release()
+        assert platform.host_used == 0
+        assert platform.device.used == 0
+
+    def test_last_column_served_from_write_buffer(self):
+        """Reading the freshly written column costs device bandwidth, not a
+        fresh PCIe stream (it is still in the device write buffer)."""
+        platform = make_platform()
+        table = EmbeddingTable(platform, VERTEX, "t", write_buffer_bytes=1 << 20)
+        table.seed(np.arange(1000))
+        h2d_before = platform.counters.get(st.BYTES_H2D)
+        table.read_column_values(0)
+        assert platform.counters.get(st.BYTES_H2D) == h2d_before
+
+    def test_edge_kind(self, platform):
+        table = EmbeddingTable(platform, EDGE, "e")
+        table.seed(np.array([0, 1]))
+        assert table.kind == EDGE

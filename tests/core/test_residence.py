@@ -1,0 +1,132 @@
+"""Tests for the three graph-residency placements."""
+
+import numpy as np
+import pytest
+
+from repro.core import GammaResidence, HostResidence, InCoreResidence
+from repro.errors import DeviceOutOfMemory
+from repro.graph import kronecker
+from repro.gpusim import make_platform
+from repro.gpusim import clock as clk
+from repro.gpusim import stats as st
+
+
+@pytest.fixture
+def graph():
+    return kronecker(8, 6, seed=1, labels=4)
+
+
+def residences(graph):
+    gamma_platform = make_platform()
+    incore_platform = make_platform()
+    host_platform = make_platform()
+    return (
+        GammaResidence(gamma_platform, graph, buffer_pages=16),
+        InCoreResidence(incore_platform, graph),
+        HostResidence(host_platform, graph),
+    )
+
+
+class TestReadAgreement:
+    """All placements return identical data (they differ only in cost)."""
+
+    def test_adjacency(self, graph):
+        verts = np.array([0, 5, 17, 5])
+        outs = [r.adjacency_of(verts) for r in residences(graph)]
+        for values, lengths in outs[1:]:
+            assert (values == outs[0][0]).all()
+            assert (lengths == outs[0][1]).all()
+
+    def test_incident_edges(self, graph):
+        verts = np.array([3, 9])
+        outs = [r.incident_edges_of(verts) for r in residences(graph)]
+        for values, __ in outs[1:]:
+            assert (values == outs[0][0]).all()
+
+    def test_labels_and_degrees(self, graph):
+        verts = np.array([1, 2, 3])
+        for r in residences(graph):
+            assert (r.labels_of(verts) == graph.labels[verts]).all()
+            assert (r.degrees_of(verts) == graph.degrees[verts]).all()
+
+    def test_endpoints(self, graph):
+        eids = np.array([0, graph.num_edges - 1])
+        for r in residences(graph):
+            src, dst = r.endpoints_of(eids)
+            assert (src == graph.edge_src[eids]).all()
+            assert (dst == graph.edge_dst[eids]).all()
+
+
+class TestGammaResidence:
+    def test_lazy_edge_regions(self, graph):
+        platform = make_platform()
+        res = GammaResidence(platform, graph, buffer_pages=16)
+        neighbors_only = platform.host_used
+        __ = res.edge_slots  # touch -> registers
+        assert platform.host_used > neighbors_only
+
+    def test_structural_arrays_on_device(self, graph):
+        platform = make_platform()
+        GammaResidence(platform, graph, buffer_pages=16)
+        expected = graph.offsets.nbytes + graph.labels.nbytes
+        assert platform.device.peak_for("graph:structural") == expected
+
+    def test_adjacency_charges_host_traffic(self, graph):
+        platform = make_platform()
+        res = GammaResidence(platform, graph, buffer_pages=16)
+        platform.clock.reset()
+        res.adjacency_of(np.arange(graph.num_vertices))
+        pcie = (
+            platform.clock.time_in(clk.PCIE_ZEROCOPY)
+            + platform.clock.time_in(clk.PCIE_UNIFIED)
+        )
+        assert pcie > 0
+
+    def test_release_returns_everything(self, graph):
+        platform = make_platform()
+        res = GammaResidence(platform, graph, buffer_pages=16)
+        res.adjacency_of(np.array([0]))
+        res.endpoints_of(np.array([0]))  # materialize lazy regions
+        __ = res.edge_slots
+        res.release()
+        assert platform.device.used == 0
+        assert platform.host_used == 0
+
+
+class TestInCoreResidence:
+    def test_stages_graph_over_pcie(self, graph):
+        platform = make_platform()
+        InCoreResidence(platform, graph)
+        assert platform.counters.get(st.BYTES_H2D) >= graph.neighbors.nbytes
+
+    def test_oom_on_small_device(self, graph):
+        platform = make_platform(device_memory_bytes=1024)
+        with pytest.raises(DeviceOutOfMemory):
+            InCoreResidence(platform, graph)
+
+    def test_reads_cost_device_bandwidth_only(self, graph):
+        platform = make_platform()
+        res = InCoreResidence(platform, graph)
+        platform.clock.reset()
+        res.adjacency_of(np.array([0, 1, 2]))
+        assert platform.clock.time_in(clk.DEVICE_MEM) > 0
+        assert platform.clock.time_in(clk.PCIE_ZEROCOPY) == 0
+
+    def test_release(self, graph):
+        platform = make_platform()
+        res = InCoreResidence(platform, graph)
+        res.endpoints_of(np.array([0]))
+        __ = res.edge_slots
+        res.release()
+        assert platform.device.used == 0
+
+
+class TestHostResidence:
+    def test_free_of_charge(self, graph):
+        platform = make_platform()
+        res = HostResidence(platform, graph)
+        res.adjacency_of(np.arange(graph.num_vertices))
+        res.incident_edges_of(np.array([0]))
+        res.endpoints_of(np.array([0]))
+        assert platform.clock.total == 0.0
+        assert platform.device.used == 0

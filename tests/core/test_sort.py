@@ -1,0 +1,171 @@
+"""Tests for Optimization 3: out-of-core sorting (Algorithm 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.core import (
+    CPU_SORT,
+    MULTI_MERGE,
+    NAIVE_MERGE,
+    XTR2SORT,
+    device_sort_segments,
+    multi_merge,
+    out_of_core_sort,
+    sort_and_count,
+)
+from repro.errors import ExecutionError
+from repro.gpusim import make_platform
+from repro.gpusim import clock as clk
+
+
+@pytest.fixture
+def keys():
+    return np.random.default_rng(7).integers(-1 << 40, 1 << 40, 50_000)
+
+
+class TestSegmentPhase:
+    def test_segments_sorted_and_partition_input(self, platform, keys):
+        segments = device_sort_segments(platform, keys, 7_000)
+        assert sum(len(s) for s in segments) == len(keys)
+        for seg in segments:
+            assert (np.diff(seg) >= 0).all()
+
+    def test_single_segment(self, platform):
+        segs = device_sort_segments(platform, np.array([3, 1, 2]), 100)
+        assert len(segs) == 1
+        assert segs[0].tolist() == [1, 2, 3]
+
+    def test_invalid_segment_len(self, platform, keys):
+        with pytest.raises(ExecutionError):
+            device_sort_segments(platform, keys, 0)
+
+    def test_charges_pcie_roundtrip(self, platform, keys):
+        device_sort_segments(platform, keys, 10_000)
+        assert platform.clock.time_in(clk.PCIE_EXPLICIT) > 0
+
+
+class TestMultiMerge:
+    def test_merges_correctly(self, platform, keys):
+        segments = device_sort_segments(platform, keys, 9_000)
+        merged = multi_merge(platform, segments, p_size=1024)
+        assert (merged == np.sort(keys)).all()
+
+    def test_duplicates_heavy(self, platform):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 5, 10_000)  # massive duplication
+        segments = device_sort_segments(platform, keys, 1_500)
+        merged = multi_merge(platform, segments, p_size=128)
+        assert (merged == np.sort(keys)).all()
+
+    def test_unsorted_segment_rejected(self, platform):
+        with pytest.raises(ExecutionError):
+            multi_merge(platform, [np.array([3, 1])])
+
+    def test_empty_input(self, platform):
+        assert len(multi_merge(platform, [])) == 0
+        assert len(multi_merge(platform, [np.array([], dtype=np.int64)])) == 0
+
+    def test_invalid_p_size(self, platform):
+        with pytest.raises(ExecutionError):
+            multi_merge(platform, [np.array([1])], p_size=0)
+
+    def test_skewed_segments(self, platform):
+        """One giant segment + several tiny ones (checkpoint imbalance)."""
+        rng = np.random.default_rng(1)
+        segs = [np.sort(rng.integers(0, 1000, n)) for n in (5000, 3, 1, 200)]
+        merged = multi_merge(platform, segs, p_size=256)
+        assert (merged == np.sort(np.concatenate(segs))).all()
+
+    def test_naive_variant_same_output(self, platform, keys):
+        segments = device_sort_segments(platform, keys, 9_000)
+        merged = multi_merge(platform, segments, p_size=1024,
+                             skip_reverse_search=False)
+        assert (merged == np.sort(keys)).all()
+
+    @given(
+        hst.lists(
+            hst.lists(hst.integers(min_value=-100, max_value=100), max_size=60),
+            min_size=1, max_size=6,
+        ),
+        hst.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_property(self, lists, p_size):
+        platform = make_platform()
+        segments = [np.sort(np.array(lst, dtype=np.int64)) for lst in lists]
+        expected = np.sort(np.concatenate(segments)) if any(
+            len(s) for s in segments
+        ) else np.array([], dtype=np.int64)
+        merged = multi_merge(platform, segments, p_size=p_size)
+        assert merged.tolist() == expected.tolist()
+
+
+class TestOutOfCoreSort:
+    @pytest.mark.parametrize("method", [MULTI_MERGE, NAIVE_MERGE, XTR2SORT, CPU_SORT])
+    def test_all_methods_correct(self, method, keys):
+        platform = make_platform()
+        out = out_of_core_sort(platform, keys, method=method, segment_len=8_000)
+        assert (out == np.sort(keys)).all()
+
+    def test_unknown_method_rejected(self, platform, keys):
+        with pytest.raises(ExecutionError):
+            out_of_core_sort(platform, keys, method="bogosort")
+
+    def test_default_segment_len_from_device(self, keys):
+        platform = make_platform(device_memory_bytes=1 << 16)
+        out = out_of_core_sort(platform, keys)
+        assert (out == np.sort(keys)).all()
+
+    def test_empty_keys(self, platform):
+        out = out_of_core_sort(platform, np.array([], dtype=np.int64))
+        assert len(out) == 0
+
+    def test_fig19_ordering(self):
+        """The Fig. 19 shape at merge-bound sizes: multi-merge < xtr2sort <
+        naive, and the CPU sort far behind (Table III)."""
+        big = np.random.default_rng(3).integers(-1 << 60, 1 << 60, 400_000)
+        times = {}
+        for method in (MULTI_MERGE, NAIVE_MERGE, XTR2SORT, CPU_SORT):
+            platform = make_platform()
+            out_of_core_sort(platform, big, method=method, segment_len=50_000,
+                             p_size=8192)
+            times[method] = platform.clock.total
+        assert times[MULTI_MERGE] < times[NAIVE_MERGE]
+        assert times[MULTI_MERGE] < times[XTR2SORT]
+        assert times[CPU_SORT] > 3 * times[MULTI_MERGE]
+
+    def test_input_not_mutated(self, platform, keys):
+        copy = keys.copy()
+        out_of_core_sort(platform, keys, segment_len=8_000)
+        assert (keys == copy).all()
+
+
+class TestSortAndCount:
+    def test_run_length(self, platform):
+        uniq, counts = sort_and_count(
+            platform, np.array([5, 1, 5, 5, 2, 1]), segment_len=3, p_size=2
+        )
+        assert uniq.tolist() == [1, 2, 5]
+        assert counts.tolist() == [2, 1, 3]
+
+    def test_empty(self, platform):
+        uniq, counts = sort_and_count(platform, np.array([], dtype=np.int64))
+        assert len(uniq) == 0
+        assert len(counts) == 0
+
+    def test_all_same(self, platform):
+        uniq, counts = sort_and_count(platform, np.full(100, 7), segment_len=30)
+        assert uniq.tolist() == [7]
+        assert counts.tolist() == [100]
+
+    @given(hst.lists(hst.integers(min_value=-50, max_value=50), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_unique(self, values):
+        platform = make_platform()
+        arr = np.array(values, dtype=np.int64)
+        uniq, counts = sort_and_count(platform, arr, segment_len=37, p_size=8)
+        exp_u, exp_c = np.unique(arr, return_counts=True)
+        assert uniq.tolist() == exp_u.tolist()
+        assert counts.tolist() == exp_c.tolist()

@@ -1,0 +1,95 @@
+"""Tests for simulated-time accounting and event counters."""
+
+import pytest
+
+from repro.gpusim import ClockSection, Counters, SimClock
+from repro.gpusim import clock as clk
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().total == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(clk.COMPUTE, 1.5)
+        clock.advance(clk.COMPUTE, 0.5)
+        assert clock.time_in(clk.COMPUTE) == pytest.approx(2.0)
+
+    def test_total_sums_categories(self):
+        clock = SimClock()
+        clock.advance(clk.COMPUTE, 1.0)
+        clock.advance(clk.PCIE_UNIFIED, 2.0)
+        assert clock.total == pytest.approx(3.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(clk.COMPUTE, -1.0)
+
+    def test_zero_advance_creates_no_bucket(self):
+        clock = SimClock()
+        clock.advance(clk.COMPUTE, 0.0)
+        assert clock.snapshot() == {}
+
+    def test_unknown_category_accepted(self):
+        clock = SimClock()
+        clock.advance("custom_bucket", 1.0)
+        assert clock.time_in("custom_bucket") == 1.0
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(clk.COMPUTE, 1.0)
+        clock.reset()
+        assert clock.total == 0.0
+
+    def test_snapshot_is_a_copy(self):
+        clock = SimClock()
+        clock.advance(clk.COMPUTE, 1.0)
+        snap = clock.snapshot()
+        snap[clk.COMPUTE] = 99.0
+        assert clock.time_in(clk.COMPUTE) == 1.0
+
+    def test_iteration_sorted(self):
+        clock = SimClock()
+        clock.advance("b", 1.0)
+        clock.advance("a", 1.0)
+        assert [k for k, __ in clock] == ["a", "b"]
+
+    def test_clock_section_measures_delta(self):
+        clock = SimClock()
+        clock.advance(clk.COMPUTE, 5.0)
+        with ClockSection(clock) as section:
+            clock.advance(clk.COMPUTE, 2.0)
+        assert section.elapsed == pytest.approx(2.0)
+
+
+class TestCounters:
+    def test_default_zero(self):
+        assert Counters().get("anything") == 0
+
+    def test_add_accumulates(self):
+        counters = Counters()
+        counters.add("x", 3)
+        counters.add("x")
+        assert counters.get("x") == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().add("x", -1)
+
+    def test_zero_add_creates_no_entry(self):
+        counters = Counters()
+        counters.add("x", 0)
+        assert counters.snapshot() == {}
+
+    def test_reset(self):
+        counters = Counters()
+        counters.add("x", 5)
+        counters.reset()
+        assert counters.get("x") == 0
+
+    def test_iteration_sorted(self):
+        counters = Counters()
+        counters.add("b", 1)
+        counters.add("a", 2)
+        assert [k for k, __ in counters] == ["a", "b"]

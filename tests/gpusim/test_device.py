@@ -1,0 +1,80 @@
+"""Tests for the capacity-limited device-memory allocator."""
+
+import pytest
+
+from repro.errors import DeviceOutOfMemory
+from repro.gpusim import DeviceMemory
+
+
+class TestDeviceMemory:
+    def test_allocate_tracks_usage(self):
+        mem = DeviceMemory(1000)
+        mem.allocate(400, "a")
+        assert mem.used == 400
+        assert mem.available == 600
+
+    def test_over_capacity_raises(self):
+        mem = DeviceMemory(1000)
+        with pytest.raises(DeviceOutOfMemory) as excinfo:
+            mem.allocate(1001, "big")
+        assert excinfo.value.requested == 1001
+        assert excinfo.value.available == 1000
+        assert "big" in str(excinfo.value)
+
+    def test_exact_capacity_allowed(self):
+        mem = DeviceMemory(1000)
+        mem.allocate(1000)
+        assert mem.available == 0
+
+    def test_free_returns_capacity(self):
+        mem = DeviceMemory(1000)
+        alloc = mem.allocate(600)
+        mem.free(alloc)
+        assert mem.used == 0
+        mem.allocate(1000)  # must not raise
+
+    def test_double_free_raises(self):
+        mem = DeviceMemory(1000)
+        alloc = mem.allocate(100)
+        mem.free(alloc)
+        with pytest.raises(ValueError):
+            mem.free(alloc)
+
+    def test_peak_survives_free(self):
+        mem = DeviceMemory(1000)
+        a = mem.allocate(700)
+        mem.free(a)
+        mem.allocate(100)
+        assert mem.peak == 700
+
+    def test_peak_by_tag(self):
+        mem = DeviceMemory(1000)
+        a = mem.allocate(300, "et")
+        mem.allocate(200, "buffer")
+        mem.free(a)
+        mem.allocate(100, "et")
+        assert mem.peak_for("et") == 300
+        assert mem.peak_for("buffer") == 200
+        assert mem.peak_for("unknown") == 0
+
+    def test_try_allocate_returns_none_on_oom(self):
+        mem = DeviceMemory(100)
+        assert mem.try_allocate(200) is None
+        assert mem.try_allocate(50) is not None
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(100).allocate(-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(0)
+
+    def test_fragmentation_free_model(self):
+        """The allocator is a byte counter, not an address-space model:
+        interleaved alloc/free cannot fragment."""
+        mem = DeviceMemory(100)
+        a = mem.allocate(50)
+        mem.allocate(25)
+        mem.free(a)
+        assert mem.try_allocate(75) is not None

@@ -1,0 +1,140 @@
+"""Property-based tests of the page buffer and related invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.gpusim import PageBuffer, make_platform
+from repro.gpusim import clock as clk
+
+
+@hst.composite
+def access_traces(draw):
+    total_pages = draw(hst.integers(min_value=1, max_value=64))
+    capacity = draw(hst.integers(min_value=0, max_value=32))
+    n_batches = draw(hst.integers(min_value=0, max_value=20))
+    batches = [
+        np.unique(
+            np.array(
+                draw(
+                    hst.lists(
+                        hst.integers(min_value=0, max_value=total_pages - 1),
+                        max_size=24,
+                    )
+                ),
+                dtype=np.int64,
+            )
+        )
+        for __ in range(n_batches)
+    ]
+    return total_pages, capacity, batches
+
+
+class TestPageBufferProperties:
+    @given(access_traces())
+    @settings(max_examples=80, deadline=None)
+    def test_residency_never_exceeds_capacity(self, trace):
+        total_pages, capacity, batches = trace
+        buffer = PageBuffer(capacity, total_pages)
+        for batch in batches:
+            buffer.access(batch)
+            assert buffer.resident_count <= max(capacity, 0)
+            assert buffer.resident_count == len(buffer.resident_pages)
+
+    @given(access_traces())
+    @settings(max_examples=80, deadline=None)
+    def test_hits_plus_misses_cover_batch(self, trace):
+        total_pages, capacity, batches = trace
+        buffer = PageBuffer(capacity, total_pages)
+        for batch in batches:
+            hits, misses = buffer.access(batch)
+            assert hits + misses == len(batch)
+            assert hits >= 0 and misses >= 0
+
+    @given(access_traces())
+    @settings(max_examples=50, deadline=None)
+    def test_repeat_access_within_capacity_hits(self, trace):
+        total_pages, capacity, batches = trace
+        buffer = PageBuffer(capacity, total_pages)
+        for batch in batches:
+            buffer.access(batch)
+            if 0 < len(batch) <= capacity:
+                hits, misses = buffer.access(batch)
+                assert misses == 0
+                assert hits == len(batch)
+
+    @given(access_traces())
+    @settings(max_examples=50, deadline=None)
+    def test_zero_capacity_never_hits(self, trace):
+        total_pages, __, batches = trace
+        buffer = PageBuffer(0, total_pages)
+        for batch in batches:
+            hits, __ = buffer.access(batch)
+            assert hits == 0
+            assert buffer.resident_count == 0
+
+    def test_drop_is_exact(self):
+        buffer = PageBuffer(8, 16)
+        buffer.access(np.array([1, 2, 3]))
+        buffer.drop(np.array([2, 9]))  # 9 was never resident
+        assert buffer.resident_count == 2
+        assert not buffer.is_resident(2)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PageBuffer(-1, 4)
+
+
+class TestClockInvariants:
+    @given(
+        hst.lists(
+            hst.tuples(
+                hst.sampled_from([clk.COMPUTE, clk.PCIE_UNIFIED, clk.HOST_PREP]),
+                hst.floats(min_value=0, max_value=10, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_is_sum_of_buckets(self, charges):
+        platform = make_platform()
+        for category, seconds in charges:
+            platform.clock.advance(category, seconds)
+        assert platform.clock.total == pytest.approx(
+            sum(s for __, s in charges)
+        )
+        assert platform.clock.total == pytest.approx(
+            sum(v for __, v in platform.clock)
+        )
+
+    @given(hst.lists(hst.floats(min_value=0, max_value=5, allow_nan=False),
+                     max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone(self, amounts):
+        platform = make_platform()
+        previous = 0.0
+        for amount in amounts:
+            platform.clock.advance(clk.COMPUTE, amount)
+            assert platform.clock.total >= previous
+            previous = platform.clock.total
+
+
+class TestSortAdversarialInputs:
+    @pytest.mark.parametrize("maker", [
+        lambda n: np.zeros(n, dtype=np.int64),
+        lambda n: np.arange(n, dtype=np.int64),
+        lambda n: np.arange(n, dtype=np.int64)[::-1].copy(),
+        lambda n: np.tile(np.array([3, 1, 2], dtype=np.int64), n // 3 + 1)[:n],
+        lambda n: np.array([np.iinfo(np.int64).min, np.iinfo(np.int64).max] * (n // 2),
+                           dtype=np.int64)[:n],
+    ], ids=["constant", "sorted", "reversed", "cyclic", "extremes"])
+    @pytest.mark.parametrize("method", ["multi_merge", "naive_merge", "xtr2sort"])
+    def test_degenerate_distributions(self, maker, method):
+        from repro.core import out_of_core_sort
+
+        keys = maker(10_000)
+        platform = make_platform()
+        out = out_of_core_sort(platform, keys, method=method,
+                               segment_len=1_500, p_size=256)
+        assert (out == np.sort(keys)).all()

@@ -1,0 +1,118 @@
+"""Tests for the PCIe bus model, platform lifecycle and device spec."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import DEFAULT_COST, DEFAULT_SPEC, GpuPlatform, make_platform
+from repro.gpusim import clock as clk
+from repro.gpusim import stats as st
+from repro.gpusim.spec import CostModel, DeviceSpec
+
+
+class TestPcie:
+    def test_explicit_copy_time(self, platform):
+        platform.pcie.explicit_copy(12_000_000)  # 12 MB at 12 GB/s = 1 ms
+        assert platform.clock.time_in(clk.PCIE_EXPLICIT) == pytest.approx(1e-3)
+        assert platform.counters.get(st.BYTES_H2D) == 12_000_000
+
+    def test_copy_direction_counters(self, platform):
+        platform.pcie.explicit_copy(100, to_device=False)
+        assert platform.counters.get(st.BYTES_D2H) == 100
+        assert platform.counters.get(st.BYTES_H2D) == 0
+
+    def test_migrate_pages(self, platform):
+        platform.pcie.migrate_pages(3)
+        assert platform.counters.get(st.PAGE_FAULTS) == 3
+        assert platform.counters.get(st.BYTES_H2D) == 3 * platform.spec.page_size
+        assert platform.clock.time_in(clk.PAGE_FAULT) == pytest.approx(
+            3 * platform.cost.page_fault_overhead
+        )
+
+    def test_bulk_unified_amortizes_faults(self, platform):
+        nbytes = 64 * platform.spec.page_size
+        platform.pcie.bulk_unified(nbytes, prefetch_pages=16)
+        assert platform.counters.get(st.PAGE_FAULTS) == 4  # 64 pages / 16
+
+    def test_zerocopy_latency_and_bandwidth(self, platform):
+        platform.pcie.zerocopy_transactions(1000)
+        expected = (
+            1000 * platform.spec.zerocopy_line / platform.cost.zerocopy_bandwidth
+            + 1000 * platform.cost.zerocopy_latency
+        )
+        assert platform.clock.time_in(clk.PCIE_ZEROCOPY) == pytest.approx(expected)
+
+    def test_writeback(self, platform):
+        platform.pcie.writeback(500)
+        assert platform.counters.get(st.BYTES_D2H) == 500
+
+    def test_zero_amounts_free(self, platform):
+        platform.pcie.explicit_copy(0)
+        platform.pcie.migrate_pages(0)
+        platform.pcie.zerocopy_transactions(0)
+        platform.pcie.writeback(0)
+        platform.pcie.bulk_unified(0)
+        assert platform.clock.total == 0.0
+
+    @pytest.mark.parametrize("method,args", [
+        ("explicit_copy", (-1,)),
+        ("migrate_pages", (-1,)),
+        ("zerocopy_transactions", (-1,)),
+        ("writeback", (-1,)),
+        ("bulk_unified", (-1,)),
+    ])
+    def test_negative_rejected(self, platform, method, args):
+        with pytest.raises(ValueError):
+            getattr(platform.pcie, method)(*args)
+
+
+class TestPlatform:
+    def test_reset_clears_clock_and_counters(self, platform):
+        platform.pcie.explicit_copy(100)
+        platform.reset()
+        assert platform.simulated_seconds == 0.0
+        assert platform.counters.snapshot() == {}
+
+    def test_make_platform_overrides(self):
+        p = make_platform(num_warps=7, device_memory_bytes=12345, cpu_threads=3)
+        assert p.kernel.num_warps == 7
+        assert p.device.capacity == 12345
+        assert p.cpu.threads == 3
+
+    def test_make_platform_custom_cost(self):
+        cost = CostModel(pcie_bandwidth=1e9)
+        p = make_platform(cost=cost)
+        p.pcie.explicit_copy(1_000_000)
+        assert p.clock.time_in(clk.PCIE_EXPLICIT) == pytest.approx(1e-3)
+
+    def test_defaults(self):
+        p = GpuPlatform()
+        assert p.spec is DEFAULT_SPEC
+        assert p.cost is DEFAULT_COST
+
+
+class TestDeviceSpec:
+    def test_scaled_memories(self):
+        spec = DeviceSpec().scaled(1024)
+        assert spec.device_memory_bytes == 16 * (1 << 30) // 1024
+        assert spec.host_memory_bytes == 380 * (1 << 30) // 1024
+
+    def test_paper_constants(self):
+        """The constants the paper's §II quotes."""
+        spec = DeviceSpec()
+        assert spec.page_size == 4096
+        assert spec.zerocopy_line == 128
+        assert spec.warp_size == 32
+        assert spec.shared_memory_bytes == 48 * 1024
+
+    def test_throughput_helpers(self):
+        cost = CostModel()
+        spec = DeviceSpec()
+        assert cost.gpu_ops_per_second(spec) == pytest.approx(
+            spec.active_warps * 32 * spec.clock_hz * cost.gpu_ipc
+        )
+        assert cost.cpu_ops_per_second(4) == pytest.approx(
+            4 * cost.cpu_ops_per_thread
+        )
+        assert cost.cpu_ops_per_second() == pytest.approx(
+            cost.cpu_threads * cost.cpu_ops_per_thread
+        )

@@ -1,0 +1,70 @@
+"""Tests for the execution-trace recorder."""
+
+import pytest
+
+from repro.algorithms import triangle_count
+from repro.core import Gamma
+from repro.graph import kronecker
+from repro.gpusim import TraceRecorder, make_platform
+from repro.gpusim import clock as clk
+
+
+class TestTraceRecorder:
+    def test_listener_accumulates(self):
+        platform = make_platform()
+        trace = TraceRecorder().attach(platform)
+        platform.clock.advance(clk.COMPUTE, 0.5)
+        platform.clock.advance(clk.COMPUTE, 0.5)
+        platform.clock.advance(clk.PCIE_EXPLICIT, 1.0)
+        assert trace.total == pytest.approx(2.0)
+        summary = dict((name, share) for name, __, share in trace.summary())
+        assert summary[clk.COMPUTE] == pytest.approx(0.5)
+
+    def test_summary_sorted_descending(self):
+        platform = make_platform()
+        trace = TraceRecorder().attach(platform)
+        platform.clock.advance("a", 1.0)
+        platform.clock.advance("b", 3.0)
+        assert [name for name, __, __ in trace.summary()] == ["b", "a"]
+
+    def test_events_optional(self):
+        platform = make_platform()
+        trace = TraceRecorder(keep_events=True).attach(platform)
+        platform.clock.advance("x", 1.0)
+        platform.clock.advance("y", 2.0)
+        assert len(trace.events) == 2
+        assert trace.events[1][1] == "y"
+
+    def test_events_off_by_default(self):
+        platform = make_platform()
+        trace = TraceRecorder().attach(platform)
+        platform.clock.advance("x", 1.0)
+        assert trace.events == []
+
+    def test_render(self):
+        platform = make_platform()
+        trace = TraceRecorder().attach(platform)
+        platform.clock.advance(clk.COMPUTE, 3.0)
+        platform.clock.advance(clk.PAGE_FAULT, 1.0)
+        out = trace.render(width=20)
+        assert "compute" in out
+        assert "75.0%" in out
+
+    def test_render_empty(self):
+        assert "no simulated time" in TraceRecorder().render()
+
+    def test_reset(self):
+        platform = make_platform()
+        trace = TraceRecorder(keep_events=True).attach(platform)
+        platform.clock.advance("x", 1.0)
+        trace.reset()
+        assert trace.total == 0.0
+        assert trace.events == []
+
+    def test_trace_matches_clock_on_real_run(self):
+        graph = kronecker(7, 4, seed=1)
+        platform = make_platform()
+        trace = TraceRecorder().attach(platform)
+        with Gamma(graph, platform=platform) as engine:
+            triangle_count(engine)
+            assert trace.total == pytest.approx(platform.clock.total)

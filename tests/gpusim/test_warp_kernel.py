@@ -1,0 +1,164 @@
+"""Tests for warp helpers, kernel launcher and CPU executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.gpusim import (
+    WarpGrid,
+    make_platform,
+    warp_ballot,
+    warp_exclusive_scan,
+)
+from repro.gpusim import clock as clk
+from repro.gpusim import stats as st
+
+
+class TestWarpGrid:
+    def test_partition_covers_everything(self):
+        grid = WarpGrid(num_warps=4)
+        chunks = list(grid.partition(10))
+        covered = sorted(i for __, a, b in chunks for i in range(a, b))
+        assert covered == list(range(10))
+
+    def test_partition_no_overlap(self):
+        grid = WarpGrid(num_warps=3)
+        chunks = list(grid.partition(100))
+        seen = set()
+        for __, a, b in chunks:
+            span = set(range(a, b))
+            assert not span & seen
+            seen |= span
+
+    def test_fewer_tasks_than_warps(self):
+        grid = WarpGrid(num_warps=8)
+        chunks = list(grid.partition(3))
+        assert len(chunks) == 3
+        assert all(b - a == 1 for __, a, b in chunks)
+
+    def test_zero_tasks(self):
+        assert list(WarpGrid(4).partition(0)) == []
+
+    def test_negative_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            list(WarpGrid(4).partition(-1))
+
+    def test_chunk_bounds_monotone(self):
+        grid = WarpGrid(num_warps=5)
+        bounds = grid.chunk_bounds(23)
+        assert bounds[0] == 0
+        assert bounds[-1] == 23
+        assert (np.diff(bounds) >= 0).all()
+
+    @given(
+        hst.integers(min_value=1, max_value=64),
+        hst.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_property(self, warps, tasks):
+        grid = WarpGrid(warps)
+        total = sum(b - a for __, a, b in grid.partition(tasks))
+        assert total == tasks
+
+
+class TestWarpScan:
+    def test_exclusive_scan_values(self):
+        scan, total = warp_exclusive_scan(np.array([3, 0, 2, 5]))
+        assert scan.tolist() == [0, 3, 3, 5]
+        assert total == 10
+
+    def test_empty(self):
+        scan, total = warp_exclusive_scan(np.array([], dtype=np.int64))
+        assert len(scan) == 0
+        assert total == 0
+
+    def test_scan_charges_clock_when_given(self):
+        platform = make_platform()
+        warp_exclusive_scan(
+            np.arange(64), platform.clock, platform.spec, platform.cost
+        )
+        assert platform.clock.time_in(clk.COMPUTE) > 0
+
+    @given(hst.lists(hst.integers(min_value=0, max_value=100), max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_scan_matches_cumsum(self, values):
+        arr = np.array(values, dtype=np.int64)
+        scan, total = warp_exclusive_scan(arr)
+        for i in range(len(values)):
+            assert scan[i] == sum(values[:i])
+        assert total == sum(values)
+
+
+class TestWarpBallot:
+    def test_ballot_packs_bits(self):
+        assert warp_ballot(np.array([True, False, True])) == 0b101
+
+    def test_ballot_empty(self):
+        assert warp_ballot(np.array([], dtype=bool)) == 0
+
+    def test_ballot_full_warp(self):
+        assert warp_ballot(np.ones(32, dtype=bool)) == (1 << 32) - 1
+
+    def test_ballot_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            warp_ballot(np.ones(33, dtype=bool))
+
+
+class TestKernelLauncher:
+    def test_launch_overhead_always_charged(self):
+        platform = make_platform()
+        platform.kernel.launch("noop")
+        assert platform.clock.time_in(clk.KERNEL_LAUNCH) == pytest.approx(
+            platform.cost.kernel_launch_overhead
+        )
+        assert platform.counters.get(st.KERNEL_LAUNCHES) == 1
+
+    def test_compute_scales_with_warps(self):
+        slow = make_platform(num_warps=1)
+        fast = make_platform(num_warps=64)
+        slow.kernel.launch("k", element_ops=1e6)
+        fast.kernel.launch("k", element_ops=1e6)
+        ratio = slow.clock.time_in(clk.COMPUTE) / fast.clock.time_in(clk.COMPUTE)
+        assert ratio == pytest.approx(64.0)
+
+    def test_serial_steps_do_not_scale_with_warps(self):
+        one = make_platform(num_warps=1)
+        many = make_platform(num_warps=64)
+        one.kernel.launch("k", serial_steps=1e6)
+        many.kernel.launch("k", serial_steps=1e6)
+        assert one.clock.time_in(clk.COMPUTE) == pytest.approx(
+            many.clock.time_in(clk.COMPUTE)
+        )
+
+    def test_negative_work_rejected(self):
+        platform = make_platform()
+        with pytest.raises(ValueError):
+            platform.kernel.launch("k", element_ops=-1)
+
+    def test_device_bytes_charged(self):
+        platform = make_platform()
+        platform.kernel.launch("k", device_bytes=9e8)
+        assert platform.clock.time_in(clk.DEVICE_MEM) == pytest.approx(
+            9e8 / platform.cost.device_bandwidth
+        )
+
+
+class TestCpuExecutor:
+    def test_work_charges_cpu_time(self):
+        platform = make_platform(cpu_threads=1)
+        platform.cpu.work(platform.cost.cpu_ops_per_thread)
+        assert platform.clock.time_in(clk.CPU_COMPUTE) == pytest.approx(1.0)
+
+    def test_threads_speed_up(self):
+        single = make_platform(cpu_threads=1)
+        multi = make_platform(cpu_threads=32)
+        single.cpu.work(1e9)
+        multi.cpu.work(1e9)
+        ratio = single.clock.total / multi.clock.total
+        assert ratio == pytest.approx(32.0)
+
+    def test_gpu_outruns_cpu_single_thread(self):
+        """The premise of the paper: massive parallelism beats one core."""
+        platform = make_platform()
+        assert platform.kernel.ops_per_second > platform.cost.cpu_ops_per_thread

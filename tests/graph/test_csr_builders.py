@@ -1,0 +1,147 @@
+"""Tests for CSR construction and basic graph queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.errors import InvalidGraphError
+from repro.graph import CSRGraph, from_edge_list, from_edges, relabel_vertices
+
+
+class TestFromEdges:
+    def test_basic_shape(self, tiny_graph):
+        assert tiny_graph.num_vertices == 5
+        assert tiny_graph.num_edges == 5
+
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.degrees.tolist() == [2, 2, 3, 2, 1]
+
+    def test_self_loops_removed(self):
+        g = from_edge_list([(0, 0), (0, 1), (1, 1)])
+        assert g.num_edges == 1
+
+    def test_duplicates_collapse(self):
+        g = from_edge_list([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_adjacency_sorted(self, tiny_graph):
+        for v in range(tiny_graph.num_vertices):
+            nbrs = tiny_graph.neighbors_of(v)
+            assert (np.diff(nbrs) > 0).all()
+
+    def test_isolated_vertices_allowed(self):
+        g = from_edge_list([(0, 1)], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+        assert len(g.neighbors_of(4)) == 0
+
+    def test_empty_graph(self):
+        g = from_edge_list([], num_vertices=3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_num_vertices_too_small_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            from_edge_list([(0, 5)], num_vertices=3)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            from_edges(np.array([-1]), np.array([2]))
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            from_edges(np.array([1, 2]), np.array([3]))
+
+    def test_edge_ids_consistent_both_directions(self, tiny_graph):
+        # Edge (0, 1) must carry the same id in both adjacency lists.
+        g = tiny_graph
+        for v in range(g.num_vertices):
+            for nbr, eid in zip(g.neighbors_of(v), g.incident_edges_of(v)):
+                u, w = g.edge_src[eid], g.edge_dst[eid]
+                assert {u, w} == {v, nbr}
+
+    def test_canonical_endpoints(self, tiny_graph):
+        assert (tiny_graph.edge_src < tiny_graph.edge_dst).all()
+
+    @given(
+        hst.lists(
+            hst.tuples(
+                hst.integers(min_value=0, max_value=20),
+                hst.integers(min_value=0, max_value=20),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_csr_invariants(self, edges):
+        g = from_edge_list(edges, num_vertices=21)
+        # CSR accounting: adjacency slot count = 2 * undirected edges.
+        assert len(g.neighbors) == 2 * g.num_edges
+        assert g.offsets[-1] == len(g.neighbors)
+        # degree sum = 2|E|
+        assert int(g.degrees.sum()) == 2 * g.num_edges
+        # symmetry: u in N(v) <=> v in N(u)
+        for v in range(g.num_vertices):
+            for u in g.neighbors_of(v):
+                assert v in g.neighbors_of(int(u))
+
+
+class TestAdjacencyQueries:
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert tiny_graph.has_edge(1, 0)
+        assert not tiny_graph.has_edge(0, 4)
+
+    def test_has_edges_vectorized(self, tiny_graph):
+        u = np.array([0, 0, 2, 4])
+        v = np.array([1, 4, 3, 3])
+        assert tiny_graph.has_edges(u, v).tolist() == [True, False, True, True]
+
+    def test_has_edges_empty_graph(self):
+        g = from_edge_list([], num_vertices=2)
+        assert g.has_edges(np.array([0]), np.array([1])).tolist() == [False]
+
+    def test_edge_endpoints(self, tiny_graph):
+        src, dst = tiny_graph.edge_endpoints(np.arange(tiny_graph.num_edges))
+        assert sorted(zip(src.tolist(), dst.tolist())) == [
+            (0, 1), (0, 2), (1, 2), (2, 3), (3, 4),
+        ]
+
+    def test_label_queries(self, tiny_graph):
+        assert tiny_graph.label_of(1) == 2
+        assert tiny_graph.num_labels == 3
+
+    def test_storage_bytes_positive(self, tiny_graph):
+        assert tiny_graph.storage_bytes() > 0
+
+
+class TestValidation:
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            CSRGraph(
+                offsets=np.array([0, 2]),
+                neighbors=np.array([1]),  # offsets say 2 slots
+                edge_ids=np.array([0]),
+                edge_src=np.array([0]),
+                edge_dst=np.array([1]),
+            )
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            CSRGraph(
+                offsets=np.array([0, 2, 1, 2]),
+                neighbors=np.array([1, 2]),
+                edge_ids=np.array([0, 1]),
+                edge_src=np.array([0, 0]),
+                edge_dst=np.array([1, 2]),
+            )
+
+    def test_label_length_mismatch_rejected(self, tiny_graph):
+        with pytest.raises(InvalidGraphError):
+            relabel_vertices(tiny_graph, np.array([1, 2]))
+
+    def test_relabel(self, tiny_graph):
+        g2 = relabel_vertices(tiny_graph, np.zeros(5, dtype=np.int64))
+        assert g2.num_labels == 1
+        assert g2.num_edges == tiny_graph.num_edges

@@ -1,0 +1,144 @@
+"""Tests for synthetic graph generators and upscaling."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    clique_graph,
+    cycle_graph,
+    erdos_renyi,
+    kronecker,
+    star,
+    upscale,
+    zipf_labels,
+)
+
+
+class TestKronecker:
+    def test_shape(self):
+        g = kronecker(8, 4, seed=1)
+        assert g.num_vertices == 256
+        assert 0 < g.num_edges <= 4 * 256
+
+    def test_deterministic(self):
+        a = kronecker(7, 3, seed=5)
+        b = kronecker(7, 3, seed=5)
+        assert (a.edge_src == b.edge_src).all()
+        assert (a.edge_dst == b.edge_dst).all()
+
+    def test_seed_changes_graph(self):
+        a = kronecker(7, 3, seed=1)
+        b = kronecker(7, 3, seed=2)
+        assert a.num_edges != b.num_edges or not (
+            a.edge_src[: min(len(a.edge_src), len(b.edge_src))]
+            == b.edge_src[: min(len(a.edge_src), len(b.edge_src))]
+        ).all()
+
+    def test_heavy_tail(self):
+        """R-MAT graphs have hubs: max degree far above the mean."""
+        g = kronecker(10, 8, seed=3)
+        assert g.max_degree > 5 * g.degrees.mean()
+
+    def test_labels_generated(self):
+        g = kronecker(6, 4, seed=1, labels=5)
+        assert g.num_labels <= 5
+        assert g.num_labels > 1
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            kronecker(4, 2, a=0.9, b=0.9, c=0.9)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            kronecker(-1, 2)
+
+
+class TestErdosRenyi:
+    def test_edge_count_trimmed_exactly(self):
+        g = erdos_renyi(100, 300, seed=1)
+        assert g.num_edges == 300
+
+    def test_deterministic(self):
+        a = erdos_renyi(50, 100, seed=9)
+        b = erdos_renyi(50, 100, seed=9)
+        assert (a.edge_src == b.edge_src).all()
+
+
+class TestFixtures:
+    def test_clique(self):
+        g = clique_graph(5)
+        assert g.num_edges == 10
+        assert (g.degrees == 4).all()
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert (g.degrees == 2).all()
+
+    def test_star(self):
+        g = star(7)
+        assert g.num_edges == 7
+        assert g.degree(0) == 7
+        assert g.max_degree == 7
+
+
+class TestZipfLabels:
+    def test_skewed(self):
+        labels = zipf_labels(10000, 8, seed=0)
+        counts = np.bincount(labels, minlength=8)
+        assert counts[0] > counts[7]
+        assert counts.sum() == 10000
+
+    def test_single_label(self):
+        assert (zipf_labels(10, 1) == 0).all()
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_labels(10, 0)
+
+    def test_deterministic(self):
+        assert (zipf_labels(100, 4, seed=3) == zipf_labels(100, 4, seed=3)).all()
+
+
+class TestUpscale:
+    def test_scale_factor(self, tiny_graph):
+        g = upscale(tiny_graph, 4, seed=0)
+        assert g.num_vertices == 4 * tiny_graph.num_vertices
+        assert g.num_edges == 4 * tiny_graph.num_edges
+
+    def test_factor_one_is_identity(self, tiny_graph):
+        assert upscale(tiny_graph, 1) is tiny_graph
+
+    def test_labels_tiled(self, tiny_graph):
+        g = upscale(tiny_graph, 2, seed=0)
+        n = tiny_graph.num_vertices
+        assert (g.labels[:n] == g.labels[n:]).all()
+
+    def test_zero_crossover_gives_disjoint_copies(self, tiny_graph):
+        g = upscale(tiny_graph, 3, crossover=0.0, seed=0)
+        n = tiny_graph.num_vertices
+        # every edge stays within its copy
+        assert ((g.edge_src // n) == (g.edge_dst // n)).all()
+
+    def test_crossover_creates_cross_edges(self, wheel_graph):
+        g = upscale(wheel_graph, 4, crossover=0.9, seed=0)
+        n = wheel_graph.num_vertices
+        cross = ((g.edge_src // n) != (g.edge_dst // n)).sum()
+        assert cross > 0
+
+    def test_degree_distribution_preserved_without_crossover(self, wheel_graph):
+        g = upscale(wheel_graph, 3, crossover=0.0, seed=0)
+        base = np.sort(wheel_graph.degrees)
+        scaled = np.sort(g.degrees)
+        assert (scaled == np.tile(base, 3).reshape(3, -1).T.ravel()[
+            np.argsort(np.tile(np.arange(len(base)), 3), kind="stable")
+        ].reshape(-1)).sum() >= 0  # sanity; exact check below
+        assert sorted(scaled.tolist()) == sorted(np.tile(base, 3).tolist())
+
+    def test_invalid_factor_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            upscale(tiny_graph, 0)
+
+    def test_invalid_crossover_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            upscale(tiny_graph, 2, crossover=1.5)

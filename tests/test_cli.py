@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import datasets
+
+
+@pytest.fixture(autouse=True)
+def clear_dataset_cache():
+    yield
+    datasets.clear_cache()
+
+
+class TestDatasetsCommand:
+    def test_prints_table2(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cit-Patent" in out
+        assert "twitter_rv" in out
+
+
+class TestSystemsCommand:
+    def test_lists_all_systems(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        for name in ("GAMMA", "Pangolin-GPU", "Peregrine", "GSI"):
+            assert name in out
+
+
+class TestRunCommand:
+    def test_sm(self, capsys):
+        code = main(["run", "--task", "sm", "--query", "1",
+                     "--dataset", "ER", "--system", "GAMMA"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "embeddings" in out
+        assert "simulated time" in out
+
+    def test_sm_symmetry_breaking(self, capsys):
+        code = main(["run", "--task", "sm", "--query", "1",
+                     "--dataset", "ER", "--symmetry-breaking"])
+        assert code == 0
+
+    def test_kcl(self, capsys):
+        assert main(["run", "--task", "kcl", "--k", "3",
+                     "--dataset", "ER"]) == 0
+        assert "3-cliques" in capsys.readouterr().out
+
+    def test_triangles_on_baseline(self, capsys):
+        assert main(["run", "--task", "triangles", "--dataset", "ER",
+                     "--system", "Peregrine"]) == 0
+
+    def test_fpm_with_catalog_names(self, capsys):
+        assert main(["run", "--task", "fpm", "--dataset", "ER",
+                     "--min-support", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "edge[" in out or "wedge[" in out or "edge" in out
+
+    def test_fpm_mni(self, capsys):
+        assert main(["run", "--task", "fpm", "--dataset", "ER",
+                     "--min-support", "2", "--metric", "mni"]) == 0
+
+    def test_motifs(self, capsys):
+        assert main(["run", "--task", "motifs", "--edges", "2",
+                     "--dataset", "ER"]) == 0
+        assert "instances" in capsys.readouterr().out
+
+    def test_crash_returns_nonzero(self, capsys):
+        code = main(["run", "--task", "kcl", "--k", "4",
+                     "--dataset", "CL", "--system", "Pangolin-GPU"])
+        assert code == 1
+        assert "CRASH" in capsys.readouterr().out
+
+    def test_unknown_system(self, capsys):
+        code = main(["run", "--task", "sm", "--system", "HAL9000",
+                     "--dataset", "ER"])
+        assert code == 2
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--task", "alchemy"])
+
+
+class TestFigureCommand:
+    def test_table2(self, capsys):
+        assert main(["figure", "table2"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestGraphletsCommand:
+    def test_graphlets(self, capsys):
+        assert main(["run", "--task", "graphlets", "--k", "3",
+                     "--dataset", "ER"]) == 0
+        out = capsys.readouterr().out
+        assert "graphlets" in out
+        assert "induced occurrences" in out
+
+    def test_breakdown_flag(self, capsys):
+        assert main(["run", "--task", "triangles", "--dataset", "ER",
+                     "--breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "where the time went" in out
+        assert "compute" in out

@@ -1,0 +1,85 @@
+"""Package-level tests: public API surface, errors, example scripts."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.errors import (
+    DeviceOutOfMemory,
+    GammaError,
+    HostOutOfMemory,
+    InvalidGraphError,
+    InvalidPatternError,
+)
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_headline_exports(self):
+        assert repro.Gamma is repro.core.Gamma
+        assert repro.Pattern is repro.graph.Pattern
+        assert callable(repro.from_edge_list)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackages_have_docstrings(self):
+        for module in (repro, repro.core, repro.graph, repro.gpusim,
+                       repro.algorithms, repro.baselines, repro.bench):
+            assert module.__doc__ and len(module.__doc__) > 40
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (DeviceOutOfMemory, HostOutOfMemory, InvalidGraphError,
+                    InvalidPatternError):
+            assert issubclass(exc, GammaError)
+
+    def test_oom_messages(self):
+        exc = DeviceOutOfMemory(100, 10, tag="table")
+        assert exc.requested == 100
+        assert exc.available == 10
+        assert "table" in str(exc)
+        assert "100" in str(exc)
+
+    def test_host_oom_without_tag(self):
+        exc = HostOutOfMemory(5, 1)
+        assert "host OOM" in str(exc)
+
+
+class TestExamples:
+    """The quick examples must run end to end (the slow ones are exercised
+    by their underlying APIs in other tests)."""
+
+    @pytest.mark.parametrize("script", ["quickstart.py", "fraud_ring_detection.py"])
+    def test_example_runs(self, script):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / script)],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip()
+
+    def test_quickstart_oracle_agrees(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert "oracle agrees: True" in proc.stdout
+
+    def test_all_examples_exist(self):
+        present = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "fraud_ring_detection.py",
+            "social_network_motifs.py",
+            "out_of_core_scaling.py",
+        } <= present

@@ -1,0 +1,160 @@
+"""Cross-cutting property-based tests.
+
+These exercise whole-system invariants on randomly generated graphs:
+GAMMA's counts match the exact oracle, every engine agrees with every
+other, configuration knobs never change results, and the classic
+algorithmic invariants (Apriori antimonotonicity, automorphism
+divisibility) hold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as hst
+
+from repro.algorithms import (
+    count_kcliques,
+    frequent_pattern_mining,
+    match_pattern,
+)
+from repro.baselines import PangolinGPU, Peregrine
+from repro.core import Gamma, GammaConfig
+from repro.graph import (
+    Pattern,
+    count_cliques,
+    count_isomorphisms,
+    from_edges,
+    triangle,
+    zipf_labels,
+)
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@hst.composite
+def random_graphs(draw, max_vertices=24, max_edges=70, max_labels=3):
+    n = draw(hst.integers(min_value=4, max_value=max_vertices))
+    m = draw(hst.integers(min_value=3, max_value=max_edges))
+    seed = draw(hst.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    labels = zipf_labels(n, max_labels, seed=seed)
+    return from_edges(src, dst, num_vertices=n, labels=labels)
+
+
+@hst.composite
+def small_patterns(draw):
+    choice = draw(hst.integers(min_value=0, max_value=3))
+    labeled = draw(hst.booleans())
+    shapes = {
+        0: [(0, 1), (1, 2)],
+        1: [(0, 1), (1, 2), (0, 2)],
+        2: [(0, 1), (1, 2), (2, 3)],
+        3: [(0, 1), (1, 2), (2, 3), (3, 0)],
+    }
+    edges = shapes[choice]
+    k = max(max(e) for e in edges) + 1
+    labels = None
+    if labeled:
+        labels = [
+            draw(hst.integers(min_value=0, max_value=2)) for __ in range(k)
+        ]
+    return Pattern(edges, labels=labels, name=f"prop-{choice}")
+
+
+class TestOracleAgreement:
+    @given(random_graphs(), small_patterns())
+    @SLOW
+    def test_sm_matches_oracle(self, graph, pattern):
+        with Gamma(graph) as engine:
+            got = match_pattern(engine, pattern).embeddings
+        assert got == count_isomorphisms(graph, pattern)
+
+    @given(random_graphs(), hst.integers(min_value=2, max_value=4))
+    @SLOW
+    def test_kcl_matches_oracle(self, graph, k):
+        with Gamma(graph) as engine:
+            got = count_kcliques(engine, k).cliques
+        assert got == count_cliques(graph, k)
+
+
+class TestEngineEquivalence:
+    @given(random_graphs())
+    @SLOW
+    def test_gpu_baseline_agrees(self, graph):
+        with Gamma(graph) as a, PangolinGPU(graph) as b:
+            assert (
+                count_kcliques(a, 3).cliques == count_kcliques(b, 3).cliques
+            )
+
+    @given(random_graphs(), hst.integers(min_value=1, max_value=4))
+    @SLOW
+    def test_cpu_baseline_agrees_on_fpm(self, graph, min_support):
+        with Gamma(graph) as a, Peregrine(graph) as b:
+            pa = frequent_pattern_mining(a, 2, min_support).patterns
+            pb = frequent_pattern_mining(b, 2, min_support).patterns
+        assert pa == pb
+
+
+class TestConfigInvariance:
+    @given(random_graphs())
+    @SLOW
+    def test_knobs_do_not_change_counts(self, graph):
+        reference = None
+        for config in (
+            GammaConfig(),
+            GammaConfig(pre_merge=False, write_strategy="two_pass"),
+            GammaConfig(access_mode="zerocopy", compaction=False),
+            GammaConfig(num_warps=2, sort_method="xtr2sort"),
+        ):
+            with Gamma(graph, config) as engine:
+                count = count_kcliques(engine, 3).cliques
+            if reference is None:
+                reference = count
+            assert count == reference
+
+
+class TestAlgorithmicInvariants:
+    @given(random_graphs())
+    @SLOW
+    def test_automorphism_divisibility(self, graph):
+        pattern = triangle()
+        with Gamma(graph) as engine:
+            result = match_pattern(engine, pattern)
+        assert result.embeddings % pattern.automorphism_count() == 0
+
+    @given(random_graphs(), hst.integers(min_value=1, max_value=5))
+    @SLOW
+    def test_fpm_support_antimonotone(self, graph, min_support):
+        """Raising the threshold can only lose patterns; supports reported
+        always meet the threshold."""
+        with Gamma(graph) as a:
+            low = frequent_pattern_mining(a, 2, min_support).patterns
+        with Gamma(graph) as b:
+            high = frequent_pattern_mining(b, 2, min_support + 2).patterns
+        assert set(high) <= set(low)
+        assert all(v >= min_support for v in low.values())
+
+    @given(random_graphs())
+    @SLOW
+    def test_clique_hierarchy(self, graph):
+        """(k+1)-cliques cannot outnumber k-cliques * n."""
+        with Gamma(graph) as engine:
+            k3 = count_kcliques(engine, 3).cliques
+            k4 = count_kcliques(engine, 4).cliques
+        assert k4 <= k3 * graph.num_vertices
+
+    @given(random_graphs())
+    @SLOW
+    def test_simulated_time_deterministic(self, graph):
+        times = []
+        for __ in range(2):
+            with Gamma(graph) as engine:
+                count_kcliques(engine, 3)
+                times.append(engine.simulated_seconds)
+        assert times[0] == times[1]

@@ -1,0 +1,64 @@
+"""Regenerate docs/API.md from the package's public exports.
+
+Run from the repository root:  python tools/gen_api_index.py
+"""
+
+import inspect
+import pathlib
+
+import repro
+import repro.algorithms
+import repro.baselines
+import repro.bench
+import repro.core
+import repro.graph
+import repro.gpusim
+
+MODULES = (
+    repro, repro.gpusim, repro.graph, repro.core,
+    repro.algorithms, repro.baselines, repro.bench,
+)
+
+
+def kind_of(obj) -> str:
+    if inspect.ismodule(obj):
+        return "module"
+    if inspect.isclass(obj):
+        return "class"
+    if callable(obj):
+        return "function"
+    return "constant"
+
+
+def main() -> None:
+    lines = [
+        "# API index",
+        "",
+        "Generated from the package's `__all__` exports "
+        "(`python tools/gen_api_index.py` regenerates it).",
+        "",
+    ]
+    for module in MODULES:
+        lines.append(f"## `{module.__name__}`")
+        lines.append("")
+        doc = (module.__doc__ or "").strip().splitlines()
+        if doc:
+            lines.extend([doc[0], ""])
+        lines.append("| name | kind | summary |")
+        lines.append("|---|---|---|")
+        for name in sorted(getattr(module, "__all__", [])):
+            obj = getattr(module, name, None)
+            summary = ""
+            if obj is not None and not isinstance(obj, (int, float, str, tuple)):
+                docline = (inspect.getdoc(obj) or "").strip().splitlines()
+                summary = docline[0] if docline else ""
+            summary = summary.replace("|", "/")[:100]
+            lines.append(f"| `{name}` | {kind_of(obj)} | {summary} |")
+        lines.append("")
+    target = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
+    target.write_text("\n".join(lines) + "\n")
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Wall-clock hot-path benchmark: batched (fast) pipeline vs. reference.
+
+Times SM(q1), 4-clique, and FPM end-to-end on GAMMA under both hot-path
+pipelines (see :mod:`repro.perf`), verifies the simulated results are
+bit-for-bit identical, and writes ``BENCH_hotpath.json`` at the repo root —
+the perf trajectory that ``tools/perf_report.py`` renders and diffs.  The
+previous run's figures (if any) are diffed inline.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick    # CI smoke
+
+This is a standalone script, not a pytest-benchmark module: it exists to
+compare the two wall-clock pipelines *within* one process, which the figure
+benchmarks (one pipeline, simulated-time focused) cannot do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import perf  # noqa: E402
+from repro.bench.runner import SYSTEMS  # noqa: E402
+from repro.bench.workloads import (  # noqa: E402
+    fpm_support,
+    fpm_task,
+    kcl_task,
+    sm_task,
+)
+from repro.graph import datasets  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpath.json"
+
+
+def _workloads(quick: bool):
+    """(name, system, dataset, task-factory) grid; quick mode shrinks the
+    datasets so a CI smoke run finishes in seconds."""
+    sm_ds = "CL" if quick else "CL*8"
+    fpm_ds = "EA" if quick else "CL"
+    return [
+        ("SM(q1)", "GAMMA", sm_ds, lambda g: sm_task(1)),
+        ("4-clique", "GAMMA", "CL", lambda g: kcl_task(4)),
+        ("FPM", "GAMMA", fpm_ds,
+         lambda g: fpm_task(fpm_support(g.num_edges))),
+    ]
+
+
+def _run_cell(system: str, dataset: str, task):
+    """One timed end-to-end run; returns (wall_seconds, simulated, counters)."""
+    graph = datasets.load(dataset)
+    start = time.perf_counter()
+    engine = SYSTEMS[system](graph)
+    try:
+        task.run(engine)
+        wall = time.perf_counter() - start
+        return wall, engine.simulated_seconds, engine.platform.counters.snapshot()
+    finally:
+        engine.close()
+
+
+def _measure(name, system, dataset, task_factory, repeats):
+    graph = datasets.load(dataset)
+    task = task_factory(graph)
+    with perf.pipeline(perf.FAST):
+        _run_cell(system, dataset, task)  # warm caches (incl. bitset build)
+        fast_runs = [_run_cell(system, dataset, task) for __ in range(repeats)]
+    with perf.pipeline(perf.REFERENCE):
+        ref_runs = [_run_cell(system, dataset, task) for __ in range(repeats)]
+    fast_wall = min(r[0] for r in fast_runs)
+    ref_wall = min(r[0] for r in ref_runs)
+    simulated = {r[1] for r in fast_runs} | {r[1] for r in ref_runs}
+    counters = [r[2] for r in fast_runs + ref_runs]
+    identical = len(simulated) == 1 and all(c == counters[0] for c in counters)
+    return {
+        "workload": name,
+        "system": system,
+        "dataset": dataset,
+        "task": task.name,
+        "fast_seconds": fast_wall,
+        "reference_seconds": ref_wall,
+        "speedup": (ref_wall / fast_wall) if fast_wall else float("inf"),
+        "simulated_seconds": fast_runs[0][1],
+        "results_identical": identical,
+    }
+
+
+def _render(rows):
+    head = (f"{'workload':10s} {'dataset':8s} {'fast':>9s} {'reference':>10s}"
+            f" {'speedup':>8s}  identical")
+    lines = [head, "-" * len(head)]
+    for r in rows:
+        lines.append(
+            f"{r['workload']:10s} {r['dataset']:8s}"
+            f" {r['fast_seconds'] * 1e3:8.1f}ms"
+            f" {r['reference_seconds'] * 1e3:9.1f}ms"
+            f" {r['speedup']:7.2f}x  {r['results_identical']}"
+        )
+    return "\n".join(lines)
+
+
+def _diff_against_previous(rows, previous):
+    by_name = {r["workload"]: r for r in previous.get("workloads", [])}
+    lines = []
+    for r in rows:
+        old = by_name.get(r["workload"])
+        if old is None or not old.get("fast_seconds"):
+            continue
+        delta = (r["fast_seconds"] - old["fast_seconds"]) / old["fast_seconds"]
+        lines.append(
+            f"{r['workload']:10s} fast {old['fast_seconds'] * 1e3:8.1f}ms"
+            f" -> {r['fast_seconds'] * 1e3:8.1f}ms  ({delta:+.1%})"
+        )
+    return "\n".join(lines) if lines else "(no comparable previous run)"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small datasets / 1 repeat (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats per pipeline (min is reported)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"report path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    repeats = 1 if args.quick else max(1, args.repeats)
+
+    previous = None
+    if args.output.exists():
+        try:
+            previous = json.loads(args.output.read_text())
+        except (OSError, ValueError):
+            previous = None
+
+    rows = []
+    for name, system, dataset, factory in _workloads(args.quick):
+        print(f"measuring {name} on {dataset} "
+              f"({repeats} repeat(s) per pipeline)...", flush=True)
+        rows.append(_measure(name, system, dataset, factory, repeats))
+        datasets.clear_cache()
+
+    print()
+    print(_render(rows))
+    if previous is not None:
+        print("\nvs previous run:")
+        print(_diff_against_previous(rows, previous))
+
+    report = {
+        "schema": 1,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": args.quick,
+        "repeats": repeats,
+        "workloads": rows,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    bad = [r["workload"] for r in rows if not r["results_identical"]]
+    if bad:
+        print(f"ERROR: simulated results diverged between pipelines: {bad}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--edges", type=int, default=2, help="motifs: size")
     run.add_argument("--breakdown", action="store_true",
                      help="print the simulated-time breakdown")
+    run.add_argument("--profile", action="store_true",
+                     help="print per-phase wall-clock time alongside the "
+                          "simulated-time breakdown")
 
     figure = sub.add_parser("figure", help="regenerate one evaluation figure")
     figure.add_argument("name", choices=sorted(ALL_FIGURES),
@@ -90,58 +93,69 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown system {args.system!r}; see `repro systems`",
               file=sys.stderr)
         return 2
-    graph = datasets.load(args.dataset)
+    from .gpusim.trace import PhaseTimer
+
+    timer = PhaseTimer()
+    with timer.phase("load-dataset"):
+        graph = datasets.load(args.dataset)
     print(f"{args.dataset}: {graph.num_vertices} vertices, "
           f"{graph.num_edges} edges (stand-in; see DESIGN.md)")
-    engine = SYSTEMS[args.system](graph)
+    with timer.phase("build-engine"):
+        engine = SYSTEMS[args.system](graph)
     trace = None
-    if args.breakdown:
+    if args.breakdown or args.profile:
         from .gpusim.trace import TraceRecorder
 
         trace = TraceRecorder().attach(engine.platform)
     try:
-        if args.task == "sm":
-            result = match_pattern(
-                engine, sm_query(args.query),
-                symmetry_breaking=args.symmetry_breaking,
-            )
-            print(f"query q{args.query}: {result.embeddings} embeddings, "
-                  f"{result.unique_subgraphs} unique subgraphs")
-        elif args.task == "kcl":
-            result = count_kcliques(engine, args.k)
-            print(f"{args.k}-cliques: {result.cliques}")
-        elif args.task == "triangles":
-            result = triangle_count(engine)
-            print(f"triangles: {result.triangles}")
-        elif args.task == "fpm":
-            result = frequent_pattern_mining(
-                engine, args.iterations, args.min_support,
-                support_metric=args.metric,
-            )
-            catalog = default_catalog(graph.num_labels)
-            print(f"frequent patterns (support >= {args.min_support}, "
-                  f"{args.metric}):")
-            for name, support in catalog.describe(result.patterns)[:20]:
-                print(f"  {name:24s} {support}")
-        elif args.task == "motifs":
-            result = motif_count(engine, args.edges)
-            catalog = default_catalog(graph.num_labels)
-            print(f"{args.edges}-edge motifs "
-                  f"({result.total_instances} instances):")
-            for name, support in catalog.describe(result.histogram)[:20]:
-                print(f"  {name:24s} {support}")
-        else:  # graphlets
-            result = graphlet_census(engine, args.k)
-            catalog = default_catalog(graph.num_labels)
-            print(f"{args.k}-vertex graphlets "
-                  f"({result.total} induced occurrences):")
-            for name, support in catalog.describe(result.histogram)[:20]:
-                print(f"  {name:24s} {support}")
+        with timer.phase("run-task"):
+            if args.task == "sm":
+                result = match_pattern(
+                    engine, sm_query(args.query),
+                    symmetry_breaking=args.symmetry_breaking,
+                )
+                print(f"query q{args.query}: {result.embeddings} embeddings, "
+                      f"{result.unique_subgraphs} unique subgraphs")
+            elif args.task == "kcl":
+                result = count_kcliques(engine, args.k)
+                print(f"{args.k}-cliques: {result.cliques}")
+            elif args.task == "triangles":
+                result = triangle_count(engine)
+                print(f"triangles: {result.triangles}")
+            elif args.task == "fpm":
+                result = frequent_pattern_mining(
+                    engine, args.iterations, args.min_support,
+                    support_metric=args.metric,
+                )
+                catalog = default_catalog(graph.num_labels)
+                print(f"frequent patterns (support >= {args.min_support}, "
+                      f"{args.metric}):")
+                for name, support in catalog.describe(result.patterns)[:20]:
+                    print(f"  {name:24s} {support}")
+            elif args.task == "motifs":
+                result = motif_count(engine, args.edges)
+                catalog = default_catalog(graph.num_labels)
+                print(f"{args.edges}-edge motifs "
+                      f"({result.total_instances} instances):")
+                for name, support in catalog.describe(result.histogram)[:20]:
+                    print(f"  {name:24s} {support}")
+            else:  # graphlets
+                result = graphlet_census(engine, args.k)
+                catalog = default_catalog(graph.num_labels)
+                print(f"{args.k}-vertex graphlets "
+                      f"({result.total} induced occurrences):")
+                for name, support in catalog.describe(result.histogram)[:20]:
+                    print(f"  {name:24s} {support}")
         print(f"simulated time: {engine.simulated_seconds * 1e3:.3f} ms; "
               f"peak memory: {engine.peak_memory_bytes / (1 << 20):.2f} MiB")
-        if trace is not None:
+        if trace is not None and (args.breakdown or args.profile):
             print("\nwhere the time went:")
             print(trace.render())
+        if args.profile:
+            from . import perf
+
+            print(f"\nwall-clock profile (pipeline: {perf.pipeline_mode()}):")
+            print(timer.render())
         return 0
     except GammaError as exc:
         print(f"CRASH: {type(exc).__name__}: {exc}")

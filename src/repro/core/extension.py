@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import perf
 from ..errors import ExecutionError
 from ..gpusim import stats as st
 from ..gpusim.platform import GpuPlatform
@@ -140,6 +141,99 @@ class ExtensionEngine:
         for __ in range(passes):
             region.charge_ranges(starts, ends)
 
+    def _prune_candidates(
+        self,
+        cand: np.ndarray,
+        cand_row: np.ndarray,
+        mats: np.ndarray,
+        verify_cols: Sequence[int],
+        depth: int,
+        greater_than_cols: Sequence[int],
+        less_than_cols: Sequence[int],
+        injective: bool,
+        label: int | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply constraint pushdown to a candidate batch; returns the
+        surviving ``(cand, cand_row)`` in original candidate order.
+
+        Every constraint is a pure per-candidate predicate of
+        ``(row, value)``, so the survivor set is independent of evaluation
+        order — with one charged exception: ``labels_of`` bills device reads
+        for exactly the candidates that survived every *other* constraint,
+        so the label filter always runs last.  The fast pipeline compresses
+        the arrays after each predicate (cheap ordering filters first, edge
+        verification on the shrunken remainder) instead of AND-ing
+        full-width boolean masks; the reference pipeline keeps the original
+        mask cascade.  Identical survivors, identical charges.
+        """
+        if perf.use_reference():
+            mask = np.ones(len(cand), dtype=bool)
+            for col in verify_cols:
+                mask &= self.graph.has_edges(mats[cand_row, col], cand)
+            if injective:
+                for col in range(depth):
+                    mask &= cand != mats[cand_row, col]
+            for col in greater_than_cols:
+                mask &= cand > mats[cand_row, col]
+            for col in less_than_cols:
+                mask &= cand < mats[cand_row, col]
+            if label is not None:
+                live = np.flatnonzero(mask)
+                mask[live] = self.residence.labels_of(cand[live]) == label
+            return cand[mask], cand_row[mask]
+
+        # Cheap ordering/injectivity predicates first, fused into one mask;
+        # the expensive edge-verification probes then run on whatever
+        # survives.  Compression (dropping dead candidates) is adaptive: a
+        # gather-copy of the int64 arrays only pays for itself when the
+        # pending mask actually prunes, so low-selectivity filters keep
+        # AND-ing masks instead (kCL's ordering filter halves the batch —
+        # compress; SM's injectivity filter keeps ~everything — don't).
+        pending: np.ndarray | None = None
+        for col in greater_than_cols:
+            m = cand > mats[cand_row, col]
+            pending = m if pending is None else pending & m
+        for col in less_than_cols:
+            m = cand < mats[cand_row, col]
+            pending = m if pending is None else pending & m
+        if injective:
+            # An ordering constraint against a column already implies the
+            # candidate differs from it.
+            ordered = set(greater_than_cols) | set(less_than_cols)
+            for col in range(depth):
+                if col in ordered:
+                    continue
+                m = cand != mats[cand_row, col]
+                pending = m if pending is None else pending & m
+        for col in verify_cols:
+            cand, cand_row, pending = self._compress(cand, cand_row, pending)
+            if len(cand) == 0:
+                break
+            m = self.graph.has_edges(mats[cand_row, col], cand)
+            pending = m if pending is None else pending & m
+        cand, cand_row, __ = self._compress(
+            cand, cand_row, pending, force=True
+        )
+        if label is not None:
+            keep = self.residence.labels_of(cand) == label
+            cand, cand_row = cand[keep], cand_row[keep]
+        return cand, cand_row
+
+    @staticmethod
+    def _compress(
+        cand: np.ndarray,
+        cand_row: np.ndarray,
+        pending: np.ndarray | None,
+        force: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Apply a pending mask when profitable (or ``force``\\ d)."""
+        if pending is None:
+            return cand, cand_row, None
+        kept = int(np.count_nonzero(pending))
+        if force or kept * 4 <= len(cand) * 3:
+            return cand[pending], cand_row[pending], None
+        return cand, cand_row, pending
+
     def _account_writes(
         self,
         per_row_counts: np.ndarray,
@@ -217,33 +311,28 @@ class ExtensionEngine:
         )
         cand_row = np.repeat(row_of_anchor, lengths)
         stats.candidates = len(cand)
+        upper = np.bincount(cand_row, minlength=n).astype(np.int64)
 
-        mask = np.ones(len(cand), dtype=bool)
-        if injective:
-            for col in range(depth):
-                mask &= cand != mats[cand_row, col]
-        for col in greater_than_cols:
-            mask &= cand > mats[cand_row, col]
-        for col in less_than_cols:
-            mask &= cand < mats[cand_row, col]
-        if label is not None:
-            live = np.flatnonzero(mask)
-            mask[live] = self.residence.labels_of(cand[live]) == label
+        cand, cand_row = self._prune_candidates(
+            cand, cand_row, mats, (), depth,
+            greater_than_cols, less_than_cols, injective, label,
+        )
         # Dedup within a row: a candidate adjacent to several anchors
-        # appears once per anchor.
+        # appears once per anchor.  Duplicates of a (row, value) pair share
+        # every constraint verdict, so deduping the *survivors* keeps
+        # exactly the first occurrence the full-width dedup would keep.
         key = cand_row * np.int64(self.graph.num_vertices + 1) + cand
         __, first_idx = np.unique(key, return_index=True)
         keep = np.zeros(len(cand), dtype=bool)
         keep[first_idx] = True
-        mask &= keep
+        cand, cand_row = cand[keep], cand_row[keep]
 
-        counts = np.bincount(cand_row[mask], minlength=n).astype(np.int64)
+        counts = np.bincount(cand_row, minlength=n).astype(np.int64)
         stats.per_row_counts = counts
-        upper = np.bincount(cand_row, minlength=n).astype(np.int64)
         self._account_writes(counts, stats.kernel_ops, upper)
-        order = np.argsort(cand_row[mask], kind="stable")
-        table.append_column(cand[mask][order], cand_row[mask][order])
-        stats.rows_out = int(mask.sum())
+        order = np.argsort(cand_row, kind="stable")
+        table.append_column(cand[order], cand_row[order])
+        stats.rows_out = len(cand)
         self.platform.counters.add(st.EXTENSION_PASSES)
         self.platform.counters.add(st.EMBEDDINGS_PRODUCED, stats.rows_out)
         return stats
@@ -313,60 +402,49 @@ class ExtensionEngine:
         # ---- generate candidates from each row's cheapest anchor ------------
         # (expanding the smallest adjacency list and verifying the others —
         # the intersection order every real GPM kernel uses)
+        offsets = self.graph.offsets
+        neighbors = self.graph.neighbors
         anchor_deg = np.stack(
-            [self.graph.offsets[mats[:, c] + 1] - self.graph.offsets[mats[:, c]]
-             for c in anchor_cols], axis=1,
+            [offsets[mats[:, c] + 1] - offsets[mats[:, c]] for c in anchor_cols],
+            axis=1,
         )
         source_choice = np.argmin(anchor_deg, axis=1)
         cand_parts: list[np.ndarray] = []
         row_parts: list[np.ndarray] = []
-        mask_parts: list[np.ndarray] = []
-        upper_parts: list[np.ndarray] = []
+        # Upper bound per row = its source list length (each row belongs to
+        # exactly one source part).
+        upper = np.zeros(n, dtype=np.int64)
         for idx, source_col in enumerate(anchor_cols):
             rows = np.flatnonzero(source_choice == idx)
             if len(rows) == 0:
                 continue
-            cand, lengths = self._adjacency_values(mats[rows, source_col])
+            # Reuse the degree table instead of re-gathering CSR offsets.
+            lengths = anchor_deg[rows, idx]
+            starts = offsets[mats[rows, source_col]]
+            cand = neighbors[expand_ranges(starts, starts + lengths)]
             cand_row = rows.repeat(lengths)
-            mask = np.ones(len(cand), dtype=bool)
-            for col in anchor_cols:
-                if col == source_col:
-                    continue
-                mask &= self.graph.has_edges(mats[cand_row, col], cand)
-            if injective:
-                for col in range(depth):
-                    mask &= cand != mats[cand_row, col]
-            for col in greater_than_cols:
-                mask &= cand > mats[cand_row, col]
-            for col in less_than_cols:
-                mask &= cand < mats[cand_row, col]
-            if label is not None:
-                live = np.flatnonzero(mask)
-                mask[live] = self.residence.labels_of(cand[live]) == label
+            upper[rows] = lengths
+            stats.candidates += len(cand)
+            verify_cols = [c for c in anchor_cols if c != source_col]
+            cand, cand_row = self._prune_candidates(
+                cand, cand_row, mats, verify_cols, depth,
+                greater_than_cols, less_than_cols, injective, label,
+            )
             cand_parts.append(cand)
             row_parts.append(cand_row)
-            mask_parts.append(mask)
-            upper_parts.append(lengths)
-            stats.candidates += len(cand)
 
         cand = np.concatenate(cand_parts) if cand_parts else np.empty(0, np.int64)
         cand_row = np.concatenate(row_parts) if row_parts else np.empty(0, np.int64)
-        mask = np.concatenate(mask_parts) if mask_parts else np.empty(0, bool)
 
-        counts = np.bincount(cand_row[mask], minlength=n).astype(np.int64)
+        counts = np.bincount(cand_row, minlength=n).astype(np.int64)
         stats.per_row_counts = counts
-        upper = np.bincount(
-            np.concatenate(row_parts) if row_parts else np.empty(0, np.int64),
-            weights=np.ones(len(cand)),
-            minlength=n,
-        ).astype(np.int64) if len(cand) else counts
         self._account_writes(counts, kernel_ops, upper)
 
         # Keep output grouped by parent row (BFS order) regardless of which
         # source column produced a candidate.
-        order = np.argsort(cand_row[mask], kind="stable")
-        table.append_column(cand[mask][order], cand_row[mask][order])
-        stats.rows_out = int(mask.sum())
+        order = np.argsort(cand_row, kind="stable")
+        table.append_column(cand[order], cand_row[order])
+        stats.rows_out = len(cand)
         self.platform.counters.add(st.EXTENSION_PASSES)
         self.platform.counters.add(st.EMBEDDINGS_PRODUCED, stats.rows_out)
         return stats

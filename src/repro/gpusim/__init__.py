@@ -24,14 +24,17 @@ from .kernel import CpuExecutor, KernelLauncher
 from .pcie import PcieBus
 from .platform import GpuPlatform, make_platform
 from .regions import (
+    ChargeBatch,
     DeviceResidentRegion,
     HostRegion,
+    covered_units,
+    dedup_units,
     expand_ranges,
     range_lengths_in_units,
     units_for_indices,
 )
 from .spec import DEFAULT_COST, DEFAULT_SPEC, CostModel, DeviceSpec
-from .trace import TraceRecorder
+from .trace import PhaseTimer, TraceRecorder
 from .stats import Counters
 from .unified import PageBuffer, UnifiedRegion
 from .warp import WarpGrid, warp_ballot, warp_exclusive_scan
@@ -48,11 +51,15 @@ __all__ = [
     "PcieBus",
     "GpuPlatform",
     "make_platform",
+    "ChargeBatch",
     "DeviceResidentRegion",
     "HostRegion",
+    "covered_units",
+    "dedup_units",
     "expand_ranges",
     "range_lengths_in_units",
     "units_for_indices",
+    "PhaseTimer",
     "CostModel",
     "DeviceSpec",
     "DEFAULT_COST",

@@ -16,7 +16,12 @@ import numpy as np
 
 from . import clock as clk
 from . import stats as st
-from .regions import HostRegion, expand_ranges, range_lengths_in_units
+from .regions import (
+    HostRegion,
+    covered_units,
+    dedup_units,
+    range_lengths_in_units,
+)
 from .unified import PageBuffer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -48,8 +53,12 @@ class HybridRegion(HostRegion):
             buffer_pages * page, f"{name}:page-buffer"
         )
         self.buffer = PageBuffer(buffer_pages, self.total_pages)
+        self._total_lines = max(1, -(-array.nbytes // platform.spec.zerocopy_line))
         # Default: everything through zero-copy until the planner learns heat.
         self._unified_mask = np.zeros(self.total_pages, dtype=bool)
+        # Charge derivation depends on the mode map; bumping this version
+        # invalidates the region's ChargeBatch memo on every replan.
+        self._mode_version = 0
 
     @property
     def buffer_capacity_pages(self) -> int:
@@ -80,6 +89,7 @@ class HybridRegion(HostRegion):
         demoted = np.flatnonzero(self._unified_mask & ~new_mask)
         self.buffer.drop(demoted)
         self._unified_mask = new_mask
+        self._mode_version += 1
 
     def _charge_elements(self, indices: np.ndarray) -> None:
         platform = self._platform
@@ -91,7 +101,7 @@ class HybridRegion(HostRegion):
         is_unified = self._unified_mask[pages]
 
         # Unified side: page-granular faults/hits + device-bandwidth reads.
-        uni_pages = np.unique(pages[is_unified])
+        uni_pages = dedup_units(pages[is_unified], self.total_pages)
         if len(uni_pages):
             hits, misses = self.buffer.access(uni_pages)
             platform.counters.add(st.PAGE_HITS, hits)
@@ -105,7 +115,9 @@ class HybridRegion(HostRegion):
         # Zero-copy side: one transaction per distinct 128 B line.
         zc_bytes = byte_pos[~is_unified]
         if len(zc_bytes):
-            lines = np.unique(zc_bytes // platform.spec.zerocopy_line)
+            lines = dedup_units(
+                zc_bytes // platform.spec.zerocopy_line, self._total_lines
+            )
             platform.pcie.zerocopy_transactions(len(lines))
 
     def _charge_ranges(
@@ -121,38 +133,56 @@ class HybridRegion(HostRegion):
         platform = self._platform
         starts = np.asarray(starts, dtype=np.int64)
         ends = np.asarray(ends, dtype=np.int64)
+        derived = self._charge_memo.lookup(starts, ends, token=self._mode_version)
+        if derived is None:
+            derived = self._derive_ranges(starts, ends)
+            self._charge_memo.store(
+                starts, ends, derived, token=self._mode_version
+            )
+        uni, zc_nlines = derived
+        if uni is not None:
+            pages, nbytes = uni
+            hits, misses = self.buffer.access(pages)
+            platform.counters.add(st.PAGE_HITS, hits)
+            platform.pcie.migrate_pages(misses)
+            platform.clock.advance(
+                clk.DEVICE_MEM, nbytes / platform.cost.device_bandwidth
+            )
+            platform.counters.add(st.BYTES_DEVICE, nbytes)
+        if zc_nlines:
+            platform.pcie.zerocopy_transactions(zc_nlines)
+
+    def _derive_ranges(self, starts: np.ndarray, ends: np.ndarray):
+        """Split a range batch into its unified page set / zero-copy line
+        count — pure arithmetic over the mode map, independent of buffer
+        state, hence memoizable across a two-pass re-read."""
+        platform = self._platform
         live = ends > starts
         if not live.any():
-            return
+            return None, 0
         s, e = starts[live], ends[live]
         page_size = platform.spec.page_size
         first_page = (s * self._itemsize) // page_size
         is_unified = self._unified_mask[first_page]
 
+        uni = None
         if is_unified.any():
             su, eu = s[is_unified], e[is_unified]
             last_page = (eu * self._itemsize - 1) // page_size
             first_u = (su * self._itemsize) // page_size
-            # Enumerate the page span of each unified range, then dedup
-            # through the buffer.
-            pages = np.unique(expand_ranges(first_u, last_page + 1))
-            hits, misses = self.buffer.access(pages)
-            platform.counters.add(st.PAGE_HITS, hits)
-            platform.pcie.migrate_pages(misses)
-            nbytes = int((eu - su).sum()) * self._itemsize
-            platform.clock.advance(
-                clk.DEVICE_MEM, nbytes / platform.cost.device_bandwidth
-            )
-            platform.counters.add(st.BYTES_DEVICE, nbytes)
+            # Enumerate the page span of each unified range, then dedup.
+            pages = covered_units(first_u, last_page, self.total_pages)
+            uni = (pages, int((eu - su).sum()) * self._itemsize)
 
+        zc_nlines = 0
         if (~is_unified).any():
             sz, ez = s[~is_unified], e[~is_unified]
-            nlines = int(
+            zc_nlines = int(
                 range_lengths_in_units(
                     sz, ez, self._itemsize, platform.spec.zerocopy_line
                 ).sum()
             )
-            platform.pcie.zerocopy_transactions(nlines)
+        return uni, zc_nlines
 
     def release(self) -> None:
         self._platform.device.free(self._buffer_alloc)

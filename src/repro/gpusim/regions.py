@@ -14,10 +14,11 @@ region types (expanding CSR ranges, mapping element indices to pages/lines).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, Any, Tuple
 
 import numpy as np
 
+from .. import perf
 from . import clock as clk
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -69,13 +70,99 @@ def range_lengths_in_units(
 
 
 def units_for_indices(
-    indices: np.ndarray, itemsize: int, unit: int
+    indices: np.ndarray, itemsize: int, unit: int, total_units: int | None = None
 ) -> np.ndarray:
-    """Unique ``unit``-byte block ids touched by scattered element reads."""
+    """Unique ``unit``-byte block ids touched by scattered element reads.
+
+    ``total_units`` (the region's block-id namespace size, when the caller
+    knows it) enables the sort-free bincount derivation; without it the
+    result falls back to ``np.unique``.  Both paths return the same sorted
+    array.
+    """
     if len(indices) == 0:
         return np.empty(0, dtype=np.int64)
     blocks = (np.asarray(indices, dtype=np.int64) * itemsize) // unit
-    return np.unique(blocks)
+    return dedup_units(blocks, total_units)
+
+
+def dedup_units(blocks: np.ndarray, total_units: int | None = None) -> np.ndarray:
+    """Sorted unique block ids, avoiding the ``np.unique`` sort when the
+    namespace is dense enough for a bincount occupancy pass."""
+    if (
+        total_units is None
+        or perf.use_reference()
+        or len(blocks) * 8 < total_units
+    ):
+        return np.unique(blocks)
+    occupancy = np.bincount(blocks, minlength=total_units)
+    return np.flatnonzero(occupancy)
+
+
+def covered_units(
+    first: np.ndarray, last: np.ndarray, total_units: int | None = None
+) -> np.ndarray:
+    """Sorted unique block ids covered by the inclusive ranges
+    ``[first[i], last[i]]`` — the page sets of batched contiguous reads.
+
+    The fast pipeline derives the set in one coalesced difference-array
+    pass (O(ranges + namespace), no sort); the reference pipeline expands
+    every range and sorts via ``np.unique``.  Identical results either way.
+    """
+    if len(first) == 0:
+        return np.empty(0, dtype=np.int64)
+    span = int((last - first + 1).sum())
+    if (
+        total_units is None
+        or perf.use_reference()
+        or span * 8 < total_units
+    ):
+        return np.unique(expand_ranges(first, last + 1))
+    delta = np.bincount(first, minlength=total_units + 1)
+    delta[:total_units] -= np.bincount(last + 1, minlength=total_units + 1)[:total_units]
+    return np.flatnonzero(np.cumsum(delta[:total_units]) > 0)
+
+
+class ChargeBatch:
+    """Memoized charge derivation for repeated identical access batches.
+
+    Two-pass write strategies (Pangolin's counting extension, Fig. 17/18)
+    charge the *same* range batch twice back to back; the page/line
+    derivation — the expensive half of charging — depends only on the
+    request and the region geometry, not on buffer state, so the second
+    pass can reuse the first's result.  The memo is keyed by the identity
+    of the ``(starts, ends)`` array pair plus a ``token`` the region bumps
+    whenever derivation inputs change (the hybrid page-mode map); callers
+    must not mutate arrays between repeated charges, which no engine does.
+    """
+
+    __slots__ = ("_starts", "_ends", "_token", "_derived")
+
+    def __init__(self) -> None:
+        self._starts: np.ndarray | None = None
+        self._ends: np.ndarray | None = None
+        self._token = -1
+        self._derived: Any = None
+
+    def lookup(self, starts: np.ndarray, ends: np.ndarray, token: int = 0) -> Any:
+        """The memoized derivation for this exact batch, or ``None``."""
+        if (
+            self._starts is starts
+            and self._ends is ends
+            and self._token == token
+            and not perf.use_reference()
+        ):
+            return self._derived
+        return None
+
+    def store(
+        self, starts: np.ndarray, ends: np.ndarray, derived: Any, token: int = 0
+    ) -> Any:
+        """Memoize ``derived`` for this batch; returns it for chaining."""
+        self._starts = starts
+        self._ends = ends
+        self._token = token
+        self._derived = derived
+        return derived
 
 
 class HostRegion:
@@ -101,6 +188,7 @@ class HostRegion:
         self._array = array
         self._platform = platform
         self._itemsize = array.dtype.itemsize
+        self._charge_memo = ChargeBatch()
         platform.register_host_bytes(
             array.nbytes * self.duplication, name, charge=self.register_charge
         )

@@ -14,8 +14,10 @@ The CLI exposes it as ``repro run ... --breakdown``.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
 
 from .clock import SimClock
 from .platform import GpuPlatform
@@ -81,3 +83,63 @@ class TraceRecorder:
         self._by_category.clear()
         self.events.clear()
         self._elapsed = 0.0
+
+
+class PhaseTimer:
+    """Wall-clock (host) time per named phase of a run.
+
+    The simulated breakdown above answers "where would the *GPU* spend its
+    time"; this answers "where does the *simulator process* spend yours" —
+    the quantity ``benchmarks/bench_hotpath.py`` tracks and the CLI's
+    ``--profile`` flag prints alongside the simulated breakdown.  Phases
+    repeat freely; repeated names accumulate.
+    """
+
+    def __init__(self) -> None:
+        self._order: List[str] = []
+        self._seconds: Dict[str, float] = defaultdict(float)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            if name not in self._seconds:
+                self._order.append(name)
+            self._seconds[name] += time.perf_counter() - start
+
+    @property
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def summary(self) -> List[Tuple[str, float, float]]:
+        """``(phase, seconds, share)`` rows in recording order."""
+        total = self.total
+        return [
+            (name, self._seconds[name],
+             (self._seconds[name] / total if total else 0.0))
+            for name in self._order
+        ]
+
+    def render(self, width: int = 40) -> str:
+        """ASCII per-phase wall-clock bars (same layout as the simulated
+        breakdown so the two print side by side)."""
+        rows = self.summary()
+        if not rows:
+            return "(no phases recorded)"
+        name_width = max(len(name) for name, __, __ in rows)
+        lines = []
+        for name, seconds, share in rows:
+            filled = int(round(share * width))
+            bar = "#" * filled + "-" * (width - filled)
+            lines.append(
+                f"{name.ljust(name_width)}  {bar}  {share * 100:5.1f}%  "
+                f"{seconds * 1e3:10.3f} ms"
+            )
+        lines.append(
+            f"{'total'.ljust(name_width)}  {' ' * width}  100.0%  "
+            f"{self.total * 1e3:10.3f} ms"
+        )
+        return "\n".join(lines)

@@ -14,20 +14,28 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import perf
 from . import clock as clk
 from . import stats as st
-from .regions import HostRegion, units_for_indices
+from .regions import HostRegion, covered_units, units_for_indices
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .platform import GpuPlatform
 
+#: Ticks beyond which the packed ``last_use * total_pages + id`` eviction
+#: key could overflow int64; past it eviction falls back to ``lexsort``.
+_PACKED_KEY_LIMIT = 1 << 62
+
 
 class PageBuffer:
-    """Device-side buffer of migrated pages with (vectorized) LRU eviction.
+    """Device-side buffer of migrated pages with amortized LRU eviction.
 
     Tracks residency for a fixed page-id namespace ``[0, total_pages)``.
     Eviction frees down to capacity using least-recent access ticks; ties
-    are broken by page id, keeping the simulation deterministic.
+    are broken by page id, keeping the simulation deterministic.  The fast
+    pipeline selects victims with an O(resident) ``argpartition`` over a
+    packed ``(last_use, page id)`` key instead of a full ``lexsort`` —
+    the victim *set* is identical because the key order is the same.
     """
 
     def __init__(self, capacity_pages: int, total_pages: int) -> None:
@@ -56,10 +64,17 @@ class PageBuffer:
     def access(self, unique_pages: np.ndarray) -> tuple[int, int]:
         """Record an access batch; returns ``(hits, misses)``.
 
-        Missing pages are migrated in (made resident); if that overflows
-        capacity, least-recently-used pages are evicted.  A batch larger
-        than capacity keeps an arbitrary-but-deterministic subset resident.
+        The contract is a batch of *unique* page ids; a duplicated id must
+        not fault twice (it would silently over-count ``resident_count``
+        and inflate migration traffic), so non-unique input is deduped
+        before any bookkeeping.  Missing pages are migrated in (made
+        resident); if that overflows capacity, least-recently-used pages
+        are evicted.  A batch larger than capacity keeps an
+        arbitrary-but-deterministic subset resident.
         """
+        unique_pages = np.asarray(unique_pages, dtype=np.int64)
+        if len(unique_pages) > 1 and (np.diff(unique_pages) <= 0).any():
+            unique_pages = np.unique(unique_pages)
         if self.capacity == 0:
             # No buffer: every access faults and the page is dropped again.
             return 0, len(unique_pages)
@@ -88,9 +103,22 @@ class PageBuffer:
 
     def _evict(self, n_over: int) -> None:
         resident_ids = np.flatnonzero(self._resident)
-        # Sort by (last_use, page id) for determinism; evict the oldest.
-        order = np.lexsort((resident_ids, self._last_use[resident_ids]))
-        victims = resident_ids[order[:n_over]]
+        if n_over >= len(resident_ids):
+            victims = resident_ids
+        elif perf.use_reference() or self._tick >= _PACKED_KEY_LIMIT // max(
+            1, self.total_pages
+        ):
+            # Sort by (last_use, page id) for determinism; evict the oldest.
+            order = np.lexsort((resident_ids, self._last_use[resident_ids]))
+            victims = resident_ids[order[:n_over]]
+        else:
+            # The packed key orders exactly like (last_use, page id), and
+            # page ids are unique, so the n_over smallest keys select the
+            # same victim *set* as the full lexsort — and only the set
+            # matters: victims are cleared from a flag array, not ordered.
+            keys = self._last_use[resident_ids] * np.int64(self.total_pages)
+            keys += resident_ids
+            victims = resident_ids[np.argpartition(keys, n_over - 1)[:n_over]]
         self._resident[victims] = False
         self._n_resident -= len(victims)
         self.evictions += len(victims)
@@ -123,7 +151,12 @@ class UnifiedRegion(HostRegion):
         platform = self._platform
         if len(indices) == 0:
             return
-        pages = units_for_indices(indices, self._itemsize, platform.spec.page_size)
+        pages = units_for_indices(
+            indices,
+            self._itemsize,
+            platform.spec.page_size,
+            total_units=self.buffer.total_pages,
+        )
         hits, misses = self.buffer.access(pages)
         platform.counters.add(st.PAGE_HITS, hits)
         platform.pcie.migrate_pages(misses)
@@ -135,23 +168,30 @@ class UnifiedRegion(HostRegion):
     def _charge_ranges(
         self, starts: np.ndarray, ends: np.ndarray, flat: np.ndarray | None
     ) -> None:
-        from .regions import expand_ranges  # local to avoid cycle at import
-
         platform = self._platform
         starts = np.asarray(starts, dtype=np.int64)
         ends = np.asarray(ends, dtype=np.int64)
-        live = ends > starts
-        if not live.any():
+        derived = self._charge_memo.lookup(starts, ends)
+        if derived is None:
+            live = ends > starts
+            if not live.any():
+                derived = (None, 0)
+            else:
+                s, e = starts[live], ends[live]
+                page = platform.spec.page_size
+                first = (s * self._itemsize) // page
+                last = (e * self._itemsize - 1) // page
+                pages = covered_units(first, last, self.buffer.total_pages)
+                derived = (pages, int((e - s).sum()) * self._itemsize)
+            self._charge_memo.store(starts, ends, derived)
+        pages, nbytes = derived
+        if pages is None:
+            # No live ranges: nothing is charged and the buffer never sees
+            # the batch (its access tick must not advance).
             return
-        s, e = starts[live], ends[live]
-        page = platform.spec.page_size
-        first = (s * self._itemsize) // page
-        last = (e * self._itemsize - 1) // page
-        pages = np.unique(expand_ranges(first, last + 1))
         hits, misses = self.buffer.access(pages)
         platform.counters.add(st.PAGE_HITS, hits)
         platform.pcie.migrate_pages(misses)
-        nbytes = int((e - s).sum()) * self._itemsize
         platform.clock.advance(clk.DEVICE_MEM, nbytes / platform.cost.device_bandwidth)
         platform.counters.add(st.BYTES_DEVICE, nbytes)
 

@@ -24,12 +24,17 @@ class ZeroCopyRegion(HostRegion):
 
     def __init__(self, name: str, array: np.ndarray, platform: "GpuPlatform") -> None:
         super().__init__(name, array, platform)
+        line = platform.spec.zerocopy_line
+        self._total_lines = max(1, -(-array.nbytes // line))
 
     def _charge_elements(self, indices: np.ndarray) -> None:
         if len(indices) == 0:
             return
         lines = units_for_indices(
-            indices, self._itemsize, self._platform.spec.zerocopy_line
+            indices,
+            self._itemsize,
+            self._platform.spec.zerocopy_line,
+            total_units=self._total_lines,
         )
         self._platform.pcie.zerocopy_transactions(len(lines))
 
@@ -37,9 +42,14 @@ class ZeroCopyRegion(HostRegion):
         self, starts: np.ndarray, ends: np.ndarray, flat: np.ndarray
     ) -> None:
         # Coalesced within each range; re-fetched across ranges (no cache).
-        nlines = int(
-            range_lengths_in_units(
-                starts, ends, self._itemsize, self._platform.spec.zerocopy_line
-            ).sum()
-        )
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        nlines = self._charge_memo.lookup(starts, ends)
+        if nlines is None:
+            nlines = int(
+                range_lengths_in_units(
+                    starts, ends, self._itemsize, self._platform.spec.zerocopy_line
+                ).sum()
+            )
+            self._charge_memo.store(starts, ends, nlines)
         self._platform.pcie.zerocopy_transactions(nlines)

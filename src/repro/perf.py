@@ -1,0 +1,80 @@
+"""Hot-path pipeline selection: batched (fast) vs. retained reference.
+
+The simulator has two implementations of its wall-clock hot paths — the
+page-buffer eviction, the charge-derivation arithmetic in
+:mod:`repro.gpusim.regions`, and the candidate filtering in
+:mod:`repro.core.extension`:
+
+* ``fast`` (the default) — the batched pipeline: amortized partial-select
+  LRU eviction, coalesced difference-array page derivation with memoized
+  repeat lookups, and progressive (compress-as-you-filter) candidate
+  pruning.
+* ``reference`` — the original straight-line implementations (full
+  ``lexsort`` on evict, expand-then-``np.unique`` page derivation,
+  full-width boolean masks).
+
+Both produce bit-for-bit identical simulated time and counters; the
+property tests in ``tests/gpusim/test_charge_equivalence.py`` and
+``tests/core/test_extension_equivalence.py`` assert exactly that, and
+``benchmarks/bench_hotpath.py`` measures the wall-clock gap.  The switch
+is process-global (the simulator is single-threaded by design); set the
+``REPRO_PIPELINE=reference`` environment variable to select the reference
+pipeline for a whole run.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+FAST = "fast"
+REFERENCE = "reference"
+PIPELINES = (FAST, REFERENCE)
+
+def _mode_from_env() -> str:
+    raw = os.environ.get("REPRO_PIPELINE", "")
+    value = raw.lower()
+    if value in PIPELINES:
+        return value
+    if value:
+        import warnings
+
+        warnings.warn(
+            f"REPRO_PIPELINE={raw!r} is not one of {PIPELINES}; using "
+            f"{FAST!r}",
+            stacklevel=2,
+        )
+    return FAST
+
+
+_mode = _mode_from_env()
+
+
+def pipeline_mode() -> str:
+    """The currently selected pipeline (``"fast"`` or ``"reference"``)."""
+    return _mode
+
+
+def use_reference() -> bool:
+    """True when the retained reference implementations should run."""
+    return _mode == REFERENCE
+
+
+def set_pipeline(mode: str) -> None:
+    """Select the hot-path pipeline for the whole process."""
+    if mode not in PIPELINES:
+        raise ValueError(f"pipeline must be one of {PIPELINES}, got {mode!r}")
+    global _mode
+    _mode = mode
+
+
+@contextmanager
+def pipeline(mode: str) -> Iterator[None]:
+    """Temporarily select a pipeline (tests and the hot-path bench)."""
+    previous = _mode
+    set_pipeline(mode)
+    try:
+        yield
+    finally:
+        set_pipeline(previous)

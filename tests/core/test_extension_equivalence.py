@@ -1,0 +1,178 @@
+"""Fast-vs-reference equivalence of the fused extension pipeline.
+
+The progressive (compress-as-you-filter) candidate pruning, the adjacency
+bitset, and the batched charging underneath must leave no observable trace:
+identical embeddings, identical simulated clock buckets, identical counters
+— bit-for-bit — against the retained reference implementation, across write
+strategies, pre-merge on/off, and constraint combinations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro import perf
+from repro.core import (
+    EDGE,
+    VERTEX,
+    EmbeddingTable,
+    ExtensionEngine,
+    GammaResidence,
+    MemoryPool,
+    make_write_strategy,
+)
+from repro.graph.generators import erdos_renyi, zipf_labels
+
+
+@hst.composite
+def extension_scenarios(draw):
+    seed = draw(hst.integers(min_value=0, max_value=2**31 - 1))
+    num_vertices = draw(hst.integers(min_value=4, max_value=40))
+    num_edges = draw(hst.integers(min_value=3, max_value=120))
+    strategy = draw(hst.sampled_from(["dynamic", "two_pass", "prealloc"]))
+    pre_merge = draw(hst.booleans())
+    steps = draw(hst.integers(min_value=1, max_value=3))
+    label = draw(hst.sampled_from([None, 0, 1]))
+    use_gt = draw(hst.booleans())
+    injective = draw(hst.booleans())
+    return (seed, num_vertices, num_edges, strategy, pre_merge, steps,
+            label, use_gt, injective)
+
+
+def _build_engine(graph, strategy, pre_merge):
+    from repro.gpusim import make_platform
+
+    platform = make_platform()
+    residence = GammaResidence(platform, graph, buffer_pages=8)
+    pool = MemoryPool(platform, 1 << 20)
+    ws = make_write_strategy(strategy, platform, pool)
+    engine = ExtensionEngine(platform, residence, ws, pre_merge=pre_merge)
+    return platform, engine
+
+
+def _run_vertex_walk(graph, strategy, pre_merge, steps, label, use_gt,
+                     injective):
+    platform, engine = _build_engine(graph, strategy, pre_merge)
+    table = EmbeddingTable(platform, VERTEX)
+    engine.seed_vertices(table)
+    for depth in range(1, steps + 1):
+        engine.extend_vertices(
+            table,
+            anchor_cols=list(range(depth)),
+            label=label,
+            greater_than_col=depth - 1 if use_gt else None,
+            injective=injective,
+        )
+    rows = table.materialize()
+    return rows, platform.clock.snapshot(), platform.counters.snapshot()
+
+
+def _run_edge_walk(graph, strategy, pre_merge, steps):
+    platform, engine = _build_engine(graph, strategy, pre_merge)
+    table = EmbeddingTable(platform, EDGE)
+    engine.seed_edges(table)
+    for __ in range(steps):
+        engine.extend_edges(table)
+    rows = table.materialize()
+    return rows, platform.clock.snapshot(), platform.counters.snapshot()
+
+
+def _graph_for(seed, num_vertices, num_edges):
+    graph = erdos_renyi(num_vertices, num_edges, seed=seed)
+    return type(graph)(
+        graph.offsets,
+        graph.neighbors,
+        graph.edge_ids,
+        graph.edge_src,
+        graph.edge_dst,
+        labels=zipf_labels(graph.num_vertices, 3, seed=seed),
+        name="equiv",
+    )
+
+
+class TestVertexExtensionEquivalence:
+    @given(extension_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_identical_rows_clock_counters(self, scenario):
+        (seed, nv, ne, strategy, pre_merge, steps, label, use_gt,
+         injective) = scenario
+        graph = _graph_for(seed, nv, ne)
+        with perf.pipeline(perf.FAST):
+            fast = _run_vertex_walk(
+                graph, strategy, pre_merge, steps, label, use_gt, injective
+            )
+        # The adjacency bitset is lazily cached on the graph; a fresh graph
+        # for the reference run keeps the pipelines honest either way.
+        ref_graph = _graph_for(seed, nv, ne)
+        with perf.pipeline(perf.REFERENCE):
+            ref = _run_vertex_walk(
+                ref_graph, strategy, pre_merge, steps, label, use_gt,
+                injective,
+            )
+        np.testing.assert_array_equal(fast[0], ref[0])
+        assert fast[1] == ref[1]  # clock buckets, bit-for-bit
+        assert fast[2] == ref[2]  # counters
+
+
+class TestEdgeExtensionEquivalence:
+    @given(extension_scenarios())
+    @settings(max_examples=20, deadline=None)
+    def test_identical_rows_clock_counters(self, scenario):
+        seed, nv, ne, strategy, pre_merge, __, __, __, __ = scenario
+        graph = _graph_for(seed, nv, ne)
+        with perf.pipeline(perf.FAST):
+            fast = _run_edge_walk(graph, strategy, pre_merge, 1)
+        ref_graph = _graph_for(seed, nv, ne)
+        with perf.pipeline(perf.REFERENCE):
+            ref = _run_edge_walk(ref_graph, strategy, pre_merge, 1)
+        np.testing.assert_array_equal(fast[0], ref[0])
+        assert fast[1] == ref[1]
+        assert fast[2] == ref[2]
+
+
+class TestUnionExtensionEquivalence:
+    @given(extension_scenarios())
+    @settings(max_examples=20, deadline=None)
+    def test_extend_vertices_any(self, scenario):
+        (seed, nv, ne, strategy, pre_merge, __, label, use_gt,
+         injective) = scenario
+
+        def run(graph):
+            platform, engine = _build_engine(graph, strategy, pre_merge)
+            table = EmbeddingTable(platform, VERTEX)
+            engine.seed_vertices(table)
+            engine.extend_vertices(table, anchor_cols=[0], injective=True)
+            engine.extend_vertices_any(
+                table,
+                anchor_cols=[0, 1],
+                label=label,
+                greater_than_col=1 if use_gt else None,
+                injective=injective,
+            )
+            return (table.materialize(), platform.clock.snapshot(),
+                    platform.counters.snapshot())
+
+        with perf.pipeline(perf.FAST):
+            fast = run(_graph_for(seed, nv, ne))
+        with perf.pipeline(perf.REFERENCE):
+            ref = run(_graph_for(seed, nv, ne))
+        np.testing.assert_array_equal(fast[0], ref[0])
+        assert fast[1] == ref[1]
+        assert fast[2] == ref[2]
+
+
+@pytest.mark.parametrize("dataset,task", [("CL", "sm"), ("CL", "kcl")])
+def test_end_to_end_simulated_time_identical(dataset, task):
+    """Whole-workload smoke: GAMMA's simulated seconds must not depend on
+    the pipeline."""
+    from repro.bench.runner import run_task
+    from repro.bench.workloads import kcl_task, sm_task
+
+    t = sm_task(1) if task == "sm" else kcl_task(3)
+    with perf.pipeline(perf.FAST):
+        fast = run_task("GAMMA", dataset, t)
+    with perf.pipeline(perf.REFERENCE):
+        ref = run_task("GAMMA", dataset, t)
+    assert fast.simulated_seconds == ref.simulated_seconds
+    assert fast.peak_memory_bytes == ref.peak_memory_bytes

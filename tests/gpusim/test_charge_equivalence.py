@@ -1,0 +1,178 @@
+"""Fast-vs-reference charge-pipeline equivalence (the tentpole invariant).
+
+The batched pipeline (bincount page derivation, ``ChargeBatch`` memoization,
+argpartition eviction) must produce *bit-for-bit* the same simulated clock
+buckets and event counters as the retained reference implementations, for
+every region type, on randomized access patterns — including the repeated
+identical batches a two-pass write strategy issues and hybrid mode-map
+replans that invalidate the memo.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro import perf
+from repro.gpusim import (
+    HybridRegion,
+    UnifiedRegion,
+    ZeroCopyRegion,
+    make_platform,
+)
+
+N_ELEMENTS = 4096  # 32 KiB payload = 8 pages at the default 4 KiB page
+
+
+@hst.composite
+def access_scripts(draw):
+    """A replayable sequence of region accesses."""
+    n_ops = draw(hst.integers(min_value=1, max_value=12))
+    ops = []
+    for __ in range(n_ops):
+        kind = draw(
+            hst.sampled_from(
+                ["gather", "ranges", "charge", "charge_twice", "replan"]
+            )
+        )
+        if kind == "gather":
+            idx = draw(
+                hst.lists(
+                    hst.integers(min_value=0, max_value=N_ELEMENTS - 1),
+                    max_size=64,
+                )
+            )
+            ops.append((kind, np.array(idx, dtype=np.int64)))
+        elif kind == "replan":
+            pages = draw(
+                hst.lists(hst.integers(min_value=0, max_value=7), max_size=8)
+            )
+            ops.append((kind, np.array(sorted(set(pages)), dtype=np.int64)))
+        else:
+            n_ranges = draw(hst.integers(min_value=0, max_value=12))
+            starts, ends = [], []
+            for __ in range(n_ranges):
+                s = draw(hst.integers(min_value=0, max_value=N_ELEMENTS - 1))
+                length = draw(hst.integers(min_value=0, max_value=96))
+                starts.append(s)
+                ends.append(min(s + length, N_ELEMENTS))
+            ops.append(
+                (
+                    kind,
+                    np.array(starts, dtype=np.int64),
+                    np.array(ends, dtype=np.int64),
+                )
+            )
+    return ops
+
+
+def _replay(region_factory, ops):
+    platform = make_platform()
+    region = region_factory(platform)
+    for op in ops:
+        if op[0] == "gather":
+            region.gather(op[1])
+        elif op[0] == "replan":
+            if hasattr(region, "set_unified_pages"):
+                region.set_unified_pages(op[1])
+        elif op[0] == "ranges":
+            region.gather_ranges(op[1], op[2])
+        elif op[0] == "charge":
+            region.charge_ranges(op[1], op[2])
+        else:  # charge_twice: the two-pass strategy's repeated batch
+            region.charge_ranges(op[1], op[2])
+            region.charge_ranges(op[1], op[2])
+    return platform.clock.snapshot(), platform.counters.snapshot()
+
+
+def _assert_equivalent(region_factory, ops):
+    with perf.pipeline(perf.FAST):
+        fast_clock, fast_counters = _replay(region_factory, ops)
+    with perf.pipeline(perf.REFERENCE):
+        ref_clock, ref_counters = _replay(region_factory, ops)
+    assert fast_clock == ref_clock  # bit-for-bit, not approx
+    assert fast_counters == ref_counters
+
+
+def _payload():
+    return np.arange(N_ELEMENTS, dtype=np.int64)
+
+
+class TestChargeEquivalence:
+    @given(access_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_unified(self, ops):
+        _assert_equivalent(
+            lambda p: UnifiedRegion("u", _payload(), p, buffer_pages=4), ops
+        )
+
+    @given(access_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_unified_tiny_buffer_thrashes_identically(self, ops):
+        _assert_equivalent(
+            lambda p: UnifiedRegion("u", _payload(), p, buffer_pages=1), ops
+        )
+
+    @given(access_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_zerocopy(self, ops):
+        _assert_equivalent(lambda p: ZeroCopyRegion("z", _payload(), p), ops)
+
+    @given(access_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_hybrid(self, ops):
+        def factory(p):
+            region = HybridRegion("h", _payload(), p, buffer_pages=4)
+            region.set_unified_pages(np.array([0, 2, 5], dtype=np.int64))
+            return region
+
+        _assert_equivalent(factory, ops)
+
+
+class TestMemoSafety:
+    def test_memo_does_not_leak_across_different_batches(self):
+        """Two different (but same-length) batches must charge differently
+        even when issued back to back."""
+        platform = make_platform()
+        region = UnifiedRegion("u", _payload(), platform, buffer_pages=8)
+        with perf.pipeline(perf.FAST):
+            region.charge_ranges(
+                np.array([0], dtype=np.int64), np.array([512], dtype=np.int64)
+            )
+            before = platform.counters.snapshot()
+            region.charge_ranges(
+                np.array([2048], dtype=np.int64),
+                np.array([2560], dtype=np.int64),
+            )
+            after = platform.counters.snapshot()
+        assert after["page_faults"] > before["page_faults"]
+
+    def test_hybrid_replan_invalidates_memo(self):
+        """The same batch object charged before and after a mode-map replan
+        must be re-derived (different unified/zero-copy split)."""
+        starts = np.array([0], dtype=np.int64)
+        ends = np.array([1024], dtype=np.int64)  # pages 0-1
+
+        def run(replan_between):
+            platform = make_platform()
+            region = HybridRegion("h", _payload(), platform, buffer_pages=8)
+            region.set_unified_pages(np.arange(8, dtype=np.int64))
+            with perf.pipeline(perf.FAST):
+                region.charge_ranges(starts, ends)
+                if replan_between:
+                    region.set_unified_pages(np.empty(0, dtype=np.int64))
+                region.charge_ranges(starts, ends)
+            return platform.counters.snapshot()
+
+        with_replan = run(True)
+        without = run(False)
+        assert with_replan.get("zc_transactions", 0) > 0
+        assert "zc_transactions" not in without
+
+
+@pytest.mark.parametrize("mode", perf.PIPELINES)
+def test_pipeline_context_restores(mode):
+    previous = perf.pipeline_mode()
+    with perf.pipeline(mode):
+        assert perf.pipeline_mode() == mode
+    assert perf.pipeline_mode() == previous

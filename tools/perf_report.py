@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Render and diff ``BENCH_hotpath.json`` perf-trajectory reports.
+
+Usage:
+    python tools/perf_report.py                          # render latest
+    python tools/perf_report.py old.json --against new.json
+    python tools/perf_report.py --min-speedup 1.5 --only SM 4-clique  # gate
+
+``--against`` compares two report files workload-by-workload (fast-pipeline
+wall clock).  ``--min-speedup`` exits non-zero if any workload selected by
+``--only`` (prefix match; all workloads when omitted) falls below the bar —
+CI uses it to keep the fast pipeline honest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_REPORT = REPO_ROOT / "BENCH_hotpath.json"
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}") from exc
+    except ValueError as exc:
+        raise SystemExit(f"{path} is not valid JSON: {exc}") from exc
+
+
+def _render(report: dict) -> str:
+    lines = [
+        f"hot-path perf report — {report.get('created_utc', 'unknown time')}"
+        f" (repeats={report.get('repeats', '?')}"
+        f"{', quick' if report.get('quick') else ''})",
+        "",
+        f"{'workload':10s} {'dataset':8s} {'fast':>9s} {'reference':>10s}"
+        f" {'speedup':>8s} {'simulated':>11s}  identical",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for row in report.get("workloads", []):
+        lines.append(
+            f"{row['workload']:10s} {row['dataset']:8s}"
+            f" {row['fast_seconds'] * 1e3:8.1f}ms"
+            f" {row['reference_seconds'] * 1e3:9.1f}ms"
+            f" {row['speedup']:7.2f}x"
+            f" {row['simulated_seconds']:10.4f}s"
+            f"  {row['results_identical']}"
+        )
+    return "\n".join(lines)
+
+
+def _render_diff(old: dict, new: dict) -> str:
+    old_rows = {r["workload"]: r for r in old.get("workloads", [])}
+    lines = [
+        f"{'workload':10s} {'fast before':>12s} {'fast after':>12s}"
+        f" {'delta':>8s}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for row in new.get("workloads", []):
+        prev = old_rows.get(row["workload"])
+        if prev is None or not prev.get("fast_seconds"):
+            lines.append(f"{row['workload']:10s} {'(new)':>12s}"
+                         f" {row['fast_seconds'] * 1e3:10.1f}ms {'':>8s}")
+            continue
+        delta = ((row["fast_seconds"] - prev["fast_seconds"])
+                 / prev["fast_seconds"])
+        lines.append(
+            f"{row['workload']:10s} {prev['fast_seconds'] * 1e3:10.1f}ms"
+            f" {row['fast_seconds'] * 1e3:10.1f}ms {delta:+7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def _check_speedups(report: dict, bar: float, names: list[str]) -> list[str]:
+    failures = []
+    for row in report.get("workloads", []):
+        if names and not any(row["workload"].startswith(n) for n in names):
+            continue
+        if not row.get("results_identical", False):
+            failures.append(
+                f"{row['workload']}: simulated results diverged between"
+                " pipelines"
+            )
+        if row["speedup"] < bar:
+            failures.append(
+                f"{row['workload']}: speedup {row['speedup']:.2f}x < {bar}x"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, nargs="?", default=DEFAULT_REPORT,
+                        help=f"report file (default {DEFAULT_REPORT})")
+    parser.add_argument("--against", type=Path, default=None,
+                        help="second report to diff this one against")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail if speedup falls below this bar")
+    parser.add_argument("--only", nargs="*", default=[], metavar="NAME",
+                        help="workload name prefixes --min-speedup applies to")
+    args = parser.parse_args(argv)
+
+    report = _load(args.report)
+    print(_render(report))
+
+    if args.against is not None:
+        newer = _load(args.against)
+        print(f"\ndiff {args.report.name} -> {args.against.name}:")
+        print(_render_diff(report, newer))
+        report = newer  # the gate applies to the newer run
+
+    if args.min_speedup is not None:
+        failures = _check_speedups(report, args.min_speedup, args.only)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        scope = ", ".join(args.only) if args.only else "all workloads"
+        print(f"\nspeedup gate >= {args.min_speedup}x passed ({scope})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""gammalint — AST-based invariant checks for the GAMMA reproduction.
+
+The simulator's correctness rests on conventions no type checker sees:
+adjacency reads must be *charged* (or the §IV clocks undercount), every
+fast path needs its bit-for-bit reference twin plus an equivalence test,
+hot-module NumPy code must pin dtypes and guard packed-key overflow, and
+per-warp loops must not race on shared simulator state.  This package
+enforces those invariants mechanically:
+
+* ``python -m repro.analysis src/`` — lint a tree (exit 1 on findings);
+* ``tools/lint.py`` — the CI entry point (gammalint + ruff + mypy);
+* ``# gammalint: allow[<code>] -- <reason>`` — per-line waiver;
+* docs/LINTING.md — checker catalog and how to add one.
+
+The framework is stdlib-only (``ast`` + ``re``), fixture-tested in
+``tests/analysis/``.
+"""
+
+from .diagnostics import Diagnostic
+from .framework import (
+    Checker,
+    LintContext,
+    SourceModule,
+    all_checkers,
+    build_context,
+    format_human,
+    format_json,
+    known_codes,
+    lint_module,
+    lint_paths,
+    lint_source,
+    register,
+)
+from .waivers import Waiver, WaiverSet
+
+__all__ = [
+    "Checker",
+    "Diagnostic",
+    "LintContext",
+    "SourceModule",
+    "Waiver",
+    "WaiverSet",
+    "all_checkers",
+    "build_context",
+    "format_human",
+    "format_json",
+    "known_codes",
+    "lint_module",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

@@ -1,0 +1,78 @@
+"""``python -m repro.analysis [paths...]`` — run gammalint.
+
+Exit status 0 when the tree is clean, 1 when any diagnostic survives the
+waivers, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Sequence
+
+from .framework import all_checkers, format_human, format_json, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="gammalint: AST invariant checks for the GAMMA repro",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated diagnostic codes to report (default: all)",
+    )
+    parser.add_argument(
+        "--tests-dir", default=None, metavar="DIR",
+        help="equivalence-test corpus for the pipeline-parity checker "
+        "(default: ./tests when it exists)",
+    )
+    parser.add_argument(
+        "--list-checkers", action="store_true",
+        help="print the registered checkers and their codes, then exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_checkers:
+        for checker in all_checkers():
+            codes = ", ".join(checker.codes)
+            print(f"{checker.name} [{codes}]\n    {checker.description}")
+        return 0
+    paths = [pathlib.Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+    if args.tests_dir is not None:
+        tests_dir = pathlib.Path(args.tests_dir)
+    else:
+        default = pathlib.Path("tests")
+        tests_dir = default if default.is_dir() else None
+    select = None
+    if args.select:
+        select = [c.strip() for c in args.select.split(",") if c.strip()]
+    diagnostics = lint_paths(paths, tests_dir=tests_dir, select=select)
+    if args.format == "json":
+        print(format_json(diagnostics))
+    elif diagnostics:
+        print(format_human(diagnostics))
+    else:
+        print("gammalint: clean")
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Shared analysis of ``pipeline_mode()`` / ``use_reference()`` gates.
+
+Both the pipeline-parity checker and the numpy-dtype checker need to know
+which ``if`` statements switch between the fast and reference pipelines and
+which arm is which.  A *gate* is an ``if`` (or ``elif``, or conditional
+expression) whose test calls :func:`repro.perf.use_reference` or compares
+:func:`repro.perf.pipeline_mode` against a pipeline constant.
+
+Arm orientation: the branch taken when the *reference* pipeline is selected
+is the "reference arm".  ``if use_reference():`` puts it in the body;
+``if not use_reference():`` swaps the arms; ``pipeline_mode() == FAST``
+(or ``== "fast"``) likewise swaps them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+GATE_CALLS = frozenset({"use_reference", "pipeline_mode"})
+
+_FAST_TOKENS = frozenset({"fast", "FAST"})
+_REFERENCE_TOKENS = frozenset({"reference", "REFERENCE"})
+
+
+def _called_name(node: ast.AST) -> str | None:
+    """The callee name of a Call node (``f()`` or ``mod.f()``)."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _mode_token(node: ast.AST) -> str | None:
+    """A pipeline constant mentioned in a comparison operand."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _gate_polarity(test: ast.AST) -> bool | None:
+    """``True`` if the branch body is the reference arm, ``False`` if it is
+    the fast arm, ``None`` if ``test`` is not a gate at all.
+
+    Handles negation (``not use_reference()``) and equality comparisons of
+    ``pipeline_mode()`` against the pipeline constants; a gate call nested
+    in ``and``/``or`` keeps its own polarity (the body runs only when the
+    whole test holds, which for our gates means the reference condition
+    contributed positively).
+    """
+    for node in ast.walk(test):
+        name = _called_name(node)
+        if name not in GATE_CALLS:
+            continue
+        polarity = name == "use_reference" or None
+        # pipeline_mode() compared against a constant decides polarity.
+        parent_cmp = _find_compare(test, node)
+        if parent_cmp is not None:
+            token = None
+            for operand in [parent_cmp.left, *parent_cmp.comparators]:
+                token = _mode_token(operand) if _mode_token(operand) in (
+                    _FAST_TOKENS | _REFERENCE_TOKENS
+                ) else token
+            if token is not None:
+                is_eq = isinstance(parent_cmp.ops[0], ast.Eq)
+                wants_reference = token in _REFERENCE_TOKENS
+                polarity = is_eq == wants_reference
+        if polarity is None:
+            # Bare pipeline_mode() in a test without a recognized
+            # comparison: treat as a gate with body = reference arm.
+            polarity = True
+        return polarity != _negated(test, node)
+    return None
+
+
+def _find_compare(root: ast.AST, target: ast.AST) -> ast.Compare | None:
+    for node in ast.walk(root):
+        if isinstance(node, ast.Compare):
+            for sub in ast.walk(node):
+                if sub is target:
+                    return node
+    return None
+
+
+def _negated(root: ast.AST, target: ast.AST) -> bool:
+    """Whether ``target`` sits under an odd number of ``not`` operators."""
+    count = 0
+
+    def visit(node: ast.AST, nots: int) -> int | None:
+        if node is target:
+            return nots
+        extra = 1 if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not) else 0
+        for child in ast.iter_child_nodes(node):
+            found = visit(child, nots + extra)
+            if found is not None:
+                return found
+        return None
+
+    found = visit(root, count)
+    return bool(found) and found % 2 == 1
+
+
+@dataclass
+class Gate:
+    """One pipeline gate inside a function."""
+
+    node: ast.stmt  # the ast.If (or ast.IfExp's enclosing statement)
+    #: Statements of the reference arm ([] when the arm is missing).
+    reference_arm: list
+    #: Statements of the fast arm.
+    fast_arm: list
+    #: Whether the construct can even express both arms (IfExp always can).
+    is_expression: bool = False
+
+
+def iter_gates(func: ast.AST) -> Iterator[Gate]:
+    """Yield every pipeline gate lexically inside ``func``."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.If):
+            polarity = _gate_polarity(node.test)
+            if polarity is None:
+                continue
+            body, orelse = list(node.body), list(node.orelse)
+            if polarity:
+                yield Gate(node, reference_arm=body, fast_arm=orelse)
+            else:
+                yield Gate(node, reference_arm=orelse, fast_arm=body)
+        elif isinstance(node, ast.IfExp):
+            polarity = _gate_polarity(node.test)
+            if polarity is None:
+                continue
+            body, orelse = [node.body], [node.orelse]
+            ref, fast = (body, orelse) if polarity else (orelse, body)
+            yield Gate(node, reference_arm=ref, fast_arm=fast,
+                       is_expression=True)
+
+
+def is_gated(func: ast.AST) -> bool:
+    """Whether ``func`` contains at least one pipeline gate."""
+    return next(iter_gates(func), None) is not None
+
+
+def statement_span(statements: list) -> tuple[int, int]:
+    """Inclusive (first, last) line numbers covered by ``statements``."""
+    if not statements:
+        return (0, -1)
+    first = min(s.lineno for s in statements)
+    last = max(getattr(s, "end_lineno", s.lineno) for s in statements)
+    return first, last

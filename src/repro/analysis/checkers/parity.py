@@ -1,0 +1,108 @@
+"""pipeline-parity: every fast path keeps a reference twin and a test.
+
+The perf doctrine (PR 1, ``repro.perf``) allows a batched "fast" pipeline
+only while a bit-for-bit "reference" twin stays selectable via
+``REPRO_PIPELINE=reference`` and an equivalence test pins the two together.
+This checker enforces both halves statically:
+
+* ``parity-twin`` — a ``use_reference()``/``pipeline_mode()`` gate whose
+  other arm is missing: no ``else``, no terminating branch with fall-through
+  code.  Such a gate switches *part* of a computation, which is exactly how
+  the two pipelines drift apart.
+* ``parity-test`` — a gated function whose name (and enclosing class name)
+  never appears in the equivalence-test corpus (test files exercising
+  ``perf.pipeline(...)``/``REPRO_PIPELINE`` or named ``*equivalence*`` /
+  ``*contract*``).  A fast path nobody diffs against its twin is untested
+  by definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..framework import (
+    Checker,
+    LintContext,
+    SourceModule,
+    _package_relpath,
+    register,
+)
+from ._gates import Gate, iter_gates
+
+_TERMINATORS = (ast.Return, ast.Raise, ast.Continue, ast.Break)
+
+
+def _terminates(statements: list) -> bool:
+    return bool(statements) and isinstance(statements[-1], _TERMINATORS)
+
+
+def _has_fallthrough(module: SourceModule, stmt: ast.stmt) -> bool:
+    """Whether statements follow ``stmt`` in its enclosing block."""
+    parent = module.parent(stmt)
+    if parent is None:
+        return False
+    for field in ("body", "orelse", "finalbody"):
+        block = getattr(parent, field, None)
+        if isinstance(block, list) and stmt in block:
+            return block.index(stmt) < len(block) - 1
+    return False
+
+
+def _twin_ok(module: SourceModule, gate: Gate) -> bool:
+    """Both pipelines have an arm: explicit, or terminator + fall-through."""
+    if gate.is_expression:
+        return True
+    if gate.reference_arm and gate.fast_arm:
+        return True
+    present = gate.reference_arm or gate.fast_arm
+    return _terminates(present) and _has_fallthrough(module, gate.node)
+
+
+@register
+class PipelineParityChecker(Checker):
+    name = "pipeline-parity"
+    codes = ("parity-twin", "parity-test")
+    description = (
+        "pipeline gates need both fast and reference arms, and every gated "
+        "function must appear in an equivalence test"
+    )
+
+    def check(self, module: SourceModule, context: LintContext) -> Iterator[Diagnostic]:
+        relpath = _package_relpath(module.path)
+        if relpath in ("repro/perf.py",) or relpath.startswith("repro/analysis/"):
+            return  # the switch itself / this linter are not gated code
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            gates = [
+                g for g in iter_gates(func)
+                if module.enclosing_function(g.node) is func
+            ]
+            if not gates:
+                continue
+            for gate in gates:
+                if not _twin_ok(module, gate):
+                    missing = "reference" if not gate.reference_arm else "fast"
+                    yield self.diagnostic(
+                        module, gate.node, "parity-twin",
+                        f"pipeline gate in `{func.name}` has no {missing} "
+                        "arm: give the branch an else (or a terminating "
+                        "body with fall-through code) so both pipelines "
+                        "stay complete",
+                    )
+            if context.tests_corpus:
+                names = {func.name}
+                cls = module.enclosing_class(func)
+                if cls is not None:
+                    names.add(cls.name)
+                if not any(name in context.tests_corpus for name in names):
+                    where = " or ".join(sorted(f"`{n}`" for n in names))
+                    yield self.diagnostic(
+                        module, func, "parity-test",
+                        f"pipeline-gated function {where} appears in no "
+                        "equivalence test (searched "
+                        f"{len(context.corpus_files)} corpus files); add a "
+                        "fast-vs-reference test that names it",
+                    )

@@ -1,0 +1,129 @@
+"""warp-race: shared simulator state needs conflict resolution in warp loops.
+
+A ``for ... in grid.partition(n)`` loop models per-warp execution: its body
+runs "concurrently" across warps.  Python executes it serially, so writing
+shared simulator state (the clock, counters, kernel launcher, pool tallies)
+per iteration *works* — but it models hundreds of warps updating one
+location without the intra-warp conflict resolution the paper's
+Optimization 1 requires (warp-level exclusive scan / ballot), and the next
+refactor that reorders the loop changes the simulated outcome.
+
+The rule: inside a ``partition()`` loop body, flag
+
+* ``...clock.advance(...)``, ``...counters.add(...)``,
+  ``...kernel.launch(...)``, ``...cpu.work(...)`` calls, and
+* augmented assignments to attributes (``pool.blocks_served += ...``),
+
+unless the loop body resolves conflicts by calling
+``warp_exclusive_scan``/``warp_ballot`` somewhere, or the line carries a
+``# gammalint: allow[warp-race] -- <reason>`` waiver.  The fix is almost
+always: accumulate per-warp quantities into an array inside the loop, then
+charge once after it (see ``DynamicAllocStrategy.account``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..framework import Checker, LintContext, SourceModule, register
+
+#: attribute-method calls on shared simulator objects: {owner: {method}}.
+_SHARED_CALLS = {
+    "clock": {"advance"},
+    "counters": {"add"},
+    "kernel": {"launch"},
+    "cpu": {"work"},
+    "pcie": {"migrate_pages", "explicit_copy", "zerocopy_transactions"},
+}
+
+_RESOLUTION_CALLS = frozenset({"warp_exclusive_scan", "warp_ballot"})
+
+
+def _is_partition_loop(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.For)
+        and isinstance(node.iter, ast.Call)
+        and (
+            (isinstance(node.iter.func, ast.Attribute)
+             and node.iter.func.attr == "partition")
+            or (isinstance(node.iter.func, ast.Name)
+                and node.iter.func.id == "partition")
+        )
+    )
+
+
+def _owner_chain(node: ast.AST) -> list:
+    """Attribute names along ``a.b.c`` (innermost first)."""
+    names = []
+    while isinstance(node, ast.Attribute):
+        names.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.append(node.id)
+    return names
+
+
+def _shared_call(node: ast.AST) -> str | None:
+    """A dotted description if ``node`` calls a shared-state mutator."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return None
+    chain = _owner_chain(node.func)
+    method, owners = chain[0], chain[1:]
+    for owner, methods in _SHARED_CALLS.items():
+        if method in methods and owner in owners:
+            return f"{owner}.{method}"
+    return None
+
+
+def _has_resolution(body: list) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = func.id if isinstance(func, ast.Name) else (
+                    func.attr if isinstance(func, ast.Attribute) else None
+                )
+                if name in _RESOLUTION_CALLS:
+                    return True
+    return False
+
+
+@register
+class WarpRaceChecker(Checker):
+    name = "warp-race"
+    codes = ("warp-race",)
+    description = (
+        "per-warp partition() loops must not write shared simulator state "
+        "without warp_exclusive_scan/ballot conflict resolution"
+    )
+
+    def check(self, module: SourceModule, context: LintContext) -> Iterator[Diagnostic]:
+        for loop in ast.walk(module.tree):
+            if not _is_partition_loop(loop):
+                continue
+            if _has_resolution(loop.body):
+                continue
+            for stmt in loop.body:
+                for node in ast.walk(stmt):
+                    shared = _shared_call(node)
+                    if shared is not None:
+                        yield self.diagnostic(
+                            module, node, "warp-race",
+                            f"`{shared}(...)` inside a per-warp partition() "
+                            "loop races across warps; accumulate per-warp "
+                            "values and charge once after the loop, or "
+                            "resolve with warp_exclusive_scan/warp_ballot",
+                        )
+                    elif isinstance(node, ast.AugAssign) and isinstance(
+                        node.target, ast.Attribute
+                    ):
+                        yield self.diagnostic(
+                            module, node, "warp-race",
+                            f"augmented write to `.{node.target.attr}` "
+                            "inside a per-warp partition() loop is an "
+                            "unresolved cross-warp write conflict; "
+                            "accumulate per-warp and combine after the "
+                            "loop (warp_exclusive_scan/warp_ballot)",
+                        )

@@ -1,0 +1,279 @@
+"""gammalint's chassis: source modules, checker registry, runner, output.
+
+The linter is deliberately self-contained (stdlib ``ast`` + ``re`` only) so
+it can run in CI before any optional tooling is installed.  Checkers are
+small classes registered with :func:`register`; each gets a parsed
+:class:`SourceModule` plus the repo-wide :class:`LintContext` and yields
+:class:`~repro.analysis.diagnostics.Diagnostic` records.  Waivers are
+applied centrally here, so no checker needs waiver logic of its own.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Type
+
+from .diagnostics import Diagnostic
+from .waivers import META_CODES, WaiverSet
+
+# ---------------------------------------------------------------------------
+# Repo layout scopes.  Paths are matched on their ``repro/...`` suffix so the
+# linter works from any checkout root (and on fixture files that *pretend*
+# to live in the package — see tests/analysis).
+# ---------------------------------------------------------------------------
+
+#: Modules that drive the simulator: every device-visible graph read here
+#: must route through the charging APIs.
+ENGINE_SCOPES = ("repro/core/", "repro/algorithms/", "repro/baselines/")
+
+#: Wall-clock hot modules: dtype discipline and overflow guards required.
+HOT_SCOPES = ("repro/core/", "repro/gpusim/", "repro/graph/csr.py")
+
+
+def _package_relpath(path: str) -> str:
+    """The ``repro/...`` suffix of ``path`` (empty if outside the package)."""
+    posix = pathlib.PurePath(path).as_posix()
+    marker = "repro/"
+    idx = posix.rfind(marker)
+    return posix[idx:] if idx >= 0 else ""
+
+
+def in_engine_scope(path: str) -> bool:
+    return _package_relpath(path).startswith(ENGINE_SCOPES)
+
+
+def in_hot_scope(path: str) -> bool:
+    return _package_relpath(path).startswith(HOT_SCOPES)
+
+
+# ---------------------------------------------------------------------------
+# Parsed inputs
+# ---------------------------------------------------------------------------
+
+
+class SourceModule:
+    """One parsed source file: text, AST (with parent links), waivers."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.tree = ast.parse(text, filename=path)
+        self.waivers = WaiverSet(path, text)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[child] = node
+
+    @classmethod
+    def from_path(cls, path: pathlib.Path, root: pathlib.Path | None = None) -> "SourceModule":
+        display = str(path)
+        if root is not None:
+            try:
+                display = str(path.relative_to(root))
+            except ValueError:
+                pass
+        return cls(display, path.read_text())
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def enclosing_function(self, node: ast.AST) -> ast.FunctionDef | None:
+        """Innermost function/method containing ``node`` (or ``None``)."""
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parent(current)
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            current = self.parent(current)
+        return None
+
+
+@dataclass
+class LintContext:
+    """Repo-wide facts shared by all checkers."""
+
+    #: Concatenated text of the pipeline-equivalence test corpus — the
+    #: files the pipeline-parity checker cross-references gated names
+    #: against.  Empty string means "no corpus available; skip that rule".
+    tests_corpus: str = ""
+    #: Names of the corpus files (for diagnostics only).
+    corpus_files: tuple = ()
+
+
+#: Test files belong to the equivalence corpus when their *name* says so or
+#: their text exercises the pipeline switch.
+_CORPUS_NAME = re.compile(r"equivalence|contract|pipeline")
+_CORPUS_TEXT = re.compile(r"perf\.pipeline\(|REPRO_PIPELINE|set_pipeline\(")
+
+
+def build_context(tests_dir: pathlib.Path | None) -> LintContext:
+    """Scan ``tests_dir`` for the pipeline-equivalence corpus."""
+    if tests_dir is None or not tests_dir.is_dir():
+        return LintContext()
+    chunks, names = [], []
+    for path in sorted(tests_dir.rglob("*.py")):
+        text = path.read_text()
+        if _CORPUS_NAME.search(path.name) or _CORPUS_TEXT.search(text):
+            chunks.append(text)
+            names.append(path.name)
+    return LintContext(tests_corpus="\n".join(chunks), corpus_files=tuple(names))
+
+
+# ---------------------------------------------------------------------------
+# Checker registry
+# ---------------------------------------------------------------------------
+
+
+class Checker:
+    """Base class: subclass, set the class attributes, implement check()."""
+
+    #: Stable registry key (kebab-case).
+    name: str = ""
+    #: Diagnostic codes this checker can emit (the waiver vocabulary).
+    codes: tuple = ()
+    #: One-line description shown by ``--list-checkers``.
+    description: str = ""
+
+    def check(self, module: SourceModule, context: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(self, module: SourceModule, node: ast.AST, code: str,
+                   message: str) -> Diagnostic:
+        return Diagnostic(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+            checker=self.name,
+        )
+
+
+_REGISTRY: dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name or not cls.codes:
+        raise ValueError(f"checker {cls.__name__} must define name and codes")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker, stable order."""
+    from . import checkers as _checkers  # noqa: F401  (side-effect import)
+    return [_REGISTRY[name]() for name in sorted(_REGISTRY)]
+
+
+def known_codes() -> frozenset:
+    """Every waivable diagnostic code plus the waiver meta-codes."""
+    codes = set(META_CODES)
+    for checker in all_checkers():
+        codes.update(checker.codes)
+    return frozenset(codes)
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+
+
+def lint_module(module: SourceModule, context: LintContext,
+                checkers: Sequence[Checker] | None = None,
+                select: Iterable[str] | None = None) -> list[Diagnostic]:
+    """All surviving diagnostics for one module (waivers applied)."""
+    checkers = list(checkers) if checkers is not None else all_checkers()
+    selected = frozenset(select) if select else None
+    out: list[Diagnostic] = []
+    for checker in checkers:
+        for diag in checker.check(module, context):
+            if selected is not None and diag.code not in selected:
+                continue
+            if module.waivers.suppresses(diag.code, diag.line):
+                continue
+            out.append(diag)
+    if selected is None:
+        out.extend(module.waivers.problems(known_codes()))
+    return sorted(out)
+
+
+def lint_source(text: str, path: str = "<string>",
+                tests_corpus: str = "",
+                select: Iterable[str] | None = None) -> list[Diagnostic]:
+    """Lint an in-memory snippet as if it lived at ``path``.
+
+    The fixture harness drives this; ``path`` decides checker scopes.
+    """
+    module = SourceModule(path, text)
+    context = LintContext(tests_corpus=tests_corpus)
+    return lint_module(module, context, select=select)
+
+
+def iter_python_files(paths: Sequence[pathlib.Path]) -> Iterator[pathlib.Path]:
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if any(part.startswith(".") for part in sub.parts):
+                    continue
+                yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Sequence[pathlib.Path],
+               tests_dir: pathlib.Path | None = None,
+               select: Iterable[str] | None = None,
+               root: pathlib.Path | None = None) -> list[Diagnostic]:
+    """Lint every Python file under ``paths``; returns sorted diagnostics."""
+    context = build_context(tests_dir)
+    checkers = all_checkers()
+    out: list[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        try:
+            module = SourceModule.from_path(file_path, root=root)
+        except SyntaxError as exc:
+            out.append(Diagnostic(
+                path=str(file_path), line=exc.lineno or 1, col=1,
+                code="syntax-error", message=str(exc.msg), checker="framework",
+            ))
+            continue
+        out.extend(lint_module(module, context, checkers, select=select))
+    return sorted(out)
+
+
+# ---------------------------------------------------------------------------
+# Output
+# ---------------------------------------------------------------------------
+
+
+def format_human(diagnostics: Sequence[Diagnostic]) -> str:
+    """One ``path:line:col: [code] message`` line each, plus a count."""
+    lines = [d.format() for d in diagnostics]
+    noun = "diagnostic" if len(diagnostics) == 1 else "diagnostics"
+    lines.append(f"gammalint: {len(diagnostics)} {noun}")
+    return "\n".join(lines)
+
+
+def format_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Machine-readable report: ``{diagnostics: [...], count: N}``."""
+    return json.dumps(
+        {
+            "diagnostics": [d.to_json() for d in diagnostics],
+            "count": len(diagnostics),
+        },
+        indent=2,
+    )

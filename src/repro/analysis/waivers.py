@@ -1,0 +1,149 @@
+"""Waiver comments: the escape hatch every checker honors.
+
+Two forms, both requiring a reason after ``--`` (a waiver that does not say
+*why* the invariant is safe to bypass is itself a diagnostic):
+
+* line waiver — suppresses the listed codes on that source line::
+
+      starts = graph.offsets[v]  # gammalint: allow[charge] -- charged below
+
+* module waiver — first ~30 lines of a file, suppresses the listed codes
+  everywhere in it (for modules that *implement* the invariant, e.g. the
+  residence layer is the charging boundary itself)::
+
+      # gammalint: module-allow[charge] -- this module implements charging
+
+Unknown codes and waivers that never suppress anything are reported
+(``waiver-unknown`` / ``waiver-unused``), so stale waivers cannot linger.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .diagnostics import Diagnostic
+
+WAIVER_RE = re.compile(
+    r"#\s*gammalint:\s*(?P<module>module-)?allow\[(?P<codes>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+#: Codes emitted by the waiver machinery itself (never waivable).
+META_CODES = ("waiver-reason", "waiver-unknown", "waiver-unused")
+
+#: Module waivers must appear in the file head, next to the docstring —
+#: burying one deep in a file hides how much it silences.
+MODULE_WAIVER_MAX_LINE = 30
+
+
+@dataclass
+class Waiver:
+    """One parsed waiver comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+    module_level: bool
+    used: set = field(default_factory=set)
+
+
+def _iter_comments(text: str):
+    """``(line, comment_text)`` for every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps waiver syntax
+    quoted inside strings and docstrings — like the examples above — from
+    being parsed as live waivers.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except tokenize.TokenError:  # pragma: no cover - unterminated input
+        return
+
+
+class WaiverSet:
+    """All waivers of one source file, plus their usage bookkeeping."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.line_waivers: dict[int, Waiver] = {}
+        self.module_waivers: list[Waiver] = []
+        for lineno, comment in _iter_comments(text):
+            match = WAIVER_RE.search(comment)
+            if match is None:
+                continue
+            codes = tuple(
+                c.strip() for c in match.group("codes").split(",") if c.strip()
+            )
+            waiver = Waiver(
+                line=lineno,
+                codes=codes,
+                reason=(match.group("reason") or "").strip(),
+                module_level=match.group("module") is not None,
+            )
+            if waiver.module_level:
+                self.module_waivers.append(waiver)
+            else:
+                self.line_waivers[lineno] = waiver
+
+    def suppresses(self, code: str, line: int) -> bool:
+        """Whether ``code`` at ``line`` is waived; marks the waiver used."""
+        waiver = self.line_waivers.get(line)
+        if waiver is not None and code in waiver.codes:
+            waiver.used.add(code)
+            return True
+        for waiver in self.module_waivers:
+            if code in waiver.codes and waiver.line <= MODULE_WAIVER_MAX_LINE:
+                waiver.used.add(code)
+                return True
+        return False
+
+    def problems(self, known_codes: frozenset) -> list[Diagnostic]:
+        """Diagnostics about the waivers themselves."""
+        out = []
+        for waiver in self._all():
+            if not waiver.reason:
+                out.append(self._meta(
+                    waiver, "waiver-reason",
+                    "waiver is missing its reason; write "
+                    "`# gammalint: allow[code] -- why this is safe`",
+                ))
+            for code in waiver.codes:
+                if code not in known_codes:
+                    out.append(self._meta(
+                        waiver, "waiver-unknown",
+                        f"waiver names unknown code {code!r} "
+                        f"(known: {', '.join(sorted(known_codes))})",
+                    ))
+            if waiver.module_level and waiver.line > MODULE_WAIVER_MAX_LINE:
+                out.append(self._meta(
+                    waiver, "waiver-unknown",
+                    f"module-allow must appear within the first "
+                    f"{MODULE_WAIVER_MAX_LINE} lines (found at line "
+                    f"{waiver.line})",
+                ))
+            unused = [
+                c for c in waiver.codes
+                if c in known_codes and c not in waiver.used
+            ]
+            if unused and not waiver.module_level:
+                out.append(self._meta(
+                    waiver, "waiver-unused",
+                    f"waiver for {', '.join(unused)} suppresses nothing "
+                    "on this line; delete it",
+                ))
+        return out
+
+    def _all(self):
+        return list(self.line_waivers.values()) + self.module_waivers
+
+    def _meta(self, waiver: Waiver, code: str, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=self.path, line=waiver.line, col=1,
+            code=code, message=message, checker="waivers",
+        )

@@ -14,7 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.framework import Gamma, GammaConfig
+from ..core.framework import GammaConfig
 from ..core.sort import out_of_core_sort
 from ..graph import datasets
 from ..gpusim.platform import make_platform

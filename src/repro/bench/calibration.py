@@ -23,7 +23,7 @@ from ..baselines import PangolinGPU, Peregrine
 from ..core.framework import Gamma, GammaConfig
 from ..errors import GammaError
 from ..graph import datasets
-from ..gpusim.platform import GpuPlatform, make_platform
+from ..gpusim.platform import make_platform
 from ..gpusim.spec import DEFAULT_COST, CostModel
 from .figures import FigureReport
 from .reporting import format_table, shape_check

@@ -14,11 +14,10 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from ..algorithms import count_kcliques, match_pattern, triangle_count
+from ..algorithms import count_kcliques, triangle_count
 from ..core.framework import Gamma, GammaConfig
 from ..core.sort import CPU_SORT, MULTI_MERGE, NAIVE_MERGE, XTR2SORT, out_of_core_sort
 from ..graph import datasets, kronecker
-from ..graph.patterns import sm_query
 from ..gpusim.platform import make_platform
 from .reporting import (
     crash_summary,
@@ -27,10 +26,9 @@ from .reporting import (
     grid_table,
     shape_check,
 )
-from .runner import RunResult, run_gamma_variant, run_grid, run_task
+from .runner import run_gamma_variant, run_grid, run_task
 from .workloads import (
     FPM_DATASETS,
-    FPM_ITERATIONS,
     KCL_DATASETS,
     SM_DATASETS,
     Task,
@@ -39,7 +37,6 @@ from .workloads import (
     kcl_task,
     queries_for_dataset,
     sm_task,
-    triangle_task,
 )
 
 

@@ -10,11 +10,9 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict
 from typing import Iterable, List
 
 from .figures import FigureReport
-from .runner import RunResult
 
 
 def report_to_dict(report: FigureReport) -> dict:

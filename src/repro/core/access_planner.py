@@ -57,7 +57,7 @@ class AccessHeatPlanner:
         #: extension (the Fig. 5 series).
         self.hot_overlap_history: list[float] = []
         if mode == UNIFIED_ONLY:
-            region.set_unified_pages(np.arange(region.total_pages))
+            region.set_unified_pages(np.arange(region.total_pages, dtype=np.int64))
         elif mode == ZEROCOPY_ONLY:
             region.set_unified_pages(np.empty(0, dtype=np.int64))
 
@@ -127,7 +127,7 @@ class AccessHeatPlanner:
             hot = np.union1d(hot, self.region.buffer.resident_pages)
             self.region.set_unified_pages(hot)
         elif self.mode == UNIFIED_ONLY:
-            hot = np.arange(self.region.total_pages)
+            hot = np.arange(self.region.total_pages, dtype=np.int64)
         else:
             hot = np.empty(0, dtype=np.int64)
 

@@ -123,7 +123,9 @@ class Gamma:
         self.residence = GammaResidence(platform, graph, buffer_pages)
         self.planners = {
             "neighbors": AccessHeatPlanner(
-                platform, self.residence.neighbors, graph.offsets,
+                platform,
+                self.residence.neighbors,  # gammalint: allow[charge] -- wiring the region + offsets INTO the charging machinery, not reading data
+                graph.offsets,  # gammalint: allow[charge] -- wiring the region + offsets INTO the charging machinery, not reading data
                 mode=self.config.access_mode,
             ),
         }
@@ -198,7 +200,9 @@ class Gamma:
     def _edge_engine(self) -> ExtensionEngine:
         if self._edge_engine_cache is None:
             planner = AccessHeatPlanner(
-                self.platform, self.residence.edge_slots, self.graph.offsets,
+                self.platform,
+                self.residence.edge_slots,
+                self.graph.offsets,  # gammalint: allow[charge] -- wiring the planner; offsets are its page-heat index, not a data read
                 mode=self.config.access_mode,
             )
             self.planners["edge_slots"] = planner

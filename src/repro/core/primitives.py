@@ -133,7 +133,9 @@ def filtering(
         )
     if pattern.labeled:
         for qv in range(pattern.num_vertices):
-            mask &= graph.labels[mats[:, position[qv]]] == pattern.label(qv)
+            mask &= (
+                graph.labels[mats[:, position[qv]]] == pattern.label(qv)  # gammalint: allow[charge] -- verification probe; billed by the filter kernel engine.filtering launches
+            )
     return engine.filtering(table, keep_mask=mask)
 
 

@@ -19,7 +19,7 @@ from .device import DeviceMemory
 from .hybrid import HybridRegion
 from .kernel import CpuExecutor, KernelLauncher
 from .pcie import PcieBus
-from .regions import DeviceResidentRegion, HostRegion
+from .regions import DeviceResidentRegion
 from .spec import DEFAULT_COST, DEFAULT_SPEC, CostModel, DeviceSpec
 from .stats import Counters
 from .unified import UnifiedRegion

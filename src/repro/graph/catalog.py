@@ -16,8 +16,6 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterable, Sequence
 
-import numpy as np
-
 from .canonical import canonical_code_int
 from .patterns import Pattern
 

@@ -25,6 +25,10 @@ from ..errors import InvalidGraphError
 #: user-supplied graphs; larger graphs keep the sorted-key binary search.
 _BITSET_MAX_BYTES = 512 * 1024 * 1024
 
+#: Vertex-id ceiling for the packed (u << 32 | v) edge keys: both halves
+#: must fit in 32 bits for the key to fit in one int64.
+_PACK_VERTEX_LIMIT = 1 << 31
+
 
 class CSRGraph:
     """An undirected, vertex-labeled graph in CSR form.
@@ -53,6 +57,12 @@ class CSRGraph:
         n = len(self.offsets) - 1
         if n < 0:
             raise InvalidGraphError("offsets must have at least one entry")
+        if n >= _PACK_VERTEX_LIMIT:
+            raise InvalidGraphError(
+                f"{n} vertices exceed the packed edge-key limit "
+                f"({_PACK_VERTEX_LIMIT - 1}); edge keys pack (u, v) into "
+                "one int64"
+            )
         if labels is None:
             labels = np.zeros(n, dtype=np.int64)
         self.labels = np.ascontiguousarray(labels, dtype=np.int64)
@@ -114,7 +124,7 @@ class CSRGraph:
 
     # -- adjacency queries ------------------------------------------------------
     def _pack_pairs(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
-        return (np.asarray(u, dtype=np.int64) << 32) | np.asarray(v, dtype=np.int64)
+        return (np.asarray(u, dtype=np.int64) << 32) | np.asarray(v, dtype=np.int64)  # gammalint: allow[overflow] -- __init__ rejects graphs with >= 2**31 vertices, so both halves fit
 
     def has_edge(self, u: int, v: int) -> bool:
         return bool(self.has_edges(np.array([u]), np.array([v]))[0])
@@ -152,7 +162,7 @@ class CSRGraph:
         """Vectorized adjacency test for aligned endpoint arrays."""
         bits = self._adjacency_bitset()
         if bits is not None:
-            pos = np.asarray(u, dtype=np.int64) * np.int64(self.num_vertices)
+            pos = np.asarray(u, dtype=np.int64) * np.int64(self.num_vertices)  # gammalint: allow[overflow] -- bitset exists only when n*n <= _BITSET_MAX_BYTES*8, far inside int64
             pos += np.asarray(v, dtype=np.int64)
             mask = np.left_shift(np.uint8(1), (pos & 7).astype(np.uint8))
             return (bits[pos >> 3] & mask) != 0

@@ -32,19 +32,28 @@ FAST = "fast"
 REFERENCE = "reference"
 PIPELINES = (FAST, REFERENCE)
 
+#: Whether the unknown-REPRO_PIPELINE warning has already fired; the env
+#: variable is read once per process under normal use, but tools that call
+#: ``_mode_from_env()`` repeatedly (or reload config) must not spam it.
+_warned_unknown = False
+
+
 def _mode_from_env() -> str:
     raw = os.environ.get("REPRO_PIPELINE", "")
     value = raw.lower()
     if value in PIPELINES:
         return value
     if value:
-        import warnings
+        global _warned_unknown
+        if not _warned_unknown:
+            _warned_unknown = True
+            import warnings
 
-        warnings.warn(
-            f"REPRO_PIPELINE={raw!r} is not one of {PIPELINES}; using "
-            f"{FAST!r}",
-            stacklevel=2,
-        )
+            warnings.warn(
+                f"REPRO_PIPELINE={raw!r} is not one of {PIPELINES}; using "
+                f"{FAST!r}",
+                stacklevel=2,
+            )
     return FAST
 
 

@@ -1,0 +1,42 @@
+# gammalint-fixture: src/repro/core/fixture_engine.py
+"""Seeded violations for the charge-accounting checker.
+
+Marked lines must be flagged; unmarked lines are negatives (charged
+accessors, method calls, waived reads).
+"""
+
+
+def uncharged_reads(graph, vertices):
+    starts = graph.offsets[vertices]  # expect[charge]
+    neigh = graph.neighbors[starts]  # expect[charge]
+    ids = graph.edge_ids[starts]  # expect[charge]
+    labels = graph.labels[vertices]  # expect[charge]
+    return starts, neigh, ids, labels
+
+
+def uncharged_views(graph, v):
+    a = graph.neighbors_of(v)  # expect[charge]
+    b = graph.incident_edges_of(v)  # expect[charge]
+    src, dst = graph.edge_endpoints(a)  # expect[charge]
+    return a, b, src, dst
+
+
+def region_internals(region):
+    return region._array[:4]  # expect[charge]
+
+
+def charged_ok(residence, region, starts, ends):
+    # Routing through the charging APIs is the sanctioned path.
+    region.charge_ranges(starts, ends)
+    values, lengths = residence.adjacency_of(starts)
+    data = region.gather(starts)
+    return values, lengths, data
+
+
+def method_not_array(pattern, v):
+    # `.neighbors(...)` as a *call* is a method, not the CSR array.
+    return pattern.neighbors(v)
+
+
+def waived(graph, vertices):
+    return graph.offsets[vertices]  # gammalint: allow[charge] -- fixture: ranges are charged by the caller via charge_ranges

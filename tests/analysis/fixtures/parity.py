@@ -1,0 +1,43 @@
+# gammalint-fixture: src/repro/core/fixture_pipeline.py
+# gammalint-corpus: gated_with_test tested_elsewhere
+"""Seeded violations for the pipeline-parity checker.
+
+The pretend corpus (header line above) names ``gated_with_test``, so only
+the other gated functions draw ``parity-test``.
+"""
+
+from repro import perf
+
+
+def gated_with_test(blocks):
+    # Terminating reference arm + fall-through fast code: twin is fine,
+    # and the corpus names this function.
+    if perf.use_reference():
+        return sorted(set(blocks))
+    return list(dict.fromkeys(blocks))
+
+
+def half_gated(values):  # expect[parity-test]
+    if not perf.use_reference():  # expect[parity-twin]
+        values = [v * 2 for v in values]
+    return values
+
+
+def mode_compared(values):  # expect[parity-test]
+    if perf.pipeline_mode() == "fast":  # expect[parity-twin]
+        values = values[:1]
+    return values
+
+
+def expression_gate(values):  # expect[parity-test]
+    # A conditional expression always has both arms; only the missing
+    # equivalence test is reported.
+    return sorted(values) if perf.use_reference() else values
+
+
+def both_arms_no_test(values):  # expect[parity-test]
+    if perf.use_reference():
+        out = sorted(values)
+    else:
+        out = values
+    return out

@@ -1,0 +1,36 @@
+# gammalint-fixture: src/repro/gpusim/fixture_warploop.py
+"""Seeded violations for the warp-race checker."""
+
+from repro.gpusim.warp import warp_exclusive_scan
+
+
+def racing_loop(grid, platform, pool, counts):
+    total = 0
+    for warp_id, start, stop in grid.partition(len(counts)):
+        platform.clock.advance("compute", 1e-6)  # expect[warp-race]
+        platform.counters.add("blocks", stop - start)  # expect[warp-race]
+        pool.blocks_served += stop - start  # expect[warp-race]
+        total += stop - start  # plain-name accumulator: fine
+    return total
+
+
+def waived_write(grid, platform, counts):
+    for warp_id, start, stop in grid.partition(len(counts)):
+        platform.cpu.work(stop - start)  # gammalint: allow[warp-race] -- fixture: CPU executor is single-warp by construction
+    return None
+
+
+def resolved_loop(grid, platform, counts):
+    # warp_exclusive_scan in the body is the sanctioned conflict resolution.
+    for warp_id, start, stop in grid.partition(len(counts)):
+        scan, total = warp_exclusive_scan(counts[start:stop])
+        platform.clock.advance("compute", total * 1e-9)
+    return None
+
+
+def charge_after_loop(grid, platform, counts):
+    per_warp = []
+    for warp_id, start, stop in grid.partition(len(counts)):
+        per_warp.append(int(sum(counts[start:stop])))
+    platform.kernel.launch("extend", element_ops=sum(per_warp))
+    return per_warp

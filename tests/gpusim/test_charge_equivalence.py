@@ -19,6 +19,7 @@ from repro.gpusim import (
     UnifiedRegion,
     ZeroCopyRegion,
     make_platform,
+    regions,
 )
 
 N_ELEMENTS = 4096  # 32 KiB payload = 8 pages at the default 4 KiB page
@@ -168,6 +169,48 @@ class TestMemoSafety:
         without = run(False)
         assert with_replan.get("zc_transactions", 0) > 0
         assert "zc_transactions" not in without
+
+
+class TestUnitDerivationEquivalence:
+    """The sort-free `dedup_units` / `covered_units` derivations must match
+    their `np.unique` reference twins exactly, in both density regimes."""
+
+    @given(
+        hst.lists(hst.integers(min_value=0, max_value=511), max_size=512),
+        hst.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_units(self, raw_blocks, total_units):
+        blocks = np.array(raw_blocks, dtype=np.int64) % total_units
+        with perf.pipeline(perf.FAST):
+            fast = regions.dedup_units(blocks, total_units)
+        with perf.pipeline(perf.REFERENCE):
+            ref = regions.dedup_units(blocks, total_units)
+        np.testing.assert_array_equal(fast, ref)
+        assert fast.dtype == ref.dtype
+
+    @given(
+        hst.lists(
+            hst.tuples(
+                hst.integers(min_value=0, max_value=63),
+                hst.integers(min_value=0, max_value=15),
+            ),
+            max_size=24,
+        ),
+        hst.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_covered_units(self, raw_ranges, total_units):
+        first = np.array([f % total_units for f, __ in raw_ranges], dtype=np.int64)
+        last = np.array(
+            [min(f % total_units + l, total_units - 1) for f, l in raw_ranges],
+            dtype=np.int64,
+        )
+        with perf.pipeline(perf.FAST):
+            fast = regions.covered_units(first, last, total_units)
+        with perf.pipeline(perf.REFERENCE):
+            ref = regions.covered_units(first, last, total_units)
+        np.testing.assert_array_equal(fast, ref)
 
 
 @pytest.mark.parametrize("mode", perf.PIPELINES)

@@ -44,6 +44,39 @@ class TestWarpGrid:
         with pytest.raises(ValueError):
             list(WarpGrid(4).partition(-1))
 
+    def test_uneven_tail_last_chunk_short(self):
+        # 10 tasks over 4 warps: ceil-division chunks of 3 leave a 1-task
+        # tail for the last active warp.
+        chunks = list(WarpGrid(num_warps=4).partition(10))
+        assert [b - a for __, a, b in chunks] == [3, 3, 3, 1]
+        assert chunks[-1] == (3, 9, 10)
+
+    def test_trailing_warps_skipped_when_chunks_exhaust(self):
+        # 12 tasks over 5 warps: chunks of 3 exhaust the range after four
+        # warps; the fifth must be skipped, not yielded empty.
+        chunks = list(WarpGrid(num_warps=5).partition(12))
+        assert len(chunks) == 4
+        assert all(b > a for __, a, b in chunks)
+        assert chunks[-1][2] == 12
+
+    def test_chunk_bounds_zero_tasks(self):
+        # No tasks: the single boundary 0 already spans [0, 0).
+        bounds = WarpGrid(4).chunk_bounds(0)
+        assert bounds.tolist() == [0]
+        assert bounds.dtype == np.int64
+
+    def test_chunk_bounds_fewer_tasks_than_warps(self):
+        bounds = WarpGrid(num_warps=8).chunk_bounds(3)
+        assert bounds.tolist() == [0, 1, 2, 3]
+
+    def test_chunk_bounds_matches_partition_stops(self):
+        grid = WarpGrid(num_warps=6)
+        for n in (0, 1, 5, 6, 7, 35, 36, 37):
+            expected = [0] + [stop for __, __, stop in grid.partition(n)]
+            if expected[-1] != n:
+                expected.append(n)
+            assert grid.chunk_bounds(n).tolist() == expected
+
     def test_chunk_bounds_monotone(self):
         grid = WarpGrid(num_warps=5)
         bounds = grid.chunk_bounds(23)

@@ -1,0 +1,86 @@
+"""Fast-vs-reference equivalence for `CSRGraph` adjacency probes.
+
+`CSRGraph._adjacency_bitset` is the fast pipeline's probe structure: one
+byte load per `has_edges` query instead of a binary search over the packed
+edge keys.  The reference pipeline disables it, so the two pipelines must
+answer every probe identically — including self-loops-absent, reversed
+endpoints, and vertices with no edges at all.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro import perf
+from repro.graph import from_edges
+
+N_VERTICES = 24
+
+
+@hst.composite
+def graph_and_probes(draw):
+    n_edges = draw(hst.integers(min_value=0, max_value=40))
+    src = draw(
+        hst.lists(
+            hst.integers(min_value=0, max_value=N_VERTICES - 1),
+            min_size=n_edges, max_size=n_edges,
+        )
+    )
+    dst = draw(
+        hst.lists(
+            hst.integers(min_value=0, max_value=N_VERTICES - 1),
+            min_size=n_edges, max_size=n_edges,
+        )
+    )
+    n_probes = draw(hst.integers(min_value=0, max_value=64))
+    pu = draw(
+        hst.lists(
+            hst.integers(min_value=0, max_value=N_VERTICES - 1),
+            min_size=n_probes, max_size=n_probes,
+        )
+    )
+    pv = draw(
+        hst.lists(
+            hst.integers(min_value=0, max_value=N_VERTICES - 1),
+            min_size=n_probes, max_size=n_probes,
+        )
+    )
+    return src, dst, pu, pv
+
+
+def _answers(src, dst, pu, pv):
+    # A fresh graph per pipeline: the bitset is cached per instance, and
+    # the point is to compare the two build-and-probe paths end to end.
+    edges = [(u, v) for u, v in zip(src, dst) if u != v]
+    graph = from_edges(
+        np.array([u for u, __ in edges], dtype=np.int64),
+        np.array([v for __, v in edges], dtype=np.int64),
+        num_vertices=N_VERTICES,
+    )
+    return graph.has_edges(
+        np.array(pu, dtype=np.int64), np.array(pv, dtype=np.int64)
+    )
+
+
+class TestHasEdgesEquivalence:
+    @given(graph_and_probes())
+    @settings(max_examples=80, deadline=None)
+    def test_bitset_matches_binary_search(self, case):
+        src, dst, pu, pv = case
+        with perf.pipeline(perf.FAST):
+            fast = _answers(src, dst, pu, pv)
+        with perf.pipeline(perf.REFERENCE):
+            ref = _answers(src, dst, pu, pv)
+        np.testing.assert_array_equal(fast, ref)
+
+    def test_reference_pipeline_builds_no_bitset(self):
+        graph = from_edges(
+            np.array([0, 1], dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+            num_vertices=4,
+        )
+        with perf.pipeline(perf.REFERENCE):
+            assert graph._adjacency_bitset() is None
+            assert bool(graph.has_edge(0, 1))
+        with perf.pipeline(perf.FAST):
+            assert graph._adjacency_bitset() is not None

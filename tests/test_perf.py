@@ -1,0 +1,44 @@
+"""Pipeline-selection plumbing in :mod:`repro.perf`."""
+
+import warnings
+
+import pytest
+
+from repro import perf
+
+
+def test_env_parsing_accepts_known_modes(monkeypatch):
+    monkeypatch.setattr(perf, "_warned_unknown", False)
+    monkeypatch.setenv("REPRO_PIPELINE", "reference")
+    assert perf._mode_from_env() == perf.REFERENCE
+    monkeypatch.setenv("REPRO_PIPELINE", "FAST")
+    assert perf._mode_from_env() == perf.FAST
+    monkeypatch.delenv("REPRO_PIPELINE")
+    assert perf._mode_from_env() == perf.FAST
+
+
+def test_unknown_pipeline_warns_once_per_process(monkeypatch):
+    monkeypatch.setattr(perf, "_warned_unknown", False)
+    monkeypatch.setenv("REPRO_PIPELINE", "bogus")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert perf._mode_from_env() == perf.FAST
+        assert perf._mode_from_env() == perf.FAST
+        assert perf._mode_from_env() == perf.FAST
+    ours = [w for w in caught if "REPRO_PIPELINE" in str(w.message)]
+    assert len(ours) == 1
+    assert "'bogus'" in str(ours[0].message)
+
+
+def test_unknown_pipeline_warning_rearms_only_explicitly(monkeypatch):
+    monkeypatch.setenv("REPRO_PIPELINE", "nope")
+    monkeypatch.setattr(perf, "_warned_unknown", True)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert perf._mode_from_env() == perf.FAST
+    assert [w for w in caught if "REPRO_PIPELINE" in str(w.message)] == []
+
+
+def test_set_pipeline_rejects_unknown():
+    with pytest.raises(ValueError):
+        perf.set_pipeline("bogus")

@@ -8,6 +8,7 @@ import pathlib
 
 import repro
 import repro.algorithms
+import repro.analysis
 import repro.baselines
 import repro.bench
 import repro.core
@@ -16,7 +17,7 @@ import repro.gpusim
 
 MODULES = (
     repro, repro.gpusim, repro.graph, repro.core,
-    repro.algorithms, repro.baselines, repro.bench,
+    repro.algorithms, repro.baselines, repro.bench, repro.analysis,
 )
 
 

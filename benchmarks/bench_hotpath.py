@@ -27,7 +27,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import perf  # noqa: E402
+from repro import obs, perf  # noqa: E402
 from repro.bench.runner import SYSTEMS  # noqa: E402
 from repro.bench.workloads import (  # noqa: E402
     fpm_support,
@@ -66,12 +66,52 @@ def _run_cell(system: str, dataset: str, task):
         engine.close()
 
 
-def _measure(name, system, dataset, task_factory, repeats):
+def _collected_run(system, dataset, task):
+    """One extra run with a span collector attached; returns the manifest
+    and the number of spans the run produced."""
+    collector = obs.install(obs.SpanCollector())
+    graph = datasets.load(dataset)
+    start = time.perf_counter()
+    engine = SYSTEMS[system](graph)
+    try:
+        task.run(engine)
+        wall = time.perf_counter() - start
+        collector.finish()
+        manifest = obs.build_manifest(
+            engine.platform, collector,
+            system=system, dataset=dataset, task=task.name,
+            config=getattr(engine, "config", None), wall_seconds=wall,
+        )
+        return manifest, len(collector.spans)
+    finally:
+        collector.finish()
+        engine.close()
+
+
+#: Null-telemetry budget: the instrumented hot paths may cost at most this
+#: fraction of a workload's wall time when no collector is attached.
+NULL_OVERHEAD_BUDGET = 0.02
+
+
+def _null_span_cost(iters: int = 200_000) -> float:
+    """Per-span wall cost of the no-sink fast path (enter + exit)."""
+    from repro.obs.spans import NULL_TELEMETRY
+
+    span = NULL_TELEMETRY.span  # the attribute lookup engines pay
+    start = time.perf_counter()
+    for __ in range(iters):
+        with span("bench:null"):
+            pass
+    return (time.perf_counter() - start) / iters
+
+
+def _measure(name, system, dataset, task_factory, repeats, null_cost):
     graph = datasets.load(dataset)
     task = task_factory(graph)
     with perf.pipeline(perf.FAST):
         _run_cell(system, dataset, task)  # warm caches (incl. bitset build)
         fast_runs = [_run_cell(system, dataset, task) for __ in range(repeats)]
+        manifest, span_count = _collected_run(system, dataset, task)
     with perf.pipeline(perf.REFERENCE):
         ref_runs = [_run_cell(system, dataset, task) for __ in range(repeats)]
     fast_wall = min(r[0] for r in fast_runs)
@@ -79,6 +119,9 @@ def _measure(name, system, dataset, task_factory, repeats):
     simulated = {r[1] for r in fast_runs} | {r[1] for r in ref_runs}
     counters = [r[2] for r in fast_runs + ref_runs]
     identical = len(simulated) == 1 and all(c == counters[0] for c in counters)
+    # Every span an instrumented run records is a null enter/exit in the
+    # uninstrumented runs above — bound that cost against the budget.
+    overhead = (span_count * null_cost / fast_wall) if fast_wall else 0.0
     return {
         "workload": name,
         "system": system,
@@ -89,19 +132,28 @@ def _measure(name, system, dataset, task_factory, repeats):
         "speedup": (ref_wall / fast_wall) if fast_wall else float("inf"),
         "simulated_seconds": fast_runs[0][1],
         "results_identical": identical,
+        "telemetry": {
+            "span_count": span_count,
+            "null_overhead_fraction": overhead,
+            "within_budget": overhead <= NULL_OVERHEAD_BUDGET,
+        },
+        "manifest": manifest,
     }
 
 
 def _render(rows):
     head = (f"{'workload':10s} {'dataset':8s} {'fast':>9s} {'reference':>10s}"
-            f" {'speedup':>8s}  identical")
+            f" {'speedup':>8s}  {'spans':>5s} {'null-ovh':>8s}  identical")
     lines = [head, "-" * len(head)]
     for r in rows:
+        tel = r["telemetry"]
         lines.append(
             f"{r['workload']:10s} {r['dataset']:8s}"
             f" {r['fast_seconds'] * 1e3:8.1f}ms"
             f" {r['reference_seconds'] * 1e3:9.1f}ms"
-            f" {r['speedup']:7.2f}x  {r['results_identical']}"
+            f" {r['speedup']:7.2f}x"
+            f" {tel['span_count']:5d} {tel['null_overhead_fraction']:7.3%} "
+            f" {r['results_identical']}"
         )
     return "\n".join(lines)
 
@@ -139,11 +191,15 @@ def main(argv=None) -> int:
         except (OSError, ValueError):
             previous = None
 
+    null_cost = _null_span_cost()
+    print(f"null-telemetry span cost: {null_cost * 1e9:.0f} ns/span")
+
     rows = []
     for name, system, dataset, factory in _workloads(args.quick):
         print(f"measuring {name} on {dataset} "
               f"({repeats} repeat(s) per pipeline)...", flush=True)
-        rows.append(_measure(name, system, dataset, factory, repeats))
+        rows.append(_measure(name, system, dataset, factory, repeats,
+                             null_cost))
         datasets.clear_cache()
 
     print()
@@ -153,10 +209,11 @@ def main(argv=None) -> int:
         print(_diff_against_previous(rows, previous))
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": args.quick,
         "repeats": repeats,
+        "null_span_cost_seconds": null_cost,
         "workloads": rows,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -166,6 +223,14 @@ def main(argv=None) -> int:
     if bad:
         print(f"ERROR: simulated results diverged between pipelines: {bad}",
               file=sys.stderr)
+        return 1
+    heavy = [r["workload"] for r in rows
+             if not r["telemetry"]["within_budget"]]
+    if heavy:
+        worst = max(r["telemetry"]["null_overhead_fraction"] for r in rows)
+        print(f"ERROR: null-telemetry overhead exceeds "
+              f"{NULL_OVERHEAD_BUDGET:.0%} of wall time on {heavy} "
+              f"(worst {worst:.2%})", file=sys.stderr)
         return 1
     return 0
 

@@ -11,10 +11,11 @@ Public API tour:
   motifs, each runnable on GAMMA or any baseline;
 * :mod:`repro.baselines` — Pangolin, Peregrine, GSI, GraphMiner;
 * :mod:`repro.gpusim` — the simulated CPU–GPU platform;
+* :mod:`repro.obs` — telemetry: spans, metrics, trace export, manifests;
 * :mod:`repro.bench` — the harness regenerating the paper's evaluation.
 """
 
-from . import algorithms, baselines, bench, core, errors, graph, gpusim
+from . import algorithms, baselines, bench, core, errors, graph, gpusim, obs
 from .core import Gamma, GammaConfig, MinSupport, PatternTable
 from .errors import (
     DeviceOutOfMemory,
@@ -36,6 +37,7 @@ __all__ = [
     "errors",
     "graph",
     "gpusim",
+    "obs",
     "Gamma",
     "GammaConfig",
     "MinSupport",

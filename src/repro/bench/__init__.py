@@ -4,6 +4,7 @@ per-figure experiment drivers that regenerate the paper's evaluation
 
 from .figures import ALL_FIGURES, FigureReport
 from .reporting import (
+    counters_table,
     crash_summary,
     format_table,
     geometric_speedup,
@@ -27,6 +28,7 @@ from .workloads import (
 __all__ = [
     "ALL_FIGURES",
     "FigureReport",
+    "counters_table",
     "crash_summary",
     "format_table",
     "geometric_speedup",

@@ -68,6 +68,34 @@ def grid_table(
     return format_table(rows, ["dataset"] + systems)
 
 
+def counters_table(results: Sequence[RunResult],
+                   counters_key: str = "counters") -> str:
+    """Raw-counter table with *stable* columns.
+
+    Columns are the canonical counter set unioned with anything observed,
+    in a fixed order, zero-filled — so two runs of the same benchmark
+    always produce the same header even when an event never fired
+    (``Counters.snapshot(include_zero=True)`` supplies the inputs).
+    """
+    from ..gpusim.stats import CANONICAL_COUNTERS
+
+    with_counters = [r for r in results if r.extra.get(counters_key)]
+    if not with_counters:
+        return "(no counters recorded)"
+    observed: set = set()
+    for r in with_counters:
+        observed.update(r.extra[counters_key])
+    columns = list(CANONICAL_COUNTERS) + sorted(
+        observed - set(CANONICAL_COUNTERS))
+    rows = []
+    for r in with_counters:
+        counts = r.extra[counters_key]
+        row: Dict[str, object] = {"system": r.system, "dataset": r.dataset}
+        row.update({col: counts.get(col, 0) for col in columns})
+        rows.append(row)
+    return format_table(rows, ["system", "dataset"] + columns)
+
+
 def geometric_speedup(
     results: Sequence[RunResult], baseline: str, target: str = "GAMMA"
 ) -> float | None:

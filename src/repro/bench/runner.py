@@ -89,6 +89,11 @@ def run_task(
         result.simulated_seconds = engine.simulated_seconds
         result.peak_memory_bytes = engine.peak_memory_bytes
         result.peak_device_bytes = engine.peak_device_bytes
+        platform = getattr(engine, "platform", None)
+        if platform is not None:
+            # include_zero keeps report columns identical across runs.
+            result.extra["counters"] = platform.counters.snapshot(
+                include_zero=True)
     except GammaError as exc:
         result.crashed = True
         result.crash_reason = type(exc).__name__

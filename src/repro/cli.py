@@ -68,10 +68,30 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--profile", action="store_true",
                      help="print per-phase wall-clock time alongside the "
                           "simulated-time breakdown")
+    run.add_argument("--trace-out", metavar="PATH",
+                     help="write a Chrome trace-event JSON of the run "
+                          "(open in Perfetto / chrome://tracing)")
+    run.add_argument("--metrics-out", metavar="PATH",
+                     help="write the metric samples as JSON lines")
+    run.add_argument("--manifest-out", metavar="PATH",
+                     help="write a run manifest (diff with `repro report`)")
 
     figure = sub.add_parser("figure", help="regenerate one evaluation figure")
     figure.add_argument("name", choices=sorted(ALL_FIGURES),
                         help="figure/table key, e.g. fig12")
+
+    report = sub.add_parser(
+        "report", help="summarize a run manifest, optionally diffing it "
+                       "against a baseline manifest")
+    report.add_argument("manifest", help="manifest JSON written by "
+                                         "`repro run --manifest-out`")
+    report.add_argument("--against", metavar="BASELINE",
+                        help="baseline manifest; exit 1 on regressions")
+    report.add_argument("--counter-threshold", type=float, default=0.10,
+                        help="relative counter growth tolerated (default 0.10)")
+    report.add_argument("--time-threshold", type=float, default=0.05,
+                        help="relative simulated-time drift tolerated "
+                             "(default 0.05)")
     return parser
 
 
@@ -100,6 +120,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         graph = datasets.load(args.dataset)
     print(f"{args.dataset}: {graph.num_vertices} vertices, "
           f"{graph.num_edges} edges (stand-in; see DESIGN.md)")
+    collector = None
+    if args.trace_out or args.metrics_out or args.manifest_out:
+        from . import obs
+
+        # Install before the engine exists: the first GpuPlatform built
+        # adopts the default collector, so the root span covers engine
+        # construction (residence staging, pool allocation, ...).
+        collector = obs.install(obs.SpanCollector())
     with timer.phase("build-engine"):
         engine = SYSTEMS[args.system](graph)
     trace = None
@@ -156,12 +184,90 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
             print(f"\nwall-clock profile (pipeline: {perf.pipeline_mode()}):")
             print(timer.render())
+        if collector is not None:
+            _write_obs_outputs(args, engine, collector)
         return 0
     except GammaError as exc:
         print(f"CRASH: {type(exc).__name__}: {exc}")
         return 1
     finally:
+        if collector is not None:
+            collector.finish()  # idempotent; detaches on the crash path too
         engine.close()
+
+
+def _write_obs_outputs(args, engine, collector) -> None:
+    """Close the telemetry collector and emit the requested artifacts."""
+    from . import obs
+
+    collector.finish()
+    platform = getattr(engine, "platform", None)
+    if args.trace_out:
+        obs.write_chrome_trace(collector, args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    if args.metrics_out:
+        obs.write_metrics_jsonl(collector, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.manifest_out:
+        if platform is None:
+            print("manifest not written: engine exposes no platform",
+                  file=sys.stderr)
+            return
+        manifest = obs.build_manifest(
+            platform, collector,
+            system=args.system, dataset=args.dataset, task=args.task,
+            config=getattr(engine, "config", None),
+        )
+        obs.write_manifest(manifest, args.manifest_out)
+        print(f"manifest written to {args.manifest_out}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from . import obs
+
+    manifest = obs.load_manifest(args.manifest)
+    print(f"system={manifest.get('system')} "
+          f"dataset={manifest.get('dataset')} "
+          f"task={manifest.get('task')} "
+          f"pipeline={manifest.get('pipeline')} "
+          f"git={manifest.get('git_rev')}")
+    sim = manifest.get("simulated_seconds")
+    if sim is not None:
+        print(f"simulated time: {sim * 1e3:.3f} ms")
+    buckets = manifest.get("clock_buckets") or {}
+    if buckets:
+        total = sum(buckets.values()) or 1.0
+        rows = [(name, seconds, seconds / total)
+                for name, seconds in sorted(
+                    buckets.items(), key=lambda kv: -kv[1])]
+        print("\nsimulated-time buckets:")
+        print(obs.render_bars(rows))
+    counters = manifest.get("counters") or {}
+    if counters:
+        print("\ncounters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            print(f"  {name.ljust(width)}  {counters[name]}")
+    metrics = manifest.get("metrics") or {}
+    if metrics:
+        print("\nmetrics:")
+        width = max(len(name) for name in metrics)
+        for name in sorted(metrics):
+            stats = metrics[name]
+            print(f"  {name.ljust(width)}  n={stats['count']} "
+                  f"sum={stats['sum']:g} last={stats['last']:g}")
+    if args.against:
+        baseline = obs.load_manifest(args.against)
+        findings = obs.diff_manifests(
+            baseline, manifest,
+            counter_threshold=args.counter_threshold,
+            time_threshold=args.time_threshold,
+        )
+        print(f"\ndiff against {args.against}:")
+        print(obs.format_findings(findings))
+        if any(f.get("regression") for f in findings):
+            return 1
+    return 0
 
 
 def _cmd_figure(name: str) -> int:
@@ -180,6 +286,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_systems()
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "report":
+            return _cmd_report(args)
         return _cmd_figure(args.name)
     except BrokenPipeError:  # output piped into head/less and closed early
         return 0

@@ -134,7 +134,30 @@ class AccessHeatPlanner:
         self._record_overlap(spatial)
         self._temporal += spatial
         self._history_volume += volume
+        tel = self.platform.telemetry
+        if tel.active:
+            tel.metric("planner.hot_pages", len(hot),
+                       region=getattr(self.region, "name", "region"))
         return hot
+
+    def heat_histogram(self, bins: int = 8) -> dict:
+        """Temporal page-heat histogram: pages per heat bucket.
+
+        The telemetry layer polls this as an end-of-run gauge — the page-
+        heat profile that explains why hybrid access wins (Fig. 5's skew
+        rendered as a distribution).  Bucket keys are the upper heat bound.
+        """
+        heat = self._temporal
+        hot = heat[heat > 0]
+        cold = int(len(heat) - len(hot))
+        if len(hot) == 0:
+            return {"cold": float(cold)}
+        edges = np.linspace(0.0, float(hot.max()), bins + 1)
+        counts, _ = np.histogram(hot, bins=edges if edges[-1] > 0 else bins)
+        out = {"cold": float(cold)}
+        for i, count in enumerate(counts):
+            out[f"<={edges[i + 1]:.4g}"] = float(count)
+        return out
 
     #: Bias below 1.0 promotes pages slightly before the single-extension
     #: break-even: pages hot now tend to stay hot (Fig. 5), so the migrated

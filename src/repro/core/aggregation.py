@@ -89,6 +89,28 @@ def aggregate_edge_table(
     filter).  The pattern table gains/updates one entry per pattern, whose
     support is instance frequency or MNI per ``support_metric``.
     """
+    tel = platform.telemetry
+    with tel.span("aggregation", kind="phase"):
+        codes = _aggregate_edge_table_impl(
+            platform, residence, table, encoder, pattern_table,
+            sort_method, p_size, cpu, support_metric,
+        )
+    if tel.active:
+        tel.metric("aggregation.rows", len(codes))
+    return codes
+
+
+def _aggregate_edge_table_impl(
+    platform: GpuPlatform,
+    residence: GraphResidence,
+    table: EmbeddingTable,
+    encoder: QuickPatternEncoder,
+    pattern_table: PatternTable,
+    sort_method: str,
+    p_size: int,
+    cpu: bool,
+    support_metric: str,
+) -> np.ndarray:
     if support_metric not in SUPPORT_METRICS:
         raise ValueError(
             f"support_metric must be one of {SUPPORT_METRICS}, got {support_metric!r}"
@@ -150,17 +172,18 @@ def dedup_embeddings(
     Returns the number of rows removed.  Charged as a sort+compact over the
     packed set keys.
     """
-    mats = table.materialize()
-    if mats.size == 0:
-        return 0
-    keys = embedding_set_keys(mats)
-    n = len(keys)
-    __, first_idx = np.unique(keys, return_index=True)
-    keep = np.zeros(n, dtype=bool)
-    keep[first_idx] = True
-    log_n = float(np.log2(max(2, n)))
-    if cpu:
-        platform.cpu.work(n * log_n)
-    else:
-        platform.kernel.launch("dedup:sort", element_ops=n * log_n)
-    return table.compact(keep)
+    with platform.telemetry.span("dedup", kind="phase"):
+        mats = table.materialize()
+        if mats.size == 0:
+            return 0
+        keys = embedding_set_keys(mats)
+        n = len(keys)
+        __, first_idx = np.unique(keys, return_index=True)
+        keep = np.zeros(n, dtype=bool)
+        keep[first_idx] = True
+        log_n = float(np.log2(max(2, n)))
+        if cpu:
+            platform.cpu.work(n * log_n)
+        else:
+            platform.kernel.launch("dedup:sort", element_ops=n * log_n)
+        return table.compact(keep)

@@ -204,6 +204,10 @@ class EmbeddingTable:
                 clk.DEVICE_MEM, nbytes / platform.cost.device_bandwidth
             )
             platform.pcie.writeback(nbytes)
+            if platform.telemetry.active:
+                platform.telemetry.metric(
+                    "et.flush_bytes", nbytes, table=self.name
+                )
             if self._oversized_for_host(nbytes):
                 # With spilling enabled, a column too large for the host
                 # budget streams straight to disk instead of OOMing.

@@ -119,15 +119,16 @@ class ExtensionEngine:
         filtered) — line 2 of Algorithm 1."""
         if table.kind != VERTEX:
             raise ExecutionError("seed_vertices requires a vertex table")
-        n = self.graph.num_vertices
-        if label is None:
-            values = np.arange(n, dtype=np.int64)
-        else:
-            values = np.flatnonzero(
-                self.graph.labels == label  # gammalint: allow[charge] -- label scan billed by _charge_scan below
-            ).astype(np.int64)
-        self._charge_scan(n)
-        table.seed(values)
+        with self.platform.telemetry.span("seed:vertex", kind="level", level=0):
+            n = self.graph.num_vertices
+            if label is None:
+                values = np.arange(n, dtype=np.int64)
+            else:
+                values = np.flatnonzero(
+                    self.graph.labels == label  # gammalint: allow[charge] -- label scan billed by _charge_scan below
+                ).astype(np.int64)
+            self._charge_scan(n)
+            table.seed(values)
         return table
 
     def seed_edges(self, table: EmbeddingTable) -> EmbeddingTable:
@@ -135,9 +136,10 @@ class ExtensionEngine:
         of Algorithm 2."""
         if table.kind != EDGE:
             raise ExecutionError("seed_edges requires an edge table")
-        values = np.arange(self.graph.num_edges, dtype=np.int64)
-        self._charge_scan(self.graph.num_edges)
-        table.seed(values)
+        with self.platform.telemetry.span("seed:edge", kind="level", level=0):
+            values = np.arange(self.graph.num_edges, dtype=np.int64)
+            self._charge_scan(self.graph.num_edges)
+            table.seed(values)
         return table
 
     def _charge_scan(self, n: int) -> None:
@@ -308,6 +310,28 @@ class ExtensionEngine:
         within each row; the same constraint arguments as
         :meth:`extend_vertices` apply.
         """
+        tel = self.platform.telemetry
+        depth = table.depth
+        with tel.span("extend-vertices-any", kind="level", level=depth):
+            stats = self._extend_vertices_any_impl(
+                table, anchor_cols, label, greater_than_col,
+                greater_than_cols, less_than_cols, injective,
+            )
+        if tel.active:
+            tel.metric("extension.rows_out", stats.rows_out,
+                       level=depth, mode="vertex-any")
+        return stats
+
+    def _extend_vertices_any_impl(
+        self,
+        table: EmbeddingTable,
+        anchor_cols: Sequence[int],
+        label: int | None,
+        greater_than_col: int | None,
+        greater_than_cols: Sequence[int],
+        less_than_cols: Sequence[int],
+        injective: bool,
+    ) -> ExtensionStats:
         if table.kind != VERTEX:
             raise ExecutionError("extend_vertices_any requires a vertex table")
         anchor_cols = sorted(set(int(c) for c in anchor_cols))
@@ -396,6 +420,28 @@ class ExtensionEngine:
         Constraint pushdown is the paper's §III-B3: "extended embeddings
         violating the query graph's constraint can be pruned immediately".
         """
+        tel = self.platform.telemetry
+        depth = table.depth
+        with tel.span("extend-vertices", kind="level", level=depth):
+            stats = self._extend_vertices_impl(
+                table, anchor_cols, label, greater_than_col,
+                greater_than_cols, less_than_cols, injective,
+            )
+        if tel.active:
+            tel.metric("extension.rows_out", stats.rows_out,
+                       level=depth, mode="vertex")
+        return stats
+
+    def _extend_vertices_impl(
+        self,
+        table: EmbeddingTable,
+        anchor_cols: Sequence[int],
+        label: int | None,
+        greater_than_col: int | None,
+        greater_than_cols: Sequence[int],
+        less_than_cols: Sequence[int],
+        injective: bool,
+    ) -> ExtensionStats:
         if table.kind != VERTEX:
             raise ExecutionError("extend_vertices requires a vertex table")
         anchor_cols = sorted(set(int(c) for c in anchor_cols))
@@ -540,6 +586,16 @@ class ExtensionEngine:
         """Extend every edge-oriented embedding by one adjacent edge
         (Definition 3.1's ``Ext_e``): any edge incident to any embedding
         vertex that is not already in the embedding."""
+        tel = self.platform.telemetry
+        depth = table.depth
+        with tel.span("extend-edges", kind="level", level=depth):
+            stats = self._extend_edges_impl(table)
+        if tel.active:
+            tel.metric("extension.rows_out", stats.rows_out,
+                       level=depth, mode="edge")
+        return stats
+
+    def _extend_edges_impl(self, table: EmbeddingTable) -> ExtensionStats:
         if table.kind != EDGE:
             raise ExecutionError("extend_edges requires an edge table")
         stats = ExtensionStats(rows_in=table.num_embeddings)

@@ -48,15 +48,20 @@ def filter_rows(
     ``compact=False`` models frameworks that skip compression (the invalid
     rows stay allocated — their memory is not reclaimed), which is how the
     no-compaction baselines inflate Fig. 10's peak memory."""
-    keep_mask = np.asarray(keep_mask, dtype=bool)
-    if compact:
-        return table.compact(keep_mask)
-    # Mark-only: rewrite the column in place with holes dropped from the
-    # logical view but bytes still accounted by the table.
-    last = table.columns[-1]
-    removed = int((~keep_mask).sum())
-    last.values = last.values[keep_mask]
-    last.parents = last.parents[keep_mask]
+    tel = table.platform.telemetry
+    with tel.span("filtering", kind="phase"):
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        removed = int((~keep_mask).sum())
+        if compact:
+            removed = table.compact(keep_mask)
+        else:
+            # Mark-only: rewrite the column in place with holes dropped from
+            # the logical view but bytes still accounted by the table.
+            last = table.columns[-1]
+            last.values = last.values[keep_mask]
+            last.parents = last.parents[keep_mask]
+    if tel.active:
+        tel.metric("filtering.rows_removed", removed)
     return removed
 
 
@@ -71,14 +76,15 @@ def filter_by_support(
 ) -> int:
     """Algorithm 2 line 4: drop infrequent patterns from the pattern table
     and their instances from the embedding table.  Returns rows removed."""
-    row_codes = np.asarray(row_codes, dtype=np.int64)
-    if len(row_codes) != table.num_embeddings:
-        raise ExecutionError("row codes must cover every embedding")
-    supports = pattern_table.support_of(row_codes)
-    keep = supports >= constraint.threshold
-    pattern_table.prune_below(constraint.threshold)
-    if cpu:
-        platform.cpu.work(len(row_codes))
-    else:
-        platform.kernel.launch("filter:support", element_ops=len(row_codes))
-    return filter_rows(table, keep, compact=compact)
+    with platform.telemetry.span("support-filtering", kind="phase"):
+        row_codes = np.asarray(row_codes, dtype=np.int64)
+        if len(row_codes) != table.num_embeddings:
+            raise ExecutionError("row codes must cover every embedding")
+        supports = pattern_table.support_of(row_codes)
+        keep = supports >= constraint.threshold
+        pattern_table.prune_below(constraint.threshold)
+        if cpu:
+            platform.cpu.work(len(row_codes))
+        else:
+            platform.kernel.launch("filter:support", element_ops=len(row_codes))
+        return filter_rows(table, keep, compact=compact)

@@ -116,36 +116,38 @@ class Gamma:
             )
         self.platform = platform
 
-        page = platform.spec.page_size
-        buffer_pages = max(
-            1, int(platform.spec.device_memory_bytes * self.config.buffer_fraction) // page
-        )
-        self.residence = GammaResidence(platform, graph, buffer_pages)
-        self.planners = {
-            "neighbors": AccessHeatPlanner(
-                platform,
-                self.residence.neighbors,  # gammalint: allow[charge] -- wiring the region + offsets INTO the charging machinery, not reading data
-                graph.offsets,  # gammalint: allow[charge] -- wiring the region + offsets INTO the charging machinery, not reading data
-                mode=self.config.access_mode,
-            ),
-        }
-        pool_bytes = max(
-            self.config.block_bytes,
-            int(platform.spec.device_memory_bytes * self.config.pool_fraction),
-        )
-        self.pool = (
-            MemoryPool(platform, pool_bytes, self.config.block_bytes)
-            if self.config.write_strategy == DYNAMIC
-            else None
-        )
-        self._strategy = make_write_strategy(
-            self.config.write_strategy, platform, self.pool
-        )
-        self._vertex_engine = ExtensionEngine(
-            platform, self.residence, self._strategy,
-            pre_merge=self.config.pre_merge,
-            planner=self.planners["neighbors"],
-        )
+        tel = platform.telemetry
+        with tel.span("gamma-setup", kind="phase"):
+            page = platform.spec.page_size
+            buffer_pages = max(
+                1, int(platform.spec.device_memory_bytes * self.config.buffer_fraction) // page
+            )
+            self.residence = GammaResidence(platform, graph, buffer_pages)
+            self.planners = {
+                "neighbors": AccessHeatPlanner(
+                    platform,
+                    self.residence.neighbors,  # gammalint: allow[charge] -- wiring the region + offsets INTO the charging machinery, not reading data
+                    graph.offsets,  # gammalint: allow[charge] -- wiring the region + offsets INTO the charging machinery, not reading data
+                    mode=self.config.access_mode,
+                ),
+            }
+            pool_bytes = max(
+                self.config.block_bytes,
+                int(platform.spec.device_memory_bytes * self.config.pool_fraction),
+            )
+            self.pool = (
+                MemoryPool(platform, pool_bytes, self.config.block_bytes)
+                if self.config.write_strategy == DYNAMIC
+                else None
+            )
+            self._strategy = make_write_strategy(
+                self.config.write_strategy, platform, self.pool
+            )
+            self._vertex_engine = ExtensionEngine(
+                platform, self.residence, self._strategy,
+                pre_merge=self.config.pre_merge,
+                planner=self.planners["neighbors"],
+            )
         # Built on first edge extension, so vertex-only workloads never map
         # the edge-side CSR copies (see GammaResidence).
         self._edge_engine_cache: ExtensionEngine | None = None
@@ -153,6 +155,22 @@ class Gamma:
         self._tables: list[EmbeddingTable] = []
         self._spill_store: SpillStore | None = None
         self._closed = False
+        if tel.active:
+            self._register_gauges(tel)
+
+    def _register_gauges(self, tel) -> None:
+        """End-of-run derived gauges (polled once by the span collector)."""
+        planner = self.planners["neighbors"]
+        tel.gauge("planner.page_heat", planner.heat_histogram)
+        pool = self.pool
+        if pool is not None:
+            tel.gauge("pool.blocks_served", lambda: pool.blocks_served)
+            tel.gauge("pool.wasted_bytes", lambda: pool.wasted_bytes)
+            tel.gauge(
+                "pool.block_occupancy",
+                lambda: 1.0 - pool.wasted_bytes
+                / max(1, pool.blocks_served * pool.block_bytes),
+            )
 
     # -- table construction (Fig. 3 data structures) -----------------------------
     def _write_buffer_bytes(self) -> int:
@@ -210,14 +228,19 @@ class Gamma:
                 self.platform, self.residence, self._strategy,
                 pre_merge=self.config.pre_merge, planner=planner,
             )
+            tel = self.platform.telemetry
+            if tel.active:
+                tel.gauge("planner.page_heat_edges", planner.heat_histogram)
         return self._edge_engine_cache
 
     # -- the five user-visible interfaces (Fig. 3) ---------------------------------
     def seed_vertices(self, table: EmbeddingTable, label: int | None = None):
-        return self._vertex_engine.seed_vertices(table, label)
+        with self.platform.telemetry.span("seed-vertices", kind="phase"):
+            return self._vertex_engine.seed_vertices(table, label)
 
     def seed_edges(self, table: EmbeddingTable):
-        return self._edge_engine.seed_edges(table)
+        with self.platform.telemetry.span("seed-edges", kind="phase"):
+            return self._edge_engine.seed_edges(table)
 
     def vertex_extension(
         self,
@@ -230,13 +253,14 @@ class Gamma:
         injective: bool = True,
     ) -> ExtensionStats:
         """``Vertex_Extension(ET, G_d)`` with extension-time pruning."""
-        return self._vertex_engine.extend_vertices(
-            table, anchor_cols, label=label,
-            greater_than_col=greater_than_col,
-            greater_than_cols=greater_than_cols,
-            less_than_cols=less_than_cols,
-            injective=injective,
-        )
+        with self.platform.telemetry.span("vertex-extension", kind="phase"):
+            return self._vertex_engine.extend_vertices(
+                table, anchor_cols, label=label,
+                greater_than_col=greater_than_col,
+                greater_than_cols=greater_than_cols,
+                less_than_cols=less_than_cols,
+                injective=injective,
+            )
 
     def vertex_extension_any(
         self,
@@ -250,17 +274,19 @@ class Gamma:
     ) -> ExtensionStats:
         """Union-neighborhood vertex extension (Definition 3.1's literal
         ``N_v(M)``), used by connected-subgraph enumeration."""
-        return self._vertex_engine.extend_vertices_any(
-            table, anchor_cols, label=label,
-            greater_than_col=greater_than_col,
-            greater_than_cols=greater_than_cols,
-            less_than_cols=less_than_cols,
-            injective=injective,
-        )
+        with self.platform.telemetry.span("vertex-extension", kind="phase"):
+            return self._vertex_engine.extend_vertices_any(
+                table, anchor_cols, label=label,
+                greater_than_col=greater_than_col,
+                greater_than_cols=greater_than_cols,
+                less_than_cols=less_than_cols,
+                injective=injective,
+            )
 
     def edge_extension(self, table: EmbeddingTable) -> ExtensionStats:
         """``Edge_Extension(ET, G_d)``."""
-        return self._edge_engine.extend_edges(table)
+        with self.platform.telemetry.span("edge-extension", kind="phase"):
+            return self._edge_engine.extend_edges(table)
 
     def aggregation(
         self,

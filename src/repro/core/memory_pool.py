@@ -86,9 +86,15 @@ class MemoryPool:
             "pool:alloc", serial_steps=total_blocks * 4
         )
         # The writes themselves, at device bandwidth.
+        flush_bytes = int(per_warp_bytes.sum())
         self.platform.kernel.launch(
-            "pool:write", device_bytes=int(per_warp_bytes.sum())
+            "pool:write", device_bytes=flush_bytes
         )
+        tel = self.platform.telemetry
+        if tel.active:
+            tel.metric("pool.flush_bytes", flush_bytes)
+            tel.metric("pool.flush_blocks", total_blocks)
+            tel.metric("pool.flush_waste_bytes", waste)
 
     def release(self) -> None:
         if self._allocation.live:

@@ -74,17 +74,19 @@ class GammaResidence(GraphResidence):
         buffer_pages: int,
     ) -> None:
         super().__init__(platform, graph)
-        # Structural arrays on the device (small even for our largest
-        # stand-ins): offsets, labels, and edge endpoint columns' *offsets*
-        # are addressed positionally; we keep offsets+labels device-resident
-        # and endpoints in zero-copy host memory (isolated lookups).
-        structural = graph.offsets.nbytes + graph.labels.nbytes
-        self._structural_alloc = platform.device.allocate(structural, "graph:structural")
-        platform.pcie.explicit_copy(structural, to_device=True)
-        self._buffer_pages = buffer_pages
-        self.neighbors = platform.hybrid_region(
-            "graph:neighbors", graph.neighbors, buffer_pages
-        )
+        with platform.telemetry.span("graph-residence", kind="stage"):
+            # Structural arrays on the device (small even for our largest
+            # stand-ins): offsets, labels, and edge endpoint columns'
+            # *offsets* are addressed positionally; we keep offsets+labels
+            # device-resident and endpoints in zero-copy host memory
+            # (isolated lookups).
+            structural = graph.offsets.nbytes + graph.labels.nbytes
+            self._structural_alloc = platform.device.allocate(structural, "graph:structural")
+            platform.pcie.explicit_copy(structural, to_device=True)
+            self._buffer_pages = buffer_pages
+            self.neighbors = platform.hybrid_region(
+                "graph:neighbors", graph.neighbors, buffer_pages
+            )
         # Edge-side mappings are registered lazily: a vertex-extension
         # workload (SM, kCL) never touches incident-edge lists or endpoint
         # tables, so it should not pay their host-preparation cost.
@@ -156,10 +158,13 @@ class InCoreResidence(GraphResidence):
 
     def __init__(self, platform: GpuPlatform, graph: CSRGraph) -> None:
         super().__init__(platform, graph)
-        self.neighbors = platform.device_region("graph:neighbors", graph.neighbors)
-        structural = graph.offsets.nbytes + graph.labels.nbytes
-        self._structural_alloc = platform.device.allocate(structural, "graph:structural")
-        platform.pcie.explicit_copy(structural, to_device=True)
+        with platform.telemetry.span("graph-residence", kind="stage"):
+            self.neighbors = platform.device_region(
+                "graph:neighbors", graph.neighbors
+            )
+            structural = graph.offsets.nbytes + graph.labels.nbytes
+            self._structural_alloc = platform.device.allocate(structural, "graph:structural")
+            platform.pcie.explicit_copy(structural, to_device=True)
         # Edge-side arrays staged on first use (same laziness as GAMMA's
         # residence, so comparisons stay apples-to-apples).
         self._edge_slots = None

@@ -194,6 +194,22 @@ def out_of_core_sort(
     keys = np.asarray(keys)
     if method not in SORT_METHODS:
         raise ExecutionError(f"unknown sort method {method!r}; use {SORT_METHODS}")
+    tel = platform.telemetry
+    with tel.span(f"sort:{method}", kind="stage"):
+        result = _out_of_core_sort_impl(platform, keys, method,
+                                        segment_len, p_size)
+    if tel.active:
+        tel.metric("sort.elements", len(keys), method=method)
+    return result
+
+
+def _out_of_core_sort_impl(
+    platform: GpuPlatform,
+    keys: np.ndarray,
+    method: str,
+    segment_len: int | None,
+    p_size: int,
+) -> np.ndarray:
     if method == CPU_SORT:
         # A single-threaded comparison sort on the host (Table III's
         # CPU baseline): n log n ops at one core's effective rate.
@@ -281,11 +297,12 @@ def sort_and_count(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sort keys out-of-core, then run-length encode: the aggregation
     primitive's grouping step.  Returns ``(unique_keys, counts)``."""
-    ordered = out_of_core_sort(platform, keys, method, segment_len, p_size)
-    platform.kernel.launch("run-length", element_ops=len(ordered))
-    if len(ordered) == 0:
-        return ordered, np.empty(0, dtype=np.int64)
-    boundaries = np.flatnonzero(np.diff(ordered)) + 1
-    starts = np.concatenate([[0], boundaries])
-    ends = np.concatenate([boundaries, [len(ordered)]])
-    return ordered[starts], (ends - starts).astype(np.int64)
+    with platform.telemetry.span("sort-and-count", kind="stage"):
+        ordered = out_of_core_sort(platform, keys, method, segment_len, p_size)
+        platform.kernel.launch("run-length", element_ops=len(ordered))
+        if len(ordered) == 0:
+            return ordered, np.empty(0, dtype=np.int64)
+        boundaries = np.flatnonzero(np.diff(ordered)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [len(ordered)]])
+        return ordered[starts], (ends - starts).astype(np.int64)

@@ -8,8 +8,9 @@ preparation), mirroring the per-component analysis in the paper's §VI.
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
-from typing import Dict, Iterator
+from typing import Callable, Dict, Iterator, List
 
 #: Canonical category names used across the simulator.
 COMPUTE = "compute"
@@ -45,9 +46,46 @@ class SimClock:
 
     def __init__(self) -> None:
         self._buckets: Dict[str, float] = defaultdict(float)
-        #: Optional callable ``(category, seconds)`` notified on every
-        #: charge (see :class:`repro.gpusim.trace.TraceRecorder`).
-        self.listener = None
+        #: Callables ``(category, seconds)`` notified on every charge
+        #: (see :class:`repro.gpusim.trace.TraceRecorder`).  Fan-out: any
+        #: number of listeners may subscribe via :meth:`add_listener`.
+        self._listeners: List[Callable[[str, float], None]] = []
+        self._legacy_listener: "Callable[[str, float], None] | None" = None
+
+    def add_listener(
+        self, fn: Callable[[str, float], None]
+    ) -> Callable[[str, float], None]:
+        """Subscribe ``fn`` to every charge; returns ``fn``."""
+        self._listeners.append(fn)
+        return fn
+
+    def remove_listener(self, fn: Callable[[str, float], None]) -> None:
+        """Unsubscribe ``fn`` (no-op when not subscribed)."""
+        try:
+            self._listeners.remove(fn)
+        except ValueError:
+            pass
+        if self._legacy_listener is fn:
+            self._legacy_listener = None
+
+    @property
+    def listener(self) -> "Callable[[str, float], None] | None":
+        """Deprecated single-slot hook; use :meth:`add_listener` instead."""
+        return self._legacy_listener
+
+    @listener.setter
+    def listener(self, fn: "Callable[[str, float], None] | None") -> None:
+        warnings.warn(
+            "SimClock.listener is deprecated; use add_listener()/"
+            "remove_listener() — assignment only replaces the listener "
+            "previously set through this property, not other subscribers.",
+            DeprecationWarning, stacklevel=2,
+        )
+        if self._legacy_listener is not None:
+            self.remove_listener(self._legacy_listener)
+        self._legacy_listener = fn
+        if fn is not None:
+            self._listeners.append(fn)
 
     def advance(self, category: str, seconds: float) -> None:
         """Charge ``seconds`` of simulated time to ``category``."""
@@ -55,8 +93,9 @@ class SimClock:
             raise ValueError(f"cannot charge negative time: {seconds}")
         if seconds:
             self._buckets[category] += seconds
-            if self.listener is not None:
-                self.listener(category, seconds)
+            if self._listeners:
+                for fn in self._listeners:
+                    fn(category, seconds)
 
     @property
     def total(self) -> float:

@@ -9,6 +9,7 @@ systems can be compared on the same simulated timeline.
 
 from __future__ import annotations
 
+from ..obs.spans import KERNEL, NULL_TELEMETRY
 from . import clock as clk
 from . import stats as st
 from .clock import SimClock
@@ -33,6 +34,8 @@ class KernelLauncher:
         self._counters = counters
         #: Active warp count; Fig. 16's warp-scaling sweep overrides this.
         self.num_warps = num_warps if num_warps is not None else spec.active_warps
+        #: Telemetry sink; ``GpuPlatform.attach_telemetry`` swaps this in.
+        self.telemetry = NULL_TELEMETRY
 
     @property
     def ops_per_second(self) -> float:
@@ -54,6 +57,19 @@ class KernelLauncher:
         """
         if min(element_ops, device_bytes, serial_steps) < 0:
             raise ValueError("kernel work quantities must be >= 0")
+        tel = self.telemetry
+        if tel.active:
+            with tel.span("kernel:" + name, kind=KERNEL):
+                self._charge(element_ops, device_bytes, serial_steps)
+        else:
+            self._charge(element_ops, device_bytes, serial_steps)
+
+    def _charge(
+        self,
+        element_ops: float,
+        device_bytes: float,
+        serial_steps: float,
+    ) -> None:
         self._clock.advance(clk.KERNEL_LAUNCH, self._cost.kernel_launch_overhead)
         self._counters.add(st.KERNEL_LAUNCHES)
         if element_ops:

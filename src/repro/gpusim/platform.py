@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import HostOutOfMemory
+from ..obs import spans as obs_spans
 from . import clock as clk
 from .clock import SimClock
 from .device import DeviceMemory
@@ -54,6 +55,23 @@ class GpuPlatform:
         self._host_used = 0
         self._host_peak = 0
         self._host_registered_once = False
+        #: Telemetry sink consulted by instrumented hot paths; the no-op
+        #: default keeps uninstrumented runs at a single attribute check.
+        self.telemetry = obs_spans.NULL_TELEMETRY
+        # A SpanCollector installed via repro.obs.install() binds itself to
+        # the first platform constructed (CLI/bench entry points rely on
+        # this — the platform is created deep inside system factories).
+        obs_spans.adopt_platform(self)
+
+    # -- telemetry ------------------------------------------------------------
+    def attach_telemetry(self, telemetry) -> None:
+        """Route spans/metrics from this platform to ``telemetry``."""
+        self.telemetry = telemetry
+        self.kernel.telemetry = telemetry
+
+    def detach_telemetry(self) -> None:
+        """Restore the no-op telemetry sink."""
+        self.attach_telemetry(obs_spans.NULL_TELEMETRY)
 
     # -- host-memory budget ---------------------------------------------------
     @property

@@ -31,6 +31,16 @@ EMBEDDINGS_PRODUCED = "embeddings_produced"
 EMBEDDINGS_FILTERED = "embeddings_filtered"
 SORT_ELEMENTS = "sort_elements"
 
+#: Every canonical counter, in declaration order — reporting unions this
+#: with the observed names so report columns stay stable across runs.
+CANONICAL_COUNTERS = (
+    PAGE_FAULTS, PAGE_HITS, PAGES_EVICTED, ZC_TRANSACTIONS,
+    BYTES_H2D, BYTES_D2H, BYTES_DEVICE, KERNEL_LAUNCHES,
+    ELEMENT_OPS, CPU_OPS, MEMORY_BLOCKS_ALLOCATED,
+    MEMORY_BLOCKS_WASTED_BYTES, EXTENSION_PASSES, EMBEDDINGS_PRODUCED,
+    EMBEDDINGS_FILTERED, SORT_ELEMENTS,
+)
+
 
 class Counters:
     """A bag of monotonically increasing named counters."""
@@ -39,23 +49,40 @@ class Counters:
         self._counts: Dict[str, int] = defaultdict(int)
 
     def add(self, name: str, amount: int = 1) -> None:
-        """Increment ``name`` by ``amount`` (must be non-negative)."""
+        """Increment ``name`` by ``amount`` (must be non-negative).
+
+        A zero increment still marks the counter as *touched*, so it
+        shows up in ``snapshot(include_zero=True)`` — benchmarks get the
+        same column set whether an event fired or not.
+        """
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
         if amount:
             self._counts[name] += int(amount)
+        elif name not in self._counts:
+            self._counts[name] = 0
 
     def get(self, name: str) -> int:
         """Current value of ``name`` (0 if never incremented)."""
         return self._counts.get(name, 0)
 
-    def snapshot(self) -> Dict[str, int]:
-        """A copy of all non-zero counters."""
+    def snapshot(self, include_zero: bool = False) -> Dict[str, int]:
+        """A copy of the counters.
+
+        By default zero-valued entries are dropped (terse reports); pass
+        ``include_zero=True`` for every touched counter — the stable form
+        manifests and ``bench/reporting.py`` use so two runs of the same
+        workload always expose identical columns.
+        """
+        if include_zero:
+            return dict(self._counts)
         return {k: v for k, v in self._counts.items() if v}
 
     def reset(self) -> None:
-        """Zero every counter."""
-        self._counts.clear()
+        """Zero every counter (touched names stay visible to
+        ``snapshot(include_zero=True)``)."""
+        for name in self._counts:
+            self._counts[name] = 0
 
     def __iter__(self) -> Iterator[tuple[str, int]]:
         return iter(sorted(self._counts.items()))

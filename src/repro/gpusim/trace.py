@@ -19,6 +19,7 @@ from collections import defaultdict
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Tuple
 
+from ..obs.exporters import render_bars
 from .clock import SimClock
 from .platform import GpuPlatform
 
@@ -41,9 +42,19 @@ class TraceRecorder:
             self.events.append((self._elapsed, category, seconds))
 
     def attach(self, target: "GpuPlatform | SimClock") -> "TraceRecorder":
-        """Subscribe to a platform's (or clock's) charges; returns self."""
+        """Subscribe to a platform's (or clock's) charges; returns self.
+
+        Fan-out: other listeners (another recorder, a span collector)
+        keep receiving charges.
+        """
         clock = target.clock if isinstance(target, GpuPlatform) else target
-        clock.listener = self
+        clock.add_listener(self)
+        return self
+
+    def detach(self, target: "GpuPlatform | SimClock") -> "TraceRecorder":
+        """Unsubscribe from a platform's (or clock's) charges."""
+        clock = target.clock if isinstance(target, GpuPlatform) else target
+        clock.remove_listener(self)
         return self
 
     # -- reporting --------------------------------------------------------------
@@ -64,20 +75,9 @@ class TraceRecorder:
         ]
 
     def render(self, width: int = 40) -> str:
-        """ASCII breakdown bars."""
-        rows = self.summary()
-        if not rows:
-            return "(no simulated time charged)"
-        name_width = max(len(name) for name, __, __ in rows)
-        lines = []
-        for name, seconds, share in rows:
-            filled = int(round(share * width))
-            bar = "#" * filled + "-" * (width - filled)
-            lines.append(
-                f"{name.ljust(name_width)}  {bar}  {share * 100:5.1f}%  "
-                f"{seconds * 1e3:10.3f} ms"
-            )
-        return "\n".join(lines)
+        """ASCII breakdown bars (one :func:`repro.obs.render_bars` view)."""
+        return render_bars(self.summary(), width,
+                           empty="(no simulated time charged)")
 
     def reset(self) -> None:
         self._by_category.clear()
@@ -92,27 +92,42 @@ class PhaseTimer:
     time"; this answers "where does the *simulator process* spend yours" —
     the quantity ``benchmarks/bench_hotpath.py`` tracks and the CLI's
     ``--profile`` flag prints alongside the simulated breakdown.  Phases
-    repeat freely; repeated names accumulate.
+    repeat freely; repeated names accumulate.  Phases may nest: each phase
+    is charged its *self* time only (the enclosed inner phases' time is
+    subtracted), so the per-phase seconds always partition the measured
+    wall time and ``total`` never double-counts.
     """
 
     def __init__(self) -> None:
         self._order: List[str] = []
         self._seconds: Dict[str, float] = defaultdict(float)
+        #: Open-phase stack: ``[name, start, inner_seconds]`` frames.
+        self._stack: List[list] = []
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Time the enclosed block under ``name``."""
-        start = time.perf_counter()
+        """Time the enclosed block under ``name`` (self time if nested)."""
+        if name not in self._seconds:
+            self._order.append(name)
+            self._seconds[name] = 0.0
+        frame = [name, time.perf_counter(), 0.0]
+        self._stack.append(frame)
         try:
             yield
         finally:
-            if name not in self._seconds:
-                self._order.append(name)
-            self._seconds[name] += time.perf_counter() - start
+            gross = time.perf_counter() - frame[1]
+            self._stack.pop()
+            self._seconds[name] += gross - frame[2]
+            if self._stack:
+                self._stack[-1][2] += gross
 
     @property
     def total(self) -> float:
         return sum(self._seconds.values())
+
+    def seconds(self, name: str) -> float:
+        """Accumulated self time of ``name`` (0.0 if never entered)."""
+        return self._seconds.get(name, 0.0)
 
     def summary(self) -> List[Tuple[str, float, float]]:
         """``(phase, seconds, share)`` rows in recording order."""
@@ -130,14 +145,7 @@ class PhaseTimer:
         if not rows:
             return "(no phases recorded)"
         name_width = max(len(name) for name, __, __ in rows)
-        lines = []
-        for name, seconds, share in rows:
-            filled = int(round(share * width))
-            bar = "#" * filled + "-" * (width - filled)
-            lines.append(
-                f"{name.ljust(name_width)}  {bar}  {share * 100:5.1f}%  "
-                f"{seconds * 1e3:10.3f} ms"
-            )
+        lines = [render_bars(rows, width)]
         lines.append(
             f"{'total'.ljust(name_width)}  {' ' * width}  100.0%  "
             f"{self.total * 1e3:10.3f} ms"

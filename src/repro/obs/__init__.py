@@ -1,0 +1,62 @@
+"""Unified telemetry: hierarchical spans, metrics, exporters, manifests.
+
+The observability layer ties the simulator's three existing signals —
+event :class:`~repro.gpusim.stats.Counters`, the simulated
+:class:`~repro.gpusim.clock.SimClock`, and wall-clock phase timing — into
+one span tree (run → phase → level → kernel) with machine-readable
+exports.  See ``docs/OBSERVABILITY.md`` for the span model, the Chrome
+trace / JSONL formats, and the manifest-diff regression gate.
+"""
+
+from .exporters import (
+    chrome_trace,
+    chrome_trace_events,
+    metrics_jsonl_lines,
+    render_bars,
+    render_span_tree,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from .manifest import (
+    build_manifest,
+    diff_manifests,
+    format_findings,
+    git_revision,
+    load_manifest,
+    write_manifest,
+)
+from .metrics import MetricSample, MetricsRegistry
+from .spans import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Span,
+    SpanCollector,
+    adopt_platform,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Span",
+    "SpanCollector",
+    "MetricSample",
+    "MetricsRegistry",
+    "adopt_platform",
+    "install",
+    "uninstall",
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "metrics_jsonl_lines",
+    "write_metrics_jsonl",
+    "render_bars",
+    "render_span_tree",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "diff_manifests",
+    "format_findings",
+    "git_revision",
+]

@@ -1,0 +1,85 @@
+"""Metrics registry: point samples plus end-of-run gauges.
+
+Samples are flat ``(name, value, labels, t, span)`` records — the JSONL
+exporter streams them verbatim, the manifest stores per-name aggregates.
+Gauges are zero-argument callables polled once when the collector finishes;
+a gauge may return a scalar or a ``{bucket: value}`` dict (histograms such
+as the access planner's page-heat profile), which fans out into one sample
+per bucket labelled ``bucket=<key>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class MetricSample:
+    """One recorded observation."""
+
+    name: str
+    value: float
+    labels: Dict[str, Any] = field(default_factory=dict)
+    #: Seconds since the collector started (wall clock).
+    t: float = 0.0
+    #: Index of the span that was open when the sample was taken.
+    span: Optional[int] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"name": self.name, "value": self.value,
+                                  "t": round(self.t, 6)}
+        if self.labels:
+            record["labels"] = self.labels
+        if self.span is not None:
+            record["span"] = self.span
+        return record
+
+
+class MetricsRegistry:
+    """Collects :class:`MetricSample` records and end-of-run gauges."""
+
+    def __init__(self) -> None:
+        self.samples: List[MetricSample] = []
+        self._gauges: List[Tuple[str, Callable[[], Any]]] = []
+
+    def record(self, name: str, value: float,
+               labels: "Dict[str, Any] | None" = None,
+               t: float = 0.0, span: "int | None" = None) -> None:
+        self.samples.append(MetricSample(
+            name=name, value=float(value), labels=dict(labels or {}),
+            t=t, span=span))
+
+    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register ``fn`` for a single poll at :meth:`poll_gauges`."""
+        self._gauges.append((name, fn))
+
+    def poll_gauges(self, t: float = 0.0) -> None:
+        """Sample every registered gauge once (idempotent: clears the list)."""
+        gauges, self._gauges = self._gauges, []
+        for name, fn in gauges:
+            value = fn()
+            if isinstance(value, dict):
+                for bucket, bucket_value in value.items():
+                    self.record(name, bucket_value,
+                                labels={"bucket": str(bucket)}, t=t)
+            elif value is not None:
+                self.record(name, value, t=t)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-name aggregates: count/min/max/sum/last (manifest payload)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for sample in self.samples:
+            agg = out.get(sample.name)
+            if agg is None:
+                out[sample.name] = {
+                    "count": 1, "min": sample.value, "max": sample.value,
+                    "sum": sample.value, "last": sample.value,
+                }
+            else:
+                agg["count"] += 1
+                agg["min"] = min(agg["min"], sample.value)
+                agg["max"] = max(agg["max"], sample.value)
+                agg["sum"] += sample.value
+                agg["last"] = sample.value
+        return out

@@ -1,0 +1,36 @@
+# gammalint-fixture: src/repro/core/fixture_phases.py
+"""Seeded violations for the obs-span checker."""
+
+
+def extend_vertices(self, table):  # expect[obs-span]
+    return self._extend_vertices_impl(table)
+
+
+def seed_edges(platform, table):  # expect[obs-span]
+    table.rows += 1
+    return table
+
+
+def aggregate_patterns(platform, codes):
+    with platform.telemetry.span("aggregation", kind="phase"):
+        return sorted(codes)
+
+
+def sort_and_count(platform, keys):
+    tel = platform.telemetry
+    with tel.span("sort-and-count", kind="stage"):
+        return len(keys)
+
+
+def filter_rows(table, keep):  # gammalint: allow[obs-span] -- fixture: forwarding shim; the callee opens the span
+    return table.compact(keep)
+
+
+def _extend_vertices_impl(table):
+    # Private impl twin: exempt by convention (the public wrapper spans).
+    return table
+
+
+def dedupe_helper(codes):
+    # Not an entry point: `dedupe_` is not one of the marked prefixes.
+    return set(codes)

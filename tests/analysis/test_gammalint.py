@@ -17,11 +17,12 @@ REPO_ROOT = pathlib.Path(__file__).parents[2]
 
 
 class TestRegistry:
-    def test_all_four_checkers_registered(self):
+    def test_all_five_checkers_registered(self):
         names = {c.name for c in all_checkers()}
         assert names == {
             "charge-accounting",
             "numpy-dtype",
+            "obs-span",
             "pipeline-parity",
             "warp-race",
         }
@@ -29,7 +30,8 @@ class TestRegistry:
     def test_known_codes_cover_checkers_and_meta(self):
         codes = known_codes()
         assert {"charge", "dtype", "overflow", "banned-sort",
-                "parity-twin", "parity-test", "warp-race"} <= codes
+                "parity-twin", "parity-test", "warp-race",
+                "obs-span"} <= codes
         assert {"waiver-reason", "waiver-unknown", "waiver-unused"} <= codes
 
 
@@ -112,7 +114,7 @@ class TestCli:
     def test_list_checkers(self, capsys):
         assert main(["--list-checkers"]) == 0
         out = capsys.readouterr().out
-        for name in ("charge-accounting", "numpy-dtype",
+        for name in ("charge-accounting", "numpy-dtype", "obs-span",
                      "pipeline-parity", "warp-race"):
             assert name in out
 

@@ -1,4 +1,6 @@
-"""Tests for the execution-trace recorder."""
+"""Tests for the execution-trace recorder, clock listeners and PhaseTimer."""
+
+import time
 
 import pytest
 
@@ -7,6 +9,8 @@ from repro.core import Gamma
 from repro.graph import kronecker
 from repro.gpusim import TraceRecorder, make_platform
 from repro.gpusim import clock as clk
+from repro.gpusim.clock import SimClock
+from repro.gpusim.trace import PhaseTimer
 
 
 class TestTraceRecorder:
@@ -68,3 +72,93 @@ class TestTraceRecorder:
         with Gamma(graph, platform=platform) as engine:
             triangle_count(engine)
             assert trace.total == pytest.approx(platform.clock.total)
+
+
+class TestClockListeners:
+    def test_fan_out_to_multiple_listeners(self):
+        clock = SimClock()
+        seen_a, seen_b = [], []
+        clock.add_listener(lambda cat, s: seen_a.append((cat, s)))
+        clock.add_listener(lambda cat, s: seen_b.append((cat, s)))
+        clock.advance("compute", 1.0)
+        assert seen_a == [("compute", 1.0)]
+        assert seen_b == [("compute", 1.0)]
+
+    def test_remove_listener(self):
+        clock = SimClock()
+        seen = []
+        fn = clock.add_listener(lambda cat, s: seen.append(cat))
+        clock.remove_listener(fn)
+        clock.remove_listener(fn)  # second removal is a no-op
+        clock.advance("compute", 1.0)
+        assert seen == []
+
+    def test_two_trace_recorders_both_accumulate(self):
+        platform = make_platform()
+        first = TraceRecorder().attach(platform)
+        second = TraceRecorder().attach(platform)
+        platform.clock.advance(clk.COMPUTE, 2.0)
+        assert first.total == pytest.approx(2.0)
+        assert second.total == pytest.approx(2.0)
+
+    def test_legacy_listener_attribute_still_works(self):
+        clock = SimClock()
+        seen_new, seen_old = [], []
+        clock.add_listener(lambda cat, s: seen_new.append(cat))
+        with pytest.deprecated_call():
+            clock.listener = lambda cat, s: seen_old.append(cat)
+        clock.advance("compute", 1.0)
+        assert seen_old == ["compute"]
+        assert seen_new == ["compute"], "legacy setter must not evict others"
+
+    def test_legacy_setter_replaces_only_its_own_slot(self):
+        clock = SimClock()
+        first, second = [], []
+        with pytest.deprecated_call():
+            clock.listener = lambda cat, s: first.append(cat)
+        with pytest.deprecated_call():
+            clock.listener = lambda cat, s: second.append(cat)
+        clock.advance("compute", 1.0)
+        assert first == []
+        assert second == ["compute"]
+        assert clock.listener is not None
+
+
+class TestPhaseTimerNesting:
+    def test_flat_phases_accumulate(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            time.sleep(0.001)
+        with timer.phase("a"):
+            time.sleep(0.001)
+        assert timer.seconds("a") > 0
+
+    def test_nested_phase_charges_self_time_only(self):
+        timer = PhaseTimer()
+        with timer.phase("outer"):
+            time.sleep(0.002)
+            with timer.phase("inner"):
+                time.sleep(0.005)
+        inner = timer.seconds("inner")
+        outer = timer.seconds("outer")
+        assert inner >= 0.005
+        # Self time: the outer phase must not re-count the inner 5 ms.
+        assert outer < inner
+
+    def test_reentrant_same_name(self):
+        timer = PhaseTimer()
+        with timer.phase("p"):
+            time.sleep(0.001)
+            with timer.phase("p"):
+                time.sleep(0.001)
+        # Both activations recorded once each, no double counting: the
+        # total equals the gross outer duration.
+        assert timer.seconds("p") == pytest.approx(timer.total, rel=0.5)
+
+    def test_render_preserves_first_entry_order(self):
+        timer = PhaseTimer()
+        with timer.phase("first"):
+            with timer.phase("second"):
+                pass
+        out = timer.render()
+        assert out.index("first") < out.index("second")

@@ -106,3 +106,89 @@ class TestGraphletsCommand:
         out = capsys.readouterr().out
         assert "where the time went" in out
         assert "compute" in out
+
+
+class TestObservabilityFlags:
+    def test_profile_flag(self, capsys):
+        assert main(["run", "--task", "triangles", "--dataset", "ER",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock profile" in out
+        assert "where the time went" in out  # --profile implies the breakdown
+        for phase in ("load-dataset", "build-engine", "run-task", "total"):
+            assert phase in out
+
+    def test_trace_out(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["run", "--task", "kcl", "--k", "3", "--dataset", "ER",
+                     "--trace-out", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert events, "trace has no complete events"
+        names = {e["name"] for e in events}
+        assert "run" in names
+        # run -> phase -> level -> kernel: at least three span kinds deep.
+        kinds = {e["args"]["kind"] for e in events}
+        assert {"run", "phase", "kernel"} <= kinds
+        assert "trace written to" in capsys.readouterr().out
+
+    def test_metrics_out_is_json_lines(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.jsonl"
+        assert main(["run", "--task", "kcl", "--k", "3", "--dataset", "ER",
+                     "--metrics-out", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        samples = [json.loads(line) for line in lines]
+        assert all({"name", "value"} <= set(s) for s in samples)
+        assert any(s["name"] == "extension.rows_out" for s in samples)
+
+    def test_manifest_out_and_report(self, capsys, tmp_path):
+        path = tmp_path / "manifest.json"
+        assert main(["run", "--task", "kcl", "--k", "3", "--dataset", "ER",
+                     "--manifest-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dataset=ER" in out
+        assert "task=kcl" in out
+        assert "counters:" in out
+        assert "simulated time" in out
+
+    def test_report_against_identical_passes(self, capsys, tmp_path):
+        path = tmp_path / "manifest.json"
+        assert main(["run", "--task", "triangles", "--dataset", "ER",
+                     "--manifest-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(path), "--against", str(path)]) == 0
+        assert "no differences beyond thresholds" in capsys.readouterr().out
+
+    def test_report_against_regressed_fails(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "manifest.json"
+        assert main(["run", "--task", "triangles", "--dataset", "ER",
+                     "--manifest-out", str(path)]) == 0
+        manifest = json.loads(path.read_text())
+        manifest["counters"]["page_faults"] = (
+            manifest["counters"].get("page_faults", 0) * 2 + 1000
+        )
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(manifest))
+        capsys.readouterr()
+        assert main(["report", str(worse), "--against", str(path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_crash_path_detaches_collector(self, capsys, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "trace.json"
+        code = main(["run", "--task", "kcl", "--k", "4", "--dataset", "CL",
+                     "--system", "Pangolin-GPU", "--trace-out", str(path)])
+        assert code == 1
+        # The collector must not linger as the process default after a
+        # crash, or it would silently adopt the next platform constructed.
+        assert obs.spans._default_collector() is None

@@ -14,10 +14,12 @@ import repro.bench
 import repro.core
 import repro.graph
 import repro.gpusim
+import repro.obs
 
 MODULES = (
     repro, repro.gpusim, repro.graph, repro.core,
     repro.algorithms, repro.baselines, repro.bench, repro.analysis,
+    repro.obs,
 )
 
 

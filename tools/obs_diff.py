@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Regression gate over run manifests.
+
+Compares the manifests in a candidate file against a baseline file and
+exits non-zero when a counter or simulated-time regression exceeds the
+thresholds.  Either file may be:
+
+* a bare run manifest (``repro run --manifest-out``), or
+* a ``bench_hotpath.py`` report whose ``workloads[*].manifest`` entries
+  each carry one.
+
+Manifests are matched by (system, dataset, task); entries present on only
+one side are reported but never fail the gate.  The simulation is
+deterministic, so on identical code the diff is empty — the thresholds
+exist only to absorb intentional cost-model tweaks.
+
+Usage:
+    PYTHONPATH=src python tools/obs_diff.py BENCH_hotpath.json new.json
+    PYTHONPATH=src python tools/obs_diff.py base-manifest.json cand.json \
+        --counter-threshold 0.10 --time-threshold 0.05 --warn-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import diff_manifests, format_findings  # noqa: E402
+
+MANIFEST_SCHEMA_PREFIX = "gamma-manifest/"
+
+
+def _extract(path: Path) -> "dict[tuple, dict]":
+    """Map (system, dataset, task) -> manifest for whatever ``path`` holds."""
+    data = json.loads(path.read_text())
+    if str(data.get("schema", "")).startswith(MANIFEST_SCHEMA_PREFIX):
+        key = (data.get("system"), data.get("dataset"), data.get("task"))
+        return {key: data}
+    manifests = {}
+    for row in data.get("workloads", []):
+        manifest = row.get("manifest")
+        if not manifest:
+            continue
+        key = (manifest.get("system"), manifest.get("dataset"),
+               manifest.get("task"))
+        manifests[key] = manifest
+    return manifests
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument("--counter-threshold", type=float, default=0.10,
+                        help="relative counter growth tolerated (default 0.10)")
+    parser.add_argument("--time-threshold", type=float, default=0.05,
+                        help="relative simulated-time drift tolerated "
+                             "(default 0.05)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (CI soft-launch)")
+    args = parser.parse_args(argv)
+
+    base = _extract(args.baseline)
+    cand = _extract(args.candidate)
+    if not base:
+        print(f"{args.baseline}: no manifests found "
+              f"(pre-telemetry baseline?); nothing to gate")
+        return 0
+    if not cand:
+        print(f"{args.candidate}: no manifests found", file=sys.stderr)
+        return 0 if args.warn_only else 2
+
+    regressions = 0
+    compared = 0
+    for key in sorted(base, key=str):
+        label = "/".join(str(k) for k in key)
+        if key not in cand:
+            print(f"[skip] {label}: only in baseline")
+            continue
+        compared += 1
+        findings = diff_manifests(
+            base[key], cand[key],
+            counter_threshold=args.counter_threshold,
+            time_threshold=args.time_threshold,
+        )
+        regressions += sum(1 for f in findings if f["regression"])
+        print(f"== {label} ==")
+        print(format_findings(findings))
+    for key in sorted(set(cand) - set(base), key=str):
+        print(f"[skip] {'/'.join(str(k) for k in key)}: only in candidate")
+
+    if not compared:
+        print("no comparable manifests between the two files")
+        return 0
+    if regressions:
+        print(f"\n{regressions} regression(s) beyond thresholds",
+              file=sys.stderr)
+        return 0 if args.warn_only else 1
+    print(f"\nOK: {compared} manifest(s) within thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

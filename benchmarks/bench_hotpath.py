@@ -105,6 +105,26 @@ def _null_span_cost(iters: int = 200_000) -> float:
     return (time.perf_counter() - start) / iters
 
 
+def _null_resilience_cost(iters: int = 200_000) -> float:
+    """Per-hook wall cost of the fault-injection fast path with no plan.
+
+    Every telemetry span in the hot paths is paired with one resilience
+    ``phase()`` bracket (plus ``active``-guarded ``io()`` checks that cost
+    a single attribute read), so the per-span null cost is the right unit
+    to bound against the same budget.
+    """
+    from repro.resilience.faults import NULL_RESILIENCE
+
+    phase = NULL_RESILIENCE.phase  # the attribute lookup engines pay
+    start = time.perf_counter()
+    for level in range(iters):
+        with phase(f"level:{level}"):  # f-string arg, as the hot path pays
+            pass
+        if NULL_RESILIENCE.active:  # the guard the io() sites pay
+            pass
+    return (time.perf_counter() - start) / iters
+
+
 def _measure(name, system, dataset, task_factory, repeats, null_cost):
     graph = datasets.load(dataset)
     task = task_factory(graph)
@@ -119,8 +139,9 @@ def _measure(name, system, dataset, task_factory, repeats, null_cost):
     simulated = {r[1] for r in fast_runs} | {r[1] for r in ref_runs}
     counters = [r[2] for r in fast_runs + ref_runs]
     identical = len(simulated) == 1 and all(c == counters[0] for c in counters)
-    # Every span an instrumented run records is a null enter/exit in the
-    # uninstrumented runs above — bound that cost against the budget.
+    # Every span an instrumented run records is a null telemetry enter/exit
+    # plus a null resilience phase bracket in the uninstrumented runs above
+    # — bound that combined cost against the budget.
     overhead = (span_count * null_cost / fast_wall) if fast_wall else 0.0
     return {
         "workload": name,
@@ -191,8 +212,11 @@ def main(argv=None) -> int:
         except (OSError, ValueError):
             previous = None
 
-    null_cost = _null_span_cost()
-    print(f"null-telemetry span cost: {null_cost * 1e9:.0f} ns/span")
+    null_span = _null_span_cost()
+    null_res = _null_resilience_cost()
+    null_cost = null_span + null_res
+    print(f"null-telemetry span cost: {null_span * 1e9:.0f} ns/span, "
+          f"null-resilience hook cost: {null_res * 1e9:.0f} ns/hook")
 
     rows = []
     for name, system, dataset, factory in _workloads(args.quick):
@@ -213,7 +237,8 @@ def main(argv=None) -> int:
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": args.quick,
         "repeats": repeats,
-        "null_span_cost_seconds": null_cost,
+        "null_span_cost_seconds": null_span,
+        "null_resilience_cost_seconds": null_res,
         "workloads": rows,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")

@@ -75,6 +75,21 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the metric samples as JSON lines")
     run.add_argument("--manifest-out", metavar="PATH",
                      help="write a run manifest (diff with `repro report`)")
+    run.add_argument("--checkpoint-dir", metavar="DIR",
+                     help="GAMMA: write a level-granular checkpoint after "
+                          "every completed op (see docs/RESILIENCE.md)")
+    run.add_argument("--resume", action="store_true",
+                     help="GAMMA: resume from --checkpoint-dir's checkpoint "
+                          "instead of starting over")
+    run.add_argument("--fault-plan", metavar="NAME_OR_PATH",
+                     help="install a deterministic fault-injection plan: a "
+                          "built-in name (e.g. ci-default) or a JSON file")
+    run.add_argument("--degradation", metavar="POLICY",
+                     choices=("halve-chunk", "demote-pages", "spill"),
+                     help="GAMMA: degradation policy applied when the run "
+                          "hits memory pressure")
+    run.add_argument("--max-retries", type=int, default=8,
+                     help="GAMMA: degradation retry budget (default 8)")
 
     figure = sub.add_parser("figure", help="regenerate one evaluation figure")
     figure.add_argument("name", choices=sorted(ALL_FIGURES),
@@ -135,45 +150,83 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .gpusim.trace import TraceRecorder
 
         trace = TraceRecorder().attach(engine.platform)
+    if args.fault_plan:
+        from .resilience import load_plan
+
+        engine.platform.install_fault_plan(load_plan(args.fault_plan))
     try:
+        if args.task == "sm":
+            task_fn = lambda eng: match_pattern(  # noqa: E731
+                eng, sm_query(args.query),
+                symmetry_breaking=args.symmetry_breaking,
+            )
+        elif args.task == "kcl":
+            task_fn = lambda eng: count_kcliques(eng, args.k)  # noqa: E731
+        elif args.task == "triangles":
+            task_fn = triangle_count
+        elif args.task == "fpm":
+            task_fn = lambda eng: frequent_pattern_mining(  # noqa: E731
+                eng, args.iterations, args.min_support,
+                support_metric=args.metric,
+            )
+        elif args.task == "motifs":
+            task_fn = lambda eng: motif_count(eng, args.edges)  # noqa: E731
+        else:  # graphlets
+            task_fn = lambda eng: graphlet_census(eng, args.k)  # noqa: E731
+
+        resilient = bool(
+            args.checkpoint_dir or args.resume or args.degradation
+        )
         with timer.phase("run-task"):
-            if args.task == "sm":
-                result = match_pattern(
-                    engine, sm_query(args.query),
-                    symmetry_breaking=args.symmetry_breaking,
+            if resilient:
+                if not hasattr(engine, "run"):
+                    print(f"--checkpoint-dir/--resume/--degradation need "
+                          f"a GAMMA engine, not {args.system}",
+                          file=sys.stderr)
+                    return 2
+                result = engine.run(
+                    task_fn,
+                    checkpoint_dir=args.checkpoint_dir,
+                    resume=args.resume,
+                    policy=args.degradation,
+                    max_retries=args.max_retries,
                 )
-                print(f"query q{args.query}: {result.embeddings} embeddings, "
-                      f"{result.unique_subgraphs} unique subgraphs")
-            elif args.task == "kcl":
-                result = count_kcliques(engine, args.k)
-                print(f"{args.k}-cliques: {result.cliques}")
-            elif args.task == "triangles":
-                result = triangle_count(engine)
-                print(f"triangles: {result.triangles}")
-            elif args.task == "fpm":
-                result = frequent_pattern_mining(
-                    engine, args.iterations, args.min_support,
-                    support_metric=args.metric,
-                )
-                catalog = default_catalog(graph.num_labels)
-                print(f"frequent patterns (support >= {args.min_support}, "
-                      f"{args.metric}):")
-                for name, support in catalog.describe(result.patterns)[:20]:
-                    print(f"  {name:24s} {support}")
-            elif args.task == "motifs":
-                result = motif_count(engine, args.edges)
-                catalog = default_catalog(graph.num_labels)
-                print(f"{args.edges}-edge motifs "
-                      f"({result.total_instances} instances):")
-                for name, support in catalog.describe(result.histogram)[:20]:
-                    print(f"  {name:24s} {support}")
-            else:  # graphlets
-                result = graphlet_census(engine, args.k)
-                catalog = default_catalog(graph.num_labels)
-                print(f"{args.k}-vertex graphlets "
-                      f"({result.total} induced occurrences):")
-                for name, support in catalog.describe(result.histogram)[:20]:
-                    print(f"  {name:24s} {support}")
+            else:
+                result = task_fn(engine)
+
+        if args.task == "sm":
+            print(f"query q{args.query}: {result.embeddings} embeddings, "
+                  f"{result.unique_subgraphs} unique subgraphs")
+        elif args.task == "kcl":
+            print(f"{args.k}-cliques: {result.cliques}")
+        elif args.task == "triangles":
+            print(f"triangles: {result.triangles}")
+        elif args.task == "fpm":
+            catalog = default_catalog(graph.num_labels)
+            print(f"frequent patterns (support >= {args.min_support}, "
+                  f"{args.metric}):")
+            for name, support in catalog.describe(result.patterns)[:20]:
+                print(f"  {name:24s} {support}")
+        elif args.task == "motifs":
+            catalog = default_catalog(graph.num_labels)
+            print(f"{args.edges}-edge motifs "
+                  f"({result.total_instances} instances):")
+            for name, support in catalog.describe(result.histogram)[:20]:
+                print(f"  {name:24s} {support}")
+        else:  # graphlets
+            catalog = default_catalog(graph.num_labels)
+            print(f"{args.k}-vertex graphlets "
+                  f"({result.total} induced occurrences):")
+            for name, support in catalog.describe(result.histogram)[:20]:
+                print(f"  {name:24s} {support}")
+
+        events = list(getattr(engine.platform, "resilience_log", []))
+        if events:
+            print(f"resilience events: {len(events)}")
+            for event in events:
+                kind = event.get("kind") or event.get("policy") or ""
+                where = event.get("path") or event.get("error") or ""
+                print(f"  {event['type']}:{kind} {where}")
         print(f"simulated time: {engine.simulated_seconds * 1e3:.3f} ms; "
               f"peak memory: {engine.peak_memory_bytes / (1 << 20):.2f} MiB")
         if trace is not None and (args.breakdown or args.profile):

@@ -228,6 +228,67 @@ class EmbeddingTable:
         )
         return nbytes > min(available, self._spill_policy.host_budget_bytes)
 
+    # -- checkpoint support --------------------------------------------------
+    def snapshot_columns(self) -> list[dict]:
+        """Copy every column for a checkpoint (uncharged bookkeeping)."""
+        records = []
+        for column in self.columns:
+            if isinstance(column, SpilledColumn):
+                packed = self._spill_store.peek(column.handle)
+                records.append({
+                    "values": packed[0].copy(),
+                    "parents": packed[1].copy(),
+                    "spilled": True,
+                })
+            else:
+                records.append({
+                    "values": column.values.copy(),
+                    "parents": column.parents.copy(),
+                    "spilled": False,
+                })
+        return records
+
+    def restore_columns(self, records: list[dict]) -> None:
+        """Replace the table's contents from :meth:`snapshot_columns` output.
+
+        Current columns (and their host/device accounting) are dropped, then
+        each record is re-installed: spilled columns go back to the attached
+        store (uncharged — the restored clock already carries the original
+        spill cost), resident columns re-register their host bytes.  Callers
+        overwrite the platform's clock/counters afterwards, so nothing here
+        bills simulated time.
+        """
+        platform = self.platform
+        if self._registered_bytes:
+            platform.unregister_host_bytes(self._registered_bytes, self.name)
+            self._registered_bytes = 0
+        if self._spill_store is not None:
+            for column in self.columns:
+                if isinstance(column, SpilledColumn):
+                    self._spill_store.discard(column.handle)
+        for alloc in self._device_allocs:
+            if alloc.live:
+                platform.device.free(alloc)
+        self._device_allocs = []
+        self.columns = []
+        for record in records:
+            column = Column(record["values"], record["parents"])
+            nbytes = len(column) * _CELL_BYTES
+            if record.get("spilled") and self._spill_store is not None:
+                packed = np.stack([column.values, column.parents])
+                handle = self._spill_store.restore(packed)
+                self.columns.append(SpilledColumn(handle, len(column)))
+            elif self.device_resident and self.charged:
+                alloc = platform.device.allocate(
+                    nbytes, f"{self.name}:col{self.depth}"
+                )
+                self._device_allocs.append(alloc)
+                self.columns.append(column)
+            else:
+                platform.register_host_bytes(nbytes, self.name, charge=False)
+                self._registered_bytes += nbytes
+                self.columns.append(column)
+
     # -- reads -----------------------------------------------------------------
     def read_column_values(self, index: int) -> np.ndarray:
         """Stream one column's values to the device (sequential access)."""

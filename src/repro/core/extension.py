@@ -110,6 +110,14 @@ class ExtensionEngine:
         self.cpu = cpu
         self.cpu_op_factor = cpu_op_factor
         self.graph = residence.graph
+        #: When set, vertex extensions process the table in contiguous row
+        #: chunks of this size, shrinking per-step device allocations (the
+        #: halve-chunk degradation policy lowers this under memory
+        #: pressure).  Chunking never changes the produced embeddings —
+        #: each row's candidates come from exactly one source list and rows
+        #: are processed in order — only the charge accounting (shared
+        #: prefix groups split at chunk boundaries are re-read).
+        self.chunk_rows: int | None = None
 
     # -- seeding ------------------------------------------------------------
     def seed_vertices(
@@ -312,7 +320,8 @@ class ExtensionEngine:
         """
         tel = self.platform.telemetry
         depth = table.depth
-        with tel.span("extend-vertices-any", kind="level", level=depth):
+        with tel.span("extend-vertices-any", kind="level", level=depth), \
+                self.platform.resilience.phase(f"level:{depth}"):
             stats = self._extend_vertices_any_impl(
                 table, anchor_cols, label, greater_than_col,
                 greater_than_cols, less_than_cols, injective,
@@ -422,7 +431,8 @@ class ExtensionEngine:
         """
         tel = self.platform.telemetry
         depth = table.depth
-        with tel.span("extend-vertices", kind="level", level=depth):
+        with tel.span("extend-vertices", kind="level", level=depth), \
+                self.platform.resilience.phase(f"level:{depth}"):
             stats = self._extend_vertices_impl(
                 table, anchor_cols, label, greater_than_col,
                 greater_than_cols, less_than_cols, injective,
@@ -467,10 +477,22 @@ class ExtensionEngine:
 
         tail_col = depth - 1 if (depth - 1) in anchor_cols else None
         prefix_cols = [c for c in anchor_cols if c != tail_col]
+        grouped = bool(self.pre_merge and tail_col is not None and prefix_cols)
+        parents = (
+            table.column_parents(table.depth - 1)
+            if grouped and depth > 1 else None
+        )
+
+        if self.chunk_rows is not None and n > self.chunk_rows:
+            return self._extend_vertices_rows_chunked(
+                table, stats, mats, parents, anchor_cols, prefix_cols,
+                tail_col, label, greater_than_cols, less_than_cols,
+                injective,
+            )
 
         # ---- derive this mode's read multiset + traversal op count ---------
         kernel_ops, read_vertices, groups = self._vertex_read_plan(
-            table, mats, prefix_cols, tail_col
+            parents, mats, prefix_cols, tail_col
         )
         stats.kernel_ops = kernel_ops
         stats.groups = groups
@@ -529,9 +551,106 @@ class ExtensionEngine:
         self.platform.counters.add(st.EMBEDDINGS_PRODUCED, stats.rows_out)
         return stats
 
-    def _vertex_read_plan(
+    def _extend_vertices_rows_chunked(
         self,
         table: EmbeddingTable,
+        stats: ExtensionStats,
+        mats: np.ndarray,
+        parents: np.ndarray | None,
+        anchor_cols: list[int],
+        prefix_cols: list[int],
+        tail_col: int | None,
+        label: int | None,
+        greater_than_cols: list[int],
+        less_than_cols: list[int],
+        injective: bool,
+    ) -> ExtensionStats:
+        """Vertex extension over contiguous row chunks of ``chunk_rows``.
+
+        Produces the exact embeddings of the unchunked path: every row's
+        candidates come from its single cheapest source list, rows are
+        processed in ascending order, and each chunk is stably sorted by
+        row before concatenation.  Charges differ — each chunk plans,
+        reads, and allocates independently, which is the point: per-chunk
+        device allocations (e.g. the prealloc strategy's worst-case
+        buffer) shrink with the chunk size.
+        """
+        n = len(mats)
+        depth = mats.shape[1]
+        chunk = int(self.chunk_rows or n)
+        offsets = self.graph.offsets  # gammalint: allow[charge] -- degree probes for anchor choice; list reads charged per chunk below
+        neighbors = self.graph.neighbors  # gammalint: allow[charge] -- degree probes for anchor choice; list reads charged per chunk below
+        cand_parts: list[np.ndarray] = []
+        row_parts: list[np.ndarray] = []
+        count_parts: list[np.ndarray] = []
+        for lo in range(0, n, chunk):
+            hi = min(lo + chunk, n)
+            sub = mats[lo:hi]
+            sub_parents = parents[lo:hi] if parents is not None else None
+            kernel_ops, read_vertices, groups = self._vertex_read_plan(
+                sub_parents, sub, prefix_cols, tail_col
+            )
+            stats.kernel_ops += kernel_ops
+            stats.groups += groups
+            stats.list_reads += len(read_vertices)
+            if self.planner is not None:
+                self.planner.plan_extension(read_vertices)
+            self._charge_list_reads("neighbors", read_vertices)
+
+            m = hi - lo
+            anchor_deg = np.stack(
+                [offsets[sub[:, c] + 1] - offsets[sub[:, c]]
+                 for c in anchor_cols],
+                axis=1,
+            )
+            source_choice = np.argmin(anchor_deg, axis=1)
+            upper = np.zeros(m, dtype=np.int64)
+            chunk_cands: list[np.ndarray] = []
+            chunk_rows_out: list[np.ndarray] = []
+            for idx, source_col in enumerate(anchor_cols):
+                rows = np.flatnonzero(source_choice == idx)
+                if len(rows) == 0:
+                    continue
+                lengths = anchor_deg[rows, idx]
+                starts = offsets[sub[rows, source_col]]
+                cand = neighbors[expand_ranges(starts, starts + lengths)]
+                cand_row = rows.repeat(lengths)
+                upper[rows] = lengths
+                stats.candidates += len(cand)
+                verify_cols = [c for c in anchor_cols if c != source_col]
+                cand, cand_row = self._prune_candidates(
+                    cand, cand_row, sub, verify_cols, depth,
+                    greater_than_cols, less_than_cols, injective, label,
+                )
+                chunk_cands.append(cand)
+                chunk_rows_out.append(cand_row)
+
+            cand = (np.concatenate(chunk_cands) if chunk_cands
+                    else np.empty(0, np.int64))
+            cand_row = (np.concatenate(chunk_rows_out) if chunk_rows_out
+                        else np.empty(0, np.int64))
+            counts = np.bincount(cand_row, minlength=m).astype(np.int64)
+            count_parts.append(counts)
+            self._account_writes(counts, kernel_ops, upper)
+            order = np.argsort(cand_row, kind="stable")
+            cand_parts.append(cand[order])
+            row_parts.append(cand_row[order] + lo)
+
+        cand = np.concatenate(cand_parts) if cand_parts else np.empty(0, np.int64)
+        cand_row = np.concatenate(row_parts) if row_parts else np.empty(0, np.int64)
+        stats.per_row_counts = (
+            np.concatenate(count_parts) if count_parts
+            else np.empty(0, np.int64)
+        )
+        table.append_column(cand, cand_row)
+        stats.rows_out = len(cand)
+        self.platform.counters.add(st.EXTENSION_PASSES)
+        self.platform.counters.add(st.EMBEDDINGS_PRODUCED, stats.rows_out)
+        return stats
+
+    def _vertex_read_plan(
+        self,
+        parents: np.ndarray | None,
         mats: np.ndarray,
         prefix_cols: list[int],
         tail_col: int | None,
@@ -545,25 +664,25 @@ class ExtensionEngine:
         * **naive** (Fig. 8(a)): per *row*, read and merge every anchor's
           full list.
 
+        ``parents`` is the last column's parent array (``None`` when the
+        mode is ungrouped); chunked extensions pass the chunk's slice.
+
         Returns ``(kernel_ops, read_vertex_multiset, num_groups)``.
         """
         n = len(mats)
-        depth = mats.shape[1]
         anchor_cols = prefix_cols + ([tail_col] if tail_col is not None else [])
         degrees = self.residence.degrees_of
-        grouped = self.pre_merge and tail_col is not None and prefix_cols
+        grouped = (
+            self.pre_merge and tail_col is not None and prefix_cols
+            and parents is not None
+        )
         if not grouped:
             vertices = mats[:, anchor_cols].ravel()
             ops = float(degrees(vertices).sum())
             return ops, vertices, n
 
-        parents = table.column_parents(table.depth - 1)
-        if depth > 1:
-            group_ids, first_rows = np.unique(parents, return_index=True)
-            group_mats = mats[first_rows]
-        else:  # pragma: no cover - prefix_cols empty at depth 1
-            group_ids = np.arange(n, dtype=np.int64)
-            group_mats = mats
+        group_ids, first_rows = np.unique(parents, return_index=True)
+        group_mats = mats[first_rows]
         prefix_vertices = group_mats[:, prefix_cols].ravel()
         prefix_deg = degrees(prefix_vertices)
         group_ops = float(prefix_deg.sum())
@@ -588,7 +707,8 @@ class ExtensionEngine:
         vertex that is not already in the embedding."""
         tel = self.platform.telemetry
         depth = table.depth
-        with tel.span("extend-edges", kind="level", level=depth):
+        with tel.span("extend-edges", kind="level", level=depth), \
+                self.platform.resilience.phase(f"level:{depth}"):
             stats = self._extend_edges_impl(table)
         if tel.active:
             tel.metric("extension.rows_out", stats.rows_out,

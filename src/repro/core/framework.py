@@ -20,11 +20,19 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import (
+    DeviceOutOfMemory,
+    ExecutionError,
+    HostOutOfMemory,
+    SpillIOError,
+)
 from ..graph.canonical import QuickPatternEncoder
 from ..graph.csr import CSRGraph
 from ..gpusim.platform import GpuPlatform, make_platform
 from ..gpusim.spec import CostModel
+from ..resilience import runner as res_runner
+from ..resilience.checkpoint import CheckpointManager
+from ..resilience.faults import BACKOFF_CATEGORY
 from .access_planner import ACCESS_MODES, HYBRID, AccessHeatPlanner
 from .aggregation import aggregate_edge_table, dedup_embeddings
 from .embedding_table import EDGE, VERTEX, EmbeddingTable
@@ -155,6 +163,17 @@ class Gamma:
         self._tables: list[EmbeddingTable] = []
         self._spill_store: SpillStore | None = None
         self._closed = False
+        # Journaled-replay checkpointing (repro.resilience).  ``None`` until
+        # run()/enable_checkpointing arms it, so plain use pays nothing but
+        # one ``is None`` test per user-visible op.
+        self._journal: list | None = None
+        self._op_index = 0
+        self._replay_cursor = 0
+        self._last_state: dict | None = None
+        self._ckpt_mgr: CheckpointManager | None = None
+        # Installed by the "spill" degradation policy so tables created
+        # after it engages are covered too.
+        self._spill_policy_override: SpillPolicy | None = None
         if tel.active:
             self._register_gauges(tel)
 
@@ -182,6 +201,11 @@ class Gamma:
         )
 
     def _attach_spill(self, table: EmbeddingTable) -> None:
+        if self._spill_policy_override is not None:
+            if self._spill_store is None:
+                self._spill_store = SpillStore(self.platform)
+            table.attach_spill(self._spill_store, self._spill_policy_override)
+            return
         if not self.config.spill_to_disk:
             return
         if self._spill_store is None:
@@ -194,9 +218,11 @@ class Gamma:
             SpillPolicy(budget, keep_columns=self.config.spill_keep_columns),
         )
 
-    def new_vertex_table(self, name: str = "v-ET") -> EmbeddingTable:
+    def _build_table(self, kind: str, name: str) -> EmbeddingTable:
+        """Raw table construction (also used when a checkpoint is restored
+        into a fresh engine, bypassing the op journal)."""
         table = EmbeddingTable(
-            self.platform, VERTEX, name,
+            self.platform, kind, name,
             write_buffer_bytes=self._write_buffer_bytes(),
         )
         self._attach_spill(table)
@@ -204,15 +230,21 @@ class Gamma:
         self._tables.append(table)
         return table
 
-    def new_edge_table(self, name: str = "e-ET") -> EmbeddingTable:
-        table = EmbeddingTable(
-            self.platform, EDGE, name,
-            write_buffer_bytes=self._write_buffer_bytes(),
+    def new_vertex_table(self, name: str = "v-ET") -> EmbeddingTable:
+        return self._run_op(
+            "new-table",
+            lambda: self._build_table(VERTEX, name),
+            capture=lambda table: {"index": len(self._tables) - 1},
+            apply=lambda payload: self._tables[payload["index"]],
         )
-        self._attach_spill(table)
-        table.owner = self
-        self._tables.append(table)
-        return table
+
+    def new_edge_table(self, name: str = "e-ET") -> EmbeddingTable:
+        return self._run_op(
+            "new-table",
+            lambda: self._build_table(EDGE, name),
+            capture=lambda table: {"index": len(self._tables) - 1},
+            apply=lambda payload: self._tables[payload["index"]],
+        )
 
     @property
     def _edge_engine(self) -> ExtensionEngine:
@@ -233,14 +265,162 @@ class Gamma:
                 tel.gauge("planner.page_heat_edges", planner.heat_histogram)
         return self._edge_engine_cache
 
+    # -- resilience: op journal, checkpoints, degradation (repro.resilience) --
+    def _run_op(self, kind: str, execute, capture=None, apply=None):
+        """Route one user-visible op through the replay journal.
+
+        Without checkpointing armed this is a passthrough.  Armed, each op
+        gets an index: indices below the replay cursor were already executed
+        before the checkpoint, so their recorded result is re-applied
+        (``apply``) without touching the platform — restored tables, clock
+        and counters already reflect them.  Past the cursor, the op runs
+        live, its result is journaled (``capture``), and a new snapshot is
+        taken — level-granular checkpointing, since extensions are ops.
+        """
+        if self._journal is None:
+            return execute()
+        index = self._op_index
+        self._op_index += 1
+        if index < self._replay_cursor:
+            record = self._journal[index]
+            if record["kind"] != kind:
+                raise ExecutionError(
+                    f"resume mismatch at op {index}: the checkpoint journal "
+                    f"recorded {record['kind']!r} but the driver issued "
+                    f"{kind!r} — resume requires the same workload"
+                )
+            return apply(record["payload"]) if apply is not None else None
+        result = execute()
+        self._journal.append(
+            {"kind": kind,
+             "payload": capture(result) if capture is not None else {}}
+        )
+        self._checkpoint()
+        return result
+
+    def _checkpoint(self) -> None:
+        self._last_state = res_runner.capture_state(self)
+        if self._ckpt_mgr is not None:
+            self._ckpt_mgr.save(self._last_state)
+
+    def enable_checkpointing(
+        self,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+    ) -> bool:
+        """Arm journaled-replay checkpointing.
+
+        With a ``checkpoint_dir``, every completed op atomically rewrites
+        ``checkpoint.bin`` there; ``resume=True`` loads it (when present)
+        into this engine and arms replay, so re-running the same driver
+        skips the completed ops and continues live from the crash point.
+        Returns ``True`` when a checkpoint was actually loaded.
+        """
+        if self._journal is None:
+            self._journal = []
+            self._op_index = 0
+            self._replay_cursor = 0
+        if checkpoint_dir is not None:
+            self._ckpt_mgr = CheckpointManager(checkpoint_dir)
+            if resume:
+                state = self._ckpt_mgr.load()
+                if state is not None:
+                    res_runner.restore_state(self, state)
+                    self._last_state = res_runner.capture_state(self)
+                    return True
+        # Op-0 snapshot, so even a fault before the first op can rewind.
+        self._checkpoint()
+        return False
+
+    def run(
+        self,
+        task,
+        *,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+        policy=None,
+        max_retries: int = 8,
+        backoff_seconds: float = 0.05,
+    ):
+        """Run a workload with checkpoint/resume and graceful degradation.
+
+        ``task`` is a callable taking this engine (e.g. ``lambda g:
+        count_kcliques(g, 4)``) or an object with a ``run(engine)`` method.
+        Checkpointing is always armed; ``checkpoint_dir``/``resume`` add
+        cross-process persistence (see :meth:`enable_checkpointing`).
+
+        ``policy`` names a degradation policy (see
+        :data:`repro.resilience.DEGRADATION_POLICIES`) or is an instance.
+        When a memory fault or spill I/O error escapes the task, the engine
+        rewinds to the last per-op snapshot, asks the policy to adjust
+        (halve extension chunks, demote unified pages, engage the disk
+        tier), charges an exponential recovery backoff to the simulated
+        clock, records the event in ``platform.resilience_log`` (and thus
+        the run manifest), and retries — at most ``max_retries`` times.
+        Without a policy, or when the policy gives up, the fault propagates.
+
+        Drivers must route all *charged* work through the engine's op
+        methods: during a resumed replay only op results are re-applied, so
+        charged reads done directly between ops would be double-billed.
+        """
+        fn = task if callable(task) else task.run
+        if isinstance(policy, str):
+            from ..resilience import get_policy
+
+            policy = get_policy(policy)
+        self.enable_checkpointing(checkpoint_dir, resume=resume)
+        attempts = 0
+        while True:
+            try:
+                return fn(self)
+            except (DeviceOutOfMemory, HostOutOfMemory, SpillIOError) as exc:
+                attempts += 1
+                if policy is None or attempts > max_retries:
+                    raise
+                # Rewind before asking the policy: its adjustments (planner
+                # modes, page sets, spill attachments) must not be clobbered
+                # by the snapshot restore.
+                res_runner.rewind(self)
+                action = policy.apply(self, exc, attempts)
+                if action is None:
+                    raise
+                self.platform.clock.advance(
+                    BACKOFF_CATEGORY,
+                    backoff_seconds * (2 ** (attempts - 1)),
+                )
+                event = {
+                    "type": "degradation",
+                    "policy": policy.name,
+                    "attempt": attempts,
+                    "error": type(exc).__name__,
+                }
+                event.update(action)
+                self.platform.resilience_log.append(event)
+
     # -- the five user-visible interfaces (Fig. 3) ---------------------------------
     def seed_vertices(self, table: EmbeddingTable, label: int | None = None):
-        with self.platform.telemetry.span("seed-vertices", kind="phase"):
-            return self._vertex_engine.seed_vertices(table, label)
+        def execute():
+            with self.platform.telemetry.span("seed-vertices", kind="phase"), \
+                    self.platform.resilience.phase("phase:seed-vertices"):
+                return self._vertex_engine.seed_vertices(table, label)
+
+        return self._run_op(
+            "seed-vertices", execute,
+            capture=lambda t: {"table": self._tables.index(t)},
+            apply=lambda payload: self._tables[payload["table"]],
+        )
 
     def seed_edges(self, table: EmbeddingTable):
-        with self.platform.telemetry.span("seed-edges", kind="phase"):
-            return self._edge_engine.seed_edges(table)
+        def execute():
+            with self.platform.telemetry.span("seed-edges", kind="phase"), \
+                    self.platform.resilience.phase("phase:seed-edges"):
+                return self._edge_engine.seed_edges(table)
+
+        return self._run_op(
+            "seed-edges", execute,
+            capture=lambda t: {"table": self._tables.index(t)},
+            apply=lambda payload: self._tables[payload["table"]],
+        )
 
     def vertex_extension(
         self,
@@ -253,14 +433,21 @@ class Gamma:
         injective: bool = True,
     ) -> ExtensionStats:
         """``Vertex_Extension(ET, G_d)`` with extension-time pruning."""
-        with self.platform.telemetry.span("vertex-extension", kind="phase"):
-            return self._vertex_engine.extend_vertices(
-                table, anchor_cols, label=label,
-                greater_than_col=greater_than_col,
-                greater_than_cols=greater_than_cols,
-                less_than_cols=less_than_cols,
-                injective=injective,
-            )
+        def execute():
+            with self.platform.telemetry.span("vertex-extension", kind="phase"), \
+                    self.platform.resilience.phase("phase:vertex-extension"):
+                return self._vertex_engine.extend_vertices(
+                    table, anchor_cols, label=label,
+                    greater_than_col=greater_than_col,
+                    greater_than_cols=greater_than_cols,
+                    less_than_cols=less_than_cols,
+                    injective=injective,
+                )
+
+        return self._run_op(
+            "vertex-extension", execute,
+            capture=_capture_stats, apply=_apply_stats,
+        )
 
     def vertex_extension_any(
         self,
@@ -274,19 +461,33 @@ class Gamma:
     ) -> ExtensionStats:
         """Union-neighborhood vertex extension (Definition 3.1's literal
         ``N_v(M)``), used by connected-subgraph enumeration."""
-        with self.platform.telemetry.span("vertex-extension", kind="phase"):
-            return self._vertex_engine.extend_vertices_any(
-                table, anchor_cols, label=label,
-                greater_than_col=greater_than_col,
-                greater_than_cols=greater_than_cols,
-                less_than_cols=less_than_cols,
-                injective=injective,
-            )
+        def execute():
+            with self.platform.telemetry.span("vertex-extension", kind="phase"), \
+                    self.platform.resilience.phase("phase:vertex-extension"):
+                return self._vertex_engine.extend_vertices_any(
+                    table, anchor_cols, label=label,
+                    greater_than_col=greater_than_col,
+                    greater_than_cols=greater_than_cols,
+                    less_than_cols=less_than_cols,
+                    injective=injective,
+                )
+
+        return self._run_op(
+            "vertex-extension-any", execute,
+            capture=_capture_stats, apply=_apply_stats,
+        )
 
     def edge_extension(self, table: EmbeddingTable) -> ExtensionStats:
         """``Edge_Extension(ET, G_d)``."""
-        with self.platform.telemetry.span("edge-extension", kind="phase"):
-            return self._edge_engine.extend_edges(table)
+        def execute():
+            with self.platform.telemetry.span("edge-extension", kind="phase"), \
+                    self.platform.resilience.phase("phase:edge-extension"):
+                return self._edge_engine.extend_edges(table)
+
+        return self._run_op(
+            "edge-extension", execute,
+            capture=_capture_stats, apply=_apply_stats,
+        )
 
     def aggregation(
         self,
@@ -297,11 +498,31 @@ class Gamma:
         """``Aggregation(ET, m_f)`` with the canonical-label map function.
         Returns per-row canonical codes; ``support_metric`` selects raw
         instance frequency or MNI."""
-        return aggregate_edge_table(
-            self.platform, self.residence, table, self.encoder, pattern_table,
-            sort_method=self.config.sort_method, p_size=self.config.p_size,
-            support_metric=support_metric,
-        )
+        def execute():
+            with self.platform.resilience.phase("phase:aggregation"):
+                return aggregate_edge_table(
+                    self.platform, self.residence, table, self.encoder,
+                    pattern_table,
+                    sort_method=self.config.sort_method,
+                    p_size=self.config.p_size,
+                    support_metric=support_metric,
+                )
+
+        def capture(codes):
+            return {
+                "codes": codes,
+                "pt_codes": pattern_table.codes.copy(),
+                "pt_supports": pattern_table.supports.copy(),
+            }
+
+        def apply(payload):
+            pattern_table.codes = np.array(payload["pt_codes"], dtype=np.int64)
+            pattern_table.supports = np.array(
+                payload["pt_supports"], dtype=np.int64
+            )
+            return np.array(payload["codes"], dtype=np.int64)
+
+        return self._run_op("aggregation", execute, capture, apply)
 
     def filtering(
         self,
@@ -313,20 +534,52 @@ class Gamma:
     ) -> int:
         """``Filtering(ET, PT, constraint)``: either a per-row mask or a
         min-support constraint over a pattern table."""
-        if keep_mask is not None:
-            return filter_rows(table, keep_mask, compact=self.config.compaction)
-        if pattern_table is None or row_codes is None or constraint is None:
-            raise ExecutionError(
-                "support filtering needs pattern_table, row_codes and constraint"
-            )
-        return filter_by_support(
-            self.platform, table, row_codes, pattern_table, constraint,
-            compact=self.config.compaction,
-        )
+        def execute():
+            with self.platform.resilience.phase("phase:filtering"):
+                if keep_mask is not None:
+                    return filter_rows(
+                        table, keep_mask, compact=self.config.compaction
+                    )
+                if pattern_table is None or row_codes is None or constraint is None:
+                    raise ExecutionError(
+                        "support filtering needs pattern_table, row_codes "
+                        "and constraint"
+                    )
+                return filter_by_support(
+                    self.platform, table, row_codes, pattern_table, constraint,
+                    compact=self.config.compaction,
+                )
+
+        def capture(removed):
+            payload = {"removed": int(removed)}
+            if pattern_table is not None:
+                payload["pt_codes"] = pattern_table.codes.copy()
+                payload["pt_supports"] = pattern_table.supports.copy()
+            return payload
+
+        def apply(payload):
+            if pattern_table is not None and "pt_codes" in payload:
+                pattern_table.codes = np.array(
+                    payload["pt_codes"], dtype=np.int64
+                )
+                pattern_table.supports = np.array(
+                    payload["pt_supports"], dtype=np.int64
+                )
+            return int(payload["removed"])
+
+        return self._run_op("filtering", execute, capture, apply)
 
     def dedup(self, table: EmbeddingTable) -> int:
         """Remove duplicate embeddings (same id set)."""
-        return dedup_embeddings(self.platform, table)
+        def execute():
+            with self.platform.resilience.phase("phase:dedup"):
+                return dedup_embeddings(self.platform, table)
+
+        return self._run_op(
+            "dedup", execute,
+            capture=lambda removed: {"removed": int(removed)},
+            apply=lambda payload: int(payload["removed"]),
+        )
 
     def output_results(
         self,
@@ -334,14 +587,43 @@ class Gamma:
         pattern_table: PatternTable | None = None,
     ):
         """``output_results(ET, PT)``: materialize what the caller asked for."""
-        outputs = []
-        if table is not None:
-            outputs.append(table.materialize())
-        if pattern_table is not None:
-            outputs.append(pattern_table.as_dict())
-        if not outputs:
-            raise ExecutionError("nothing to output")
-        return outputs[0] if len(outputs) == 1 else tuple(outputs)
+        def execute():
+            with self.platform.resilience.phase("phase:output"):
+                outputs = []
+                if table is not None:
+                    outputs.append(table.materialize())
+                if pattern_table is not None:
+                    outputs.append(pattern_table.as_dict())
+                if not outputs:
+                    raise ExecutionError("nothing to output")
+                return outputs[0] if len(outputs) == 1 else tuple(outputs)
+
+        def capture(result):
+            payload = {}
+            if table is not None:
+                payload["matrix"] = (
+                    result[0] if pattern_table is not None else result
+                )
+            if pattern_table is not None:
+                payload["pt_codes"] = pattern_table.codes.copy()
+                payload["pt_supports"] = pattern_table.supports.copy()
+            return payload
+
+        def apply(payload):
+            outputs = []
+            if table is not None:
+                outputs.append(np.array(payload["matrix"], dtype=np.int64))
+            if pattern_table is not None:
+                outputs.append({
+                    int(c): int(s)
+                    for c, s in zip(payload["pt_codes"],
+                                    payload["pt_supports"])
+                })
+            if not outputs:
+                raise ExecutionError("nothing to output")
+            return outputs[0] if len(outputs) == 1 else tuple(outputs)
+
+        return self._run_op("output-results", execute, capture, apply)
 
     # -- bookkeeping ------------------------------------------------------------
     @property
@@ -379,3 +661,28 @@ class Gamma:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _capture_stats(stats: ExtensionStats) -> dict:
+    """Journal payload for an extension op (checkpoint-serializable)."""
+    return {
+        "rows_in": int(stats.rows_in),
+        "rows_out": int(stats.rows_out),
+        "candidates": int(stats.candidates),
+        "groups": int(stats.groups),
+        "kernel_ops": float(stats.kernel_ops),
+        "list_reads": int(stats.list_reads),
+        "per_row_counts": stats.per_row_counts,
+    }
+
+
+def _apply_stats(payload: dict) -> ExtensionStats:
+    return ExtensionStats(
+        rows_in=int(payload["rows_in"]),
+        rows_out=int(payload["rows_out"]),
+        candidates=int(payload["candidates"]),
+        groups=int(payload["groups"]),
+        kernel_ops=float(payload["kernel_ops"]),
+        list_reads=int(payload["list_reads"]),
+        per_row_counts=np.array(payload["per_row_counts"], dtype=np.int64),
+    )

@@ -73,6 +73,11 @@ class MemoryPool:
         per_warp_bytes = np.asarray(per_warp_bytes, dtype=np.int64)
         if len(per_warp_bytes) == 0 or per_warp_bytes.sum() == 0:
             return
+        res = self.platform.resilience
+        if res.active:
+            # Injection site for pool_exhausted faults (the scheduler denies
+            # a block request, surfacing as MemoryPoolExhausted).
+            res.io("pool:alloc")
         blocks_per_warp = -(-per_warp_bytes // self.block_bytes)
         total_blocks = int(blocks_per_warp.sum())
         waste = int((blocks_per_warp * self.block_bytes - per_warp_bytes).sum())

@@ -16,6 +16,7 @@ category — so benchmarks can show exactly what the extra tier costs
 from __future__ import annotations
 
 import os
+import shutil
 import tempfile
 from typing import Dict
 
@@ -71,13 +72,27 @@ class SpillStore:
 
     def spill(self, array: np.ndarray) -> int:
         """Write ``array`` to disk; returns a handle for :meth:`fetch`."""
+        res = self.platform.resilience
+        if res.active:
+            res.io("spill:write")
         handle = self._next_id
         self._next_id += 1
         path = os.path.join(self._dir, f"col-{handle}.bin")
-        mm = np.memmap(path, dtype=array.dtype, mode="w+", shape=array.shape)
-        mm[:] = array
-        mm.flush()
-        del mm
+        try:
+            mm = np.memmap(path, dtype=array.dtype, mode="w+",
+                           shape=array.shape)
+            mm[:] = array
+            mm.flush()
+            del mm
+        except BaseException:
+            # A half-written file would outlive the store: it is not in
+            # ``_files``, so close() would never discard it and the temp
+            # directory would leak on abort.  Scrub it before re-raising.
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            raise
         self._files[handle] = (path, array.shape, array.dtype)
         self.bytes_spilled += array.nbytes
         self.platform.clock.advance(DISK_IO, array.nbytes / self.bandwidth)
@@ -85,6 +100,9 @@ class SpillStore:
 
     def fetch(self, handle: int) -> np.ndarray:
         """Fault a spilled array back into memory (charged)."""
+        res = self.platform.resilience
+        if res.active:
+            res.io("spill:read")
         path, shape, dtype = self._files[handle]
         mm = np.memmap(path, dtype=dtype, mode="r", shape=shape)
         out = np.array(mm)
@@ -93,6 +111,29 @@ class SpillStore:
         self.platform.clock.advance(DISK_IO, out.nbytes / self.bandwidth)
         return out
 
+    def peek(self, handle: int) -> np.ndarray:
+        """Uncharged read of a spilled array (checkpoint bookkeeping only —
+        simulated cost accrues through :meth:`fetch`)."""
+        path, shape, dtype = self._files[handle]
+        mm = np.memmap(path, dtype=dtype, mode="r", shape=shape)
+        out = np.array(mm)
+        del mm
+        return out
+
+    def restore(self, array: np.ndarray) -> int:
+        """Uncharged write used by checkpoint resume: re-materialize a
+        spilled array on disk without billing simulated disk time (the
+        restored clock already contains the original spill's charge)."""
+        handle = self._next_id
+        self._next_id += 1
+        path = os.path.join(self._dir, f"col-{handle}.bin")
+        mm = np.memmap(path, dtype=array.dtype, mode="w+", shape=array.shape)
+        mm[:] = array
+        mm.flush()
+        del mm
+        self._files[handle] = (path, array.shape, array.dtype)
+        return handle
+
     def discard(self, handle: int) -> None:
         """Drop a spilled array (idempotent)."""
         entry = self._files.pop(handle, None)
@@ -100,14 +141,17 @@ class SpillStore:
             os.unlink(entry[0])
 
     def close(self) -> None:
-        """Delete every spill file (and the directory if we created it)."""
+        """Delete every spill file (and the directory if we created it).
+
+        A run that aborts mid-level can leave files the store no longer
+        tracks (e.g. a column written just before the fault unwound the
+        append); for directories the store owns, the whole tree is removed
+        so aborted runs cannot leak temp directories.
+        """
         for handle in list(self._files):
             self.discard(handle)
         if self._own_dir and os.path.isdir(self._dir):
-            try:
-                os.rmdir(self._dir)
-            except OSError:  # pragma: no cover - non-empty leftovers
-                pass
+            shutil.rmtree(self._dir, ignore_errors=True)
 
     def __enter__(self) -> "SpillStore":
         return self

@@ -33,6 +33,15 @@ class DeviceOutOfMemory(GammaError):
         )
 
 
+class MemoryPoolExhausted(DeviceOutOfMemory):
+    """Raised when the result-buffer block pool cannot serve a block.
+
+    A subclass of :class:`DeviceOutOfMemory` because callers handle it the
+    same way (the pool *is* device memory); kept distinct so fault plans and
+    degradation policies can tell pool pressure from allocator pressure.
+    """
+
+
 class HostOutOfMemory(GammaError):
     """Raised when registered host regions exceed the simulated host budget."""
 
@@ -45,6 +54,15 @@ class HostOutOfMemory(GammaError):
             f"host OOM{suffix}: requested {requested} bytes, "
             f"{available} available"
         )
+
+
+class SpillIOError(GammaError):
+    """Raised when a spill-tier read or write fails (simulated disk fault)."""
+
+    def __init__(self, site: str, message: str = "") -> None:
+        self.site = site
+        detail = message or f"simulated I/O failure at {site!r}"
+        super().__init__(detail)
 
 
 class InvalidGraphError(GammaError):

@@ -114,6 +114,18 @@ class SimClock:
         """Zero every bucket."""
         self._buckets.clear()
 
+    def restore(self, buckets: Dict[str, float]) -> None:
+        """Overwrite every bucket from a :meth:`snapshot` mapping.
+
+        Used by checkpoint resume: the engine is rebuilt (charging whatever
+        construction costs), then the clock is restored to the exact state
+        the checkpoint recorded.  Listeners are *not* notified — restore is
+        bookkeeping, not simulated activity.
+        """
+        self._buckets.clear()
+        for category, seconds in buckets.items():
+            self._buckets[str(category)] = float(seconds)
+
     def __iter__(self) -> Iterator[tuple[str, float]]:
         return iter(sorted(self._buckets.items()))
 

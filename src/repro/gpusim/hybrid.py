@@ -91,6 +91,29 @@ class HybridRegion(HostRegion):
         self._unified_mask = new_mask
         self._mode_version += 1
 
+    def shrink_buffer(self, new_pages: int) -> int:
+        """Shrink the device page buffer to ``new_pages``; returns bytes freed.
+
+        Used by the demote-pages degradation policy: dropping the buffer
+        releases device capacity so an allocation that just failed with
+        :class:`~repro.errors.DeviceOutOfMemory` can succeed on retry.
+        Buffered pages are discarded (cold restart of the LRU), and the
+        charge memo is invalidated.
+        """
+        new_pages = max(0, int(new_pages))
+        if new_pages >= self.buffer.capacity:
+            return 0
+        platform = self._platform
+        page = platform.spec.page_size
+        freed = (self.buffer.capacity - new_pages) * page
+        platform.device.free(self._buffer_alloc)
+        self._buffer_alloc = platform.device.allocate(
+            new_pages * page, f"{self.name}:page-buffer"
+        )
+        self.buffer = PageBuffer(new_pages, self.total_pages)
+        self._mode_version += 1
+        return freed
+
     def _charge_elements(self, indices: np.ndarray) -> None:
         platform = self._platform
         if len(indices) == 0:

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..errors import HostOutOfMemory
 from ..obs import spans as obs_spans
+from ..resilience import faults as res_faults
 from . import clock as clk
 from .clock import SimClock
 from .device import DeviceMemory
@@ -58,6 +59,14 @@ class GpuPlatform:
         #: Telemetry sink consulted by instrumented hot paths; the no-op
         #: default keeps uninstrumented runs at a single attribute check.
         self.telemetry = obs_spans.NULL_TELEMETRY
+        #: Fault-injection sink (same null-object discipline as telemetry).
+        self.resilience = res_faults.NULL_RESILIENCE
+        #: Resilience events (injected faults, degradations, checkpoints)
+        #: surfaced in run manifests.
+        self.resilience_log: list = []
+        env_plan = res_faults.plan_from_env()
+        if env_plan is not None:
+            self.install_fault_plan(env_plan)
         # A SpanCollector installed via repro.obs.install() binds itself to
         # the first platform constructed (CLI/bench entry points rely on
         # this — the platform is created deep inside system factories).
@@ -72,6 +81,19 @@ class GpuPlatform:
     def detach_telemetry(self) -> None:
         """Restore the no-op telemetry sink."""
         self.attach_telemetry(obs_spans.NULL_TELEMETRY)
+
+    # -- fault injection ------------------------------------------------------
+    def install_fault_plan(
+        self, plan: "res_faults.FaultPlan"
+    ) -> "res_faults.FaultInjector":
+        """Arm deterministic fault injection on this platform."""
+        injector = res_faults.FaultInjector(self, plan)
+        self.resilience = injector
+        return injector
+
+    def clear_fault_plan(self) -> None:
+        """Restore the no-op resilience sink."""
+        self.resilience = res_faults.NULL_RESILIENCE
 
     # -- host-memory budget ---------------------------------------------------
     @property
@@ -159,11 +181,17 @@ def make_platform(
     device_memory_bytes: int | None = None,
     cpu_threads: int | None = None,
     cost: CostModel | None = None,
+    host_memory_bytes: int | None = None,
 ) -> GpuPlatform:
     """Convenience constructor used throughout tests and benchmarks."""
     spec = DEFAULT_SPEC
-    if device_memory_bytes is not None:
+    if device_memory_bytes is not None or host_memory_bytes is not None:
         from dataclasses import replace
 
-        spec = replace(spec, device_memory_bytes=device_memory_bytes)
+        overrides = {}
+        if device_memory_bytes is not None:
+            overrides["device_memory_bytes"] = device_memory_bytes
+        if host_memory_bytes is not None:
+            overrides["host_memory_bytes"] = host_memory_bytes
+        spec = replace(spec, **overrides)
     return GpuPlatform(spec, cost, num_warps, cpu_threads)

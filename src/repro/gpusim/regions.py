@@ -234,6 +234,9 @@ class HostRegion:
         """
         starts = np.asarray(starts, dtype=np.int64)
         ends = np.asarray(ends, dtype=np.int64)
+        res = self._platform.resilience
+        if res.active:
+            res.io(f"region:{self.name}")
         flat = expand_ranges(starts, ends)
         self._charge_ranges(starts, ends, flat)
         lengths = ends - starts
@@ -248,6 +251,9 @@ class HostRegion:
         """
         starts = np.asarray(starts, dtype=np.int64)
         ends = np.asarray(ends, dtype=np.int64)
+        res = self._platform.resilience
+        if res.active:
+            res.io(f"region:{self.name}")
         self._charge_ranges(starts, ends, None)
 
     def release(self) -> None:

@@ -84,6 +84,13 @@ class Counters:
         for name in self._counts:
             self._counts[name] = 0
 
+    def restore(self, counts: Dict[str, int]) -> None:
+        """Overwrite every counter from a ``snapshot(include_zero=True)``
+        mapping (checkpoint resume)."""
+        self._counts.clear()
+        for name, value in counts.items():
+            self._counts[str(name)] = int(value)
+
     def __iter__(self) -> Iterator[tuple[str, int]]:
         return iter(sorted(self._counts.items()))
 

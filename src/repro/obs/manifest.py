@@ -106,6 +106,17 @@ def build_manifest(platform: Any, collector: Any = None, *,
             "host_bytes": platform.host_peak,
         },
     }
+    events = list(getattr(platform, "resilience_log", []))
+    if events:
+        by_type: Dict[str, int] = {}
+        for event in events:
+            key = event.get("type", "unknown")
+            if event.get("kind"):
+                key = f"{key}:{event['kind']}"
+            elif event.get("policy"):
+                key = f"{key}:{event['policy']}"
+            by_type[key] = by_type.get(key, 0) + 1
+        manifest["resilience"] = {"events": events, "by_type": by_type}
     if wall_seconds is not None:
         manifest["wall_seconds"] = wall_seconds
     if collector is not None:
@@ -188,6 +199,19 @@ def diff_manifests(baseline: Dict[str, Any], candidate: Dict[str, Any],
     if base_sim > 0 and abs(cand_sim - base_sim) / base_sim > time_threshold:
         note("sim_time", "simulated_seconds", base_sim, cand_sim,
              regression=cand_sim > base_sim)
+
+    base_res = (baseline.get("resilience") or {}).get("by_type", {})
+    cand_res = (candidate.get("resilience") or {}).get("by_type", {})
+    for name in sorted(set(base_res) | set(cand_res)):
+        base = int(base_res.get(name, 0))
+        cand = int(cand_res.get(name, 0))
+        if cand == base:
+            continue
+        # Fault/degradation schedules are deterministic for a fixed plan, so
+        # any event-count drift is a behavioural change worth flagging; only
+        # *new* event types count as regressions (a run newly degrading is a
+        # problem, a fault plan firing less often is not).
+        note("resilience", name, base, cand, regression=cand > base)
 
     base_pipe = baseline.get("pipeline")
     cand_pipe = candidate.get("pipeline")

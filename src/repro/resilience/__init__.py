@@ -1,0 +1,66 @@
+"""Resilience layer: fault injection, checkpoint/resume, degradation.
+
+Three cooperating pieces turn the simulator from a system that merely
+*reproduces* the paper's crash cells (Figs. 11/12/14) into one that
+survives them:
+
+* :mod:`repro.resilience.faults` — a deterministic :class:`FaultInjector`
+  driven by a declarative :class:`FaultPlan`, firing device/host OOM,
+  pool exhaustion, PCIe stall bursts, and spill I/O errors at span paths.
+* :mod:`repro.resilience.checkpoint` — byte-deterministic serialization of
+  engine state plus an atomic on-disk :class:`CheckpointManager`; the
+  engine checkpoints after every operation (level granularity).
+* :mod:`repro.resilience.policies` — graceful-degradation ladder applied
+  by ``Gamma.run``: halve the extension chunk size, demote hot unified
+  pages to zero-copy, or engage the disk spill tier.
+
+``faults`` and ``checkpoint`` are dependency-light and imported eagerly
+(:mod:`repro.gpusim.platform` pulls them in); ``policies`` and ``runner``
+touch the core engine and load lazily to avoid import cycles.
+"""
+
+from __future__ import annotations
+
+from .checkpoint import (
+    CheckpointManager,
+    deserialize_state,
+    serialize_state,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    NULL_RESILIENCE,
+    NullResilience,
+    builtin_plan,
+    load_plan,
+    plan_from_env,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "CheckpointManager",
+    "DEGRADATION_POLICIES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NULL_RESILIENCE",
+    "NullResilience",
+    "builtin_plan",
+    "deserialize_state",
+    "get_policy",
+    "load_plan",
+    "plan_from_env",
+    "serialize_state",
+]
+
+_LAZY = {"DEGRADATION_POLICIES", "get_policy"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import policies
+
+        return getattr(policies, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

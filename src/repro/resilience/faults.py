@@ -1,0 +1,369 @@
+"""Deterministic fault injection driven by declarative fault plans.
+
+A :class:`FaultPlan` is a seeded, serializable list of :class:`FaultSpec`
+entries.  Each spec names a *kind* of fault and an ``at`` pattern matched
+(``fnmatch``-style) against the current span path — the same slash-joined
+hierarchy :mod:`repro.obs.spans` uses, e.g. ``run/phase:vertex-extension/
+level:3`` or ``.../io:pool:alloc``.  Injection is purely count-based: the
+N-th time a path matches a spec, the fault fires.  No wall clock and no
+global RNG are consulted, so a plan replays identically across processes —
+which is what lets the crash-matrix tests compare a faulted-then-resumed
+run bit-for-bit against an uninterrupted one.
+
+The module is deliberately dependency-light (stdlib + :mod:`repro.errors`)
+so :mod:`repro.gpusim.platform` can import it without cycles.  When no plan
+is installed, platforms carry :data:`NULL_RESILIENCE`, whose hooks are
+no-ops built like ``NULL_TELEMETRY`` — a cached context manager and an
+``active = False`` flag the hot paths can branch on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import (
+    DeviceOutOfMemory,
+    HostOutOfMemory,
+    MemoryPoolExhausted,
+    SpillIOError,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NULL_RESILIENCE",
+    "NullResilience",
+    "SpillIOError",
+    "builtin_plan",
+    "load_plan",
+    "plan_from_env",
+]
+
+
+#: Recognised fault kinds and the clock category stall bursts charge.
+FAULT_KINDS = (
+    "device_oom",       # raise DeviceOutOfMemory at the injection point
+    "host_oom",         # raise HostOutOfMemory
+    "pool_exhausted",   # raise MemoryPoolExhausted (block pool pressure)
+    "pcie_stall",       # non-raising: charge a stall burst to the clock
+    "spill_io",         # raise SpillIOError (disk-tier failure)
+)
+
+STALL_CATEGORY = "pcie_stall"
+
+#: Clock category for simulated recovery backoff charged by Gamma.run's
+#: degradation retry loop.
+BACKOFF_CATEGORY = "resilience_backoff"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: *kind* fired at the matching span path.
+
+    ``after`` skips the first N path matches; ``count`` bounds how many
+    matches after that actually fire (0 means every subsequent match).
+    ``seconds`` is the stall duration for ``pcie_stall``; when left at 0 a
+    duration is derived deterministically from the plan seed.
+    """
+
+    kind: str
+    at: str
+    after: int = 0
+    count: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.after < 0 or self.count < 0:
+            raise ValueError("FaultSpec.after/count must be non-negative")
+        if self.seconds < 0:
+            raise ValueError("FaultSpec.seconds must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "after": self.after,
+            "count": self.count,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(
+            kind=data["kind"],
+            at=data["at"],
+            after=int(data.get("after", 0)),
+            count=int(data.get("count", 1)),
+            seconds=float(data.get("seconds", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded list of fault specs (JSON round-trippable)."""
+
+    name: str
+    specs: Tuple[FaultSpec, ...]
+    seed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "specs": [s.to_dict() for s in self.specs],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            name=str(data.get("name", "unnamed")),
+            seed=int(data.get("seed", 0)),
+            specs=tuple(FaultSpec.from_dict(s) for s in data.get("specs", [])),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def _derived_stall_seconds(seed: int, spec_index: int, firing: int) -> float:
+    """Deterministic stall duration in [0.5ms, 1.5ms) from plan seed."""
+    state = (seed * 2654435761 + spec_index * 40503 + firing * 9973) & 0xFFFFFFFF
+    state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+    return 0.5e-3 + (state / 0x7FFFFFFF) * 1.0e-3
+
+
+class _PhaseContext:
+    """Re-entrant push/pop of one path segment on an injector's stack."""
+
+    __slots__ = ("_injector", "_segment")
+
+    def __init__(self, injector: "FaultInjector", segment: str) -> None:
+        self._injector = injector
+        self._segment = segment
+
+    def __enter__(self) -> "_PhaseContext":
+        self._injector._push(self._segment)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._injector._pop()
+        return False
+
+
+class FaultInjector:
+    """Matches span paths against a plan and fires faults deterministically.
+
+    Installed on a platform as ``platform.resilience``; the engine brackets
+    phases and levels with :meth:`phase` and calls :meth:`io` at discrete
+    injection sites (pool allocation, spill reads/writes, region charges).
+    Every fired fault is appended to ``platform.resilience_log`` so it lands
+    in the run manifest.
+    """
+
+    active = True
+
+    def __init__(self, platform, plan: FaultPlan) -> None:
+        self.platform = platform
+        self.plan = plan
+        self._stack: List[str] = []
+        # Per-spec count of path matches so far (fired or not); this is the
+        # whole injection state, so checkpoints persist just this list.
+        self._matches: List[int] = [0] * len(plan.specs)
+        self.events: List[dict] = []
+
+    # -- path bookkeeping --------------------------------------------------
+    def _push(self, segment: str) -> None:
+        self._stack.append(segment)
+        self._check(self.path)
+
+    def _pop(self) -> None:
+        self._stack.pop()
+
+    @property
+    def path(self) -> str:
+        return "/".join(["run"] + self._stack) if self._stack else "run"
+
+    def phase(self, segment: str) -> _PhaseContext:
+        """Context manager entering ``segment`` on the span path."""
+        return _PhaseContext(self, segment)
+
+    def io(self, site: str) -> None:
+        """Point injection site, e.g. ``io("pool:alloc")``."""
+        self._check(f"{self.path}/io:{site}")
+
+    # -- matching ----------------------------------------------------------
+    def _check(self, path: str) -> None:
+        for index, spec in enumerate(self.plan.specs):
+            if not fnmatchcase(path, spec.at):
+                continue
+            self._matches[index] += 1
+            hit = self._matches[index]
+            if hit <= spec.after:
+                continue
+            if spec.count and hit > spec.after + spec.count:
+                continue
+            self._fire(spec, index, hit - spec.after, path)
+
+    def _fire(self, spec: FaultSpec, index: int, firing: int,
+              path: str) -> None:
+        event = {
+            "type": "fault-injected",
+            "kind": spec.kind,
+            "at": spec.at,
+            "path": path,
+            "firing": firing,
+        }
+        self.events.append(event)
+        log = getattr(self.platform, "resilience_log", None)
+        if log is not None:
+            log.append(event)
+        if spec.kind == "pcie_stall":
+            seconds = spec.seconds or _derived_stall_seconds(
+                self.plan.seed, index, firing)
+            event["seconds"] = seconds
+            self.platform.clock.advance(STALL_CATEGORY, seconds)
+            return
+        available = self.platform.device.available
+        if spec.kind == "device_oom":
+            raise DeviceOutOfMemory(available + 1, available,
+                                    f"fault:{spec.at}")
+        if spec.kind == "pool_exhausted":
+            raise MemoryPoolExhausted(available + 1, available,
+                                      f"fault:{spec.at}")
+        if spec.kind == "host_oom":
+            spec_host = self.platform.spec.host_memory_bytes
+            free = max(0, spec_host - self.platform._host_used)
+            raise HostOutOfMemory(free + 1, free, f"fault:{spec.at}")
+        raise SpillIOError(path)
+
+    # -- checkpoint support ------------------------------------------------
+    def state(self) -> dict:
+        return {"matches": list(self._matches)}
+
+    def restore_state(self, state: dict) -> None:
+        matches = list(state.get("matches", []))
+        if len(matches) == len(self._matches):
+            self._matches = [int(m) for m in matches]
+
+
+class _NullPhase:
+    """No-op context manager shared by every null phase() call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class NullResilience:
+    """Fault-hook sink used when no fault plan is installed.
+
+    Mirrors ``NullTelemetry``: allocation-free, a cached context manager,
+    and an ``active`` flag so hot paths can skip even the call.
+    """
+
+    __slots__ = ()
+
+    active = False
+
+    def phase(self, segment: str) -> _NullPhase:
+        return _NULL_PHASE
+
+    def io(self, site: str) -> None:
+        return None
+
+
+NULL_RESILIENCE = NullResilience()
+
+
+#: Small built-in sweep for the CI chaos leg: a couple of deterministic
+#: PCIe stall bursts at extension levels plus a late one-shot device OOM.
+#: Mild on purpose — most tier-1 tests should still pass under it.
+_BUILTIN_PLANS: Dict[str, FaultPlan] = {
+    "ci-default": FaultPlan(
+        name="ci-default",
+        seed=1789,
+        specs=(
+            # Phases are entered once per op and io sites once per level,
+            # so these offsets target the 2nd/3rd op of multi-level runs.
+            FaultSpec(kind="pcie_stall", at="*/phase:vertex-extension",
+                      after=1, count=2),
+            FaultSpec(kind="pcie_stall", at="*/phase:edge-extension",
+                      after=1, count=1),
+            FaultSpec(kind="pcie_stall", at="*/phase:aggregation",
+                      after=1, count=1),
+            # One-shot OOM on the *second* level-3 allocation a platform
+            # makes: single-workload runs stay clean, repeat offenders on a
+            # shared platform get one recoverable fault.
+            FaultSpec(kind="device_oom", at="*/level:3/io:pool:alloc",
+                      after=1, count=1),
+        ),
+    ),
+    "smoke-stall": FaultPlan(
+        name="smoke-stall",
+        seed=7,
+        specs=(
+            FaultSpec(kind="pcie_stall", at="*/level:*", after=0, count=0,
+                      seconds=1e-4),
+        ),
+    ),
+}
+
+
+def builtin_plan(name: str) -> Optional[FaultPlan]:
+    return _BUILTIN_PLANS.get(name)
+
+
+def load_plan(name_or_path: str) -> FaultPlan:
+    """Resolve a plan: built-in name first, else a JSON file path."""
+    plan = builtin_plan(name_or_path)
+    if plan is not None:
+        return plan
+    try:
+        with open(name_or_path, "r", encoding="utf-8") as handle:
+            return FaultPlan.from_json(handle.read())
+    except OSError as exc:
+        raise ValueError(
+            f"unknown fault plan {name_or_path!r}: not a built-in "
+            f"({', '.join(sorted(_BUILTIN_PLANS))}) and not a readable "
+            f"JSON file ({exc})"
+        ) from None
+
+
+_ENV_VAR = "REPRO_FAULT_PLAN"
+_env_cache: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The plan named by ``REPRO_FAULT_PLAN``, parsed once per value."""
+    global _env_cache
+    value = os.environ.get(_ENV_VAR)
+    if not value:
+        return None
+    cached_value, cached_plan = _env_cache
+    if cached_value == value:
+        return cached_plan
+    plan = load_plan(value)
+    _env_cache = (value, plan)
+    return plan

@@ -1,0 +1,137 @@
+"""Graceful-degradation policies for memory pressure mid-run.
+
+When :meth:`Gamma.run <repro.core.framework.Gamma.run>` catches a memory
+fault (device OOM, pool exhaustion, host OOM) or a transient spill I/O
+error, it asks the configured policy what to change before rewinding to
+the last level checkpoint and retrying.  A policy's :meth:`apply` returns
+an event dict describing the adjustment (recorded in the run manifest) or
+``None`` to give up, in which case the original exception propagates.
+
+The ladder, mirroring the paper's memory hierarchy (device → host → disk):
+
+* ``halve-chunk`` — re-run the failing extension in row chunks, halving
+  the chunk size each attempt.  Smaller chunks shrink the per-call device
+  working set (candidate buffers, pre-allocated result blocks) without
+  changing the embeddings produced.
+* ``demote-pages`` — flip every access planner to zero-copy, drop the hot
+  unified pages and shrink the page buffer to one page, returning its
+  device bytes to the allocator.  Slower per access, but frees the single
+  largest fixed device allocation.
+* ``spill`` — engage the disk tier of :mod:`repro.core.spill`: attach a
+  spill store to every embedding table with a shrinking host budget, so
+  cold columns (and oversized new ones) stream to disk instead of OOMing.
+
+All three treat :class:`~repro.errors.SpillIOError` as transient — the
+fault injector models I/O error bursts, so a plain retry is the fix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import DeviceOutOfMemory, HostOutOfMemory, SpillIOError
+
+__all__ = ["DEGRADATION_POLICIES", "get_policy"]
+
+
+class HalveChunkPolicy:
+    """Retry the failing level with a halved extension chunk size."""
+
+    name = "halve-chunk"
+
+    #: First engagement caps extension chunks at this many rows; every
+    #: further attempt halves it, down to one row.
+    initial_chunk_rows = 1 << 14
+
+    def apply(self, gamma, exc, attempt: int) -> Optional[dict]:
+        if isinstance(exc, SpillIOError):
+            return {"action": "retry", "site": exc.site}
+        if not isinstance(exc, DeviceOutOfMemory):
+            return None
+        engines = [gamma._vertex_engine]
+        if gamma._edge_engine_cache is not None:
+            engines.append(gamma._edge_engine_cache)
+        current = engines[0].chunk_rows
+        chunk = self.initial_chunk_rows if current is None else current // 2
+        if chunk < 1:
+            return None
+        for engine in engines:
+            engine.chunk_rows = chunk
+        return {"action": "halve-chunk", "chunk_rows": chunk}
+
+
+class DemotePagesPolicy:
+    """Demote hot unified pages to zero-copy and free the page buffers."""
+
+    name = "demote-pages"
+
+    def __init__(self) -> None:
+        self._applied = False
+
+    def apply(self, gamma, exc, attempt: int) -> Optional[dict]:
+        if isinstance(exc, SpillIOError):
+            return {"action": "retry", "site": exc.site}
+        if not isinstance(exc, DeviceOutOfMemory) or self._applied:
+            return None
+        from ..core.access_planner import ZEROCOPY_ONLY
+
+        self._applied = True
+        freed = 0
+        for planner in gamma.planners.values():
+            planner.mode = ZEROCOPY_ONLY
+            # Zero-copy planning never touches the region again, so the
+            # demotion itself must clear the unified page set before the
+            # buffer shrinks underneath it.
+            planner.region.set_unified_pages(np.empty(0, dtype=np.int64))
+            freed += planner.region.shrink_buffer(1)
+        return {"action": "demote-pages", "freed_bytes": freed}
+
+
+class EngageSpillPolicy:
+    """Engage the disk spill tier with a shrinking host budget."""
+
+    name = "spill"
+
+    def __init__(self) -> None:
+        self._budget: int | None = None
+
+    def apply(self, gamma, exc, attempt: int) -> Optional[dict]:
+        if isinstance(exc, SpillIOError):
+            return {"action": "retry", "site": exc.site}
+        if not isinstance(exc, (DeviceOutOfMemory, HostOutOfMemory)):
+            return None
+        from ..core.spill import SpillPolicy, SpillStore
+
+        if self._budget is None:
+            self._budget = max(1, gamma.platform.spec.host_memory_bytes // 4)
+        else:
+            self._budget //= 2
+            if self._budget < 1:
+                return None
+        if gamma._spill_store is None:
+            gamma._spill_store = SpillStore(gamma.platform)
+        policy = SpillPolicy(self._budget, keep_columns=1)
+        # Cover tables created after this point too (replay rebuilds them
+        # through the engine, which consults ``_spill_policy_override``).
+        gamma._spill_policy_override = policy
+        for table in gamma._tables:
+            table.attach_spill(gamma._spill_store, policy)
+        return {"action": "spill", "host_budget_bytes": self._budget}
+
+
+DEGRADATION_POLICIES = {
+    policy.name: policy
+    for policy in (HalveChunkPolicy, DemotePagesPolicy, EngageSpillPolicy)
+}
+
+
+def get_policy(name: str):
+    """A fresh policy instance for ``name`` (see :data:`DEGRADATION_POLICIES`)."""
+    try:
+        cls = DEGRADATION_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(DEGRADATION_POLICIES))
+        raise ValueError(f"unknown degradation policy {name!r} (one of: {known})")
+    return cls()

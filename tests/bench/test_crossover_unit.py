@@ -1,0 +1,72 @@
+"""Direct unit tests for :mod:`repro.bench.crossover`.
+
+``device_size_sweep`` was previously only smoke-tested end to end; these
+tests pin the cell semantics (numeric time vs. crash class name), the
+``min_ok`` boundary bookkeeping, and the shape-check wording the figure
+reports rely on.
+"""
+
+import pytest
+
+from repro.bench.crossover import device_size_sweep
+from repro.graph import datasets
+
+
+@pytest.fixture(autouse=True)
+def clear_dataset_cache():
+    yield
+    datasets.clear_cache()
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return device_size_sweep(dataset="EA", k=3, sizes_mib=(1, 4))
+
+
+class TestCellSemantics:
+    def test_row_schema(self, sweep):
+        assert [row["device_MiB"] for row in sweep.rows] == [1, 4]
+        for row in sweep.rows:
+            assert set(row) == {"device_MiB", "GAMMA", "Pangolin-GPU", "GSI"}
+
+    def test_cells_are_times_or_crash_class_names(self, sweep):
+        """Every cell is either a parseable millisecond figure or the name
+        of the GammaError subclass that killed the attempt."""
+        from repro import errors
+
+        for row in sweep.rows:
+            for system in ("GAMMA", "Pangolin-GPU", "GSI"):
+                cell = row[system]
+                try:
+                    assert float(cell) >= 0
+                except ValueError:
+                    crash = getattr(errors, cell)
+                    assert issubclass(crash, errors.GammaError)
+
+    def test_gamma_flat_across_sizes(self, sweep):
+        """GAMMA's large structures are host-resident: it completes at
+        every swept size, including the smallest."""
+        for row in sweep.rows:
+            float(row["GAMMA"])  # parses -> did not crash
+
+    def test_incore_crashes_are_memory_faults(self, sweep):
+        """When an in-core system does crash at the small end, it must be
+        with a modelled memory fault, not an arbitrary error."""
+        crashes = [row[system]
+                   for row in sweep.rows
+                   for system in ("Pangolin-GPU", "GSI")
+                   if not row[system].replace(".", "").isdigit()]
+        assert all(cell.endswith("Memory") for cell in crashes)
+
+
+class TestBoundaryCheck:
+    def test_check_present_and_named(self, sweep):
+        assert len(sweep.checks) == 1
+        assert "Crossover.gamma-needs-least" in sweep.checks[0]
+
+    def test_check_passes_on_default_workload(self, sweep):
+        assert sweep.checks[0].startswith("[OK")
+
+    def test_report_identity(self, sweep):
+        assert sweep.figure == "Crossover"
+        assert "kCL-3" in sweep.title and "EA" in sweep.title

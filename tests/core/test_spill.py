@@ -181,3 +181,64 @@ class TestGammaSpill:
                 count_kcliques(engine, 3)
                 times[spill] = engine.simulated_seconds
         assert times[True] > times[False]  # the extra tier is not free
+
+
+class TestAbortCleanup:
+    """Regression: aborted runs must not leak spill temp directories.
+
+    The store's close() used to discard only *tracked* files, so a run
+    that died mid-level (leaving a column written just before the fault
+    unwound the append) kept its ``gamma-spill-*`` mkdtemp directory
+    around forever.  Owned directories are now removed wholesale.
+    """
+
+    def test_owned_dir_removed_despite_untracked_files(self, platform):
+        import os
+
+        store = SpillStore(platform)  # store-owned mkdtemp directory
+        store.spill(np.zeros((2, 8), dtype=np.int64))
+        # Simulate a fault unwinding the append after the write landed:
+        # the file exists but no handle tracks it.
+        stray = os.path.join(store.directory, "col-999.bin")
+        with open(stray, "wb") as handle:
+            handle.write(b"x" * 64)
+        directory = store.directory
+        store.close()
+        assert not os.path.exists(directory)
+
+    def test_context_manager_abort_removes_owned_dir(self, platform):
+        import os
+
+        with pytest.raises(RuntimeError, match="mid-level"):
+            with SpillStore(platform) as store:
+                store.spill(np.zeros((2, 8), dtype=np.int64))
+                directory = store.directory
+                raise RuntimeError("mid-level abort")
+        assert not os.path.exists(directory)
+
+    def test_caller_owned_dir_survives_close(self, platform, tmp_path):
+        store = SpillStore(platform, tmp_path)
+        store.spill(np.zeros((2, 8), dtype=np.int64))
+        store.close()
+        assert tmp_path.exists()  # only the tracked files are discarded
+        assert not list(tmp_path.glob("col-*.bin"))
+
+    def test_engine_abort_mid_level_leaves_no_spill_dir(self):
+        import os
+
+        from repro.resilience import FaultPlan, FaultSpec
+
+        g = kronecker(9, 8, seed=5)
+        engine = Gamma(g, GammaConfig(spill_to_disk=True,
+                                      spill_budget_bytes=1 << 16))
+        engine.platform.install_fault_plan(FaultPlan(
+            name="abort",
+            specs=(FaultSpec(kind="device_oom", at="*/level:3"),)))
+        from repro.errors import DeviceOutOfMemory
+        with pytest.raises(DeviceOutOfMemory):
+            count_kcliques(engine, 4)
+        store = engine._spill_store
+        assert store is not None and store.bytes_spilled > 0
+        directory = store.directory
+        engine.close()
+        assert not os.path.exists(directory)

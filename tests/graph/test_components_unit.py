@@ -1,0 +1,102 @@
+"""Direct unit tests for :mod:`repro.graph.components`.
+
+The component routines previously rode along inside the graph-metrics
+suite; these tests pin their individual contracts — label identities,
+size accounting, and full membership agreement with networkx (not just
+the component count).
+"""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.graph import (
+    clique_graph,
+    component_sizes,
+    connected_components,
+    cycle_graph,
+    from_edge_list,
+    largest_component_fraction,
+    num_components,
+    star,
+)
+
+
+def _random_graph(n, m, seed):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    return from_edge_list(list(zip(src.tolist(), dst.tolist())),
+                          num_vertices=n)
+
+
+class TestLabelContract:
+    def test_label_is_smallest_member(self):
+        """Docstring contract: component ids are the smallest vertex id."""
+        g = from_edge_list([(5, 6), (6, 7), (1, 2)], num_vertices=8)
+        labels = connected_components(g)
+        assert labels[5] == labels[6] == labels[7] == 5
+        assert labels[1] == labels[2] == 1
+        assert labels[0] == 0 and labels[3] == 3 and labels[4] == 4
+
+    def test_chain_collapses_to_root(self):
+        """A long path needs several hook/jump rounds; all labels must
+        still converge to vertex 0."""
+        n = 257
+        g = from_edge_list([(i, i + 1) for i in range(n - 1)],
+                           num_vertices=n)
+        assert (connected_components(g) == 0).all()
+
+    def test_edgeless_graph_is_identity(self):
+        g = from_edge_list([], num_vertices=5)
+        assert connected_components(g).tolist() == [0, 1, 2, 3, 4]
+
+    def test_labels_dtype_and_shape(self):
+        g = star(4)
+        labels = connected_components(g)
+        assert labels.dtype == np.int64
+        assert labels.shape == (g.num_vertices,)
+
+    @given(hst.integers(min_value=0, max_value=300),
+           hst.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_membership_matches_networkx(self, m, seed):
+        """Full partition agreement, not just the component count."""
+        n = 40
+        g = _random_graph(n, m, seed)
+        labels = connected_components(g)
+        G = nx.Graph()
+        G.add_nodes_from(range(n))
+        G.add_edges_from(g.edges())
+        for component in nx.connected_components(G):
+            members = sorted(component)
+            assert {int(labels[v]) for v in members} == {members[0]}
+
+
+class TestSizeAccounting:
+    def test_sizes_partition_the_vertex_set(self):
+        g = from_edge_list([(0, 1), (2, 3), (3, 4)], num_vertices=7)
+        sizes = component_sizes(g)
+        assert sizes.sum() == g.num_vertices
+        assert len(sizes) == num_components(g)
+        assert (np.diff(sizes) <= 0).all()  # largest first
+
+    def test_fraction_bounds(self):
+        assert largest_component_fraction(clique_graph(5)) == 1.0
+        assert largest_component_fraction(cycle_graph(9)) == 1.0
+        g = from_edge_list([], num_vertices=10)
+        assert largest_component_fraction(g) == 0.1
+
+    def test_fraction_of_vertexless_graph(self):
+        g = from_edge_list([], num_vertices=0)
+        assert largest_component_fraction(g) == 1.0
+
+    @given(hst.integers(min_value=0, max_value=200),
+           hst.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_size_invariants_hold_generally(self, m, seed):
+        g = _random_graph(30, m, seed)
+        sizes = component_sizes(g)
+        assert sizes.sum() == 30
+        assert largest_component_fraction(g) == sizes[0] / 30

@@ -115,3 +115,50 @@ class TestDiffManifests:
         assert "REGRESSION" in text
         assert "page_faults" in text
         assert obs.format_findings([]) == "no differences beyond thresholds"
+
+
+class TestResilienceSection:
+    @pytest.fixture()
+    def faulted_manifest(self):
+        from repro.algorithms import count_kcliques
+        from repro.resilience import FaultPlan, FaultSpec
+
+        graph = kronecker(7, 4, seed=3)
+        with Gamma(graph) as engine:
+            engine.platform.install_fault_plan(FaultPlan(
+                name="stalls",
+                specs=(FaultSpec(kind="pcie_stall", at="*/level:*",
+                                 count=0, seconds=1e-4),)))
+            count_kcliques(engine, 3)
+            return obs.build_manifest(
+                engine.platform, system="GAMMA", dataset="K7", task="kcl3")
+
+    def test_absent_without_events(self, manifest):
+        assert "resilience" not in manifest
+
+    def test_events_and_rollup_recorded(self, faulted_manifest):
+        section = faulted_manifest["resilience"]
+        assert section["events"]
+        assert all(e["type"] == "fault-injected" for e in section["events"])
+        assert section["by_type"]["fault-injected:pcie_stall"] == len(
+            section["events"])
+
+    def test_diff_flags_new_event_type_as_regression(self, manifest,
+                                                     faulted_manifest):
+        from repro.obs.manifest import diff_manifests
+
+        merged = copy.deepcopy(manifest)
+        merged["resilience"] = faulted_manifest["resilience"]
+        findings = diff_manifests(manifest, merged)
+        res = [f for f in findings if f["kind"] == "resilience"]
+        assert res and all(f["regression"] for f in res)
+
+    def test_diff_fewer_firings_is_note_not_regression(self, faulted_manifest):
+        from repro.obs.manifest import diff_manifests
+
+        calmer = copy.deepcopy(faulted_manifest)
+        key = "fault-injected:pcie_stall"
+        calmer["resilience"]["by_type"][key] -= 1
+        findings = diff_manifests(faulted_manifest, calmer)
+        res = [f for f in findings if f["kind"] == "resilience"]
+        assert res and not any(f["regression"] for f in res)

@@ -15,11 +15,12 @@ import repro.core
 import repro.graph
 import repro.gpusim
 import repro.obs
+import repro.resilience
 
 MODULES = (
     repro, repro.gpusim, repro.graph, repro.core,
     repro.algorithms, repro.baselines, repro.bench, repro.analysis,
-    repro.obs,
+    repro.obs, repro.resilience,
 )
 
 
@@ -52,7 +53,8 @@ def main() -> None:
         for name in sorted(getattr(module, "__all__", [])):
             obj = getattr(module, name, None)
             summary = ""
-            if obj is not None and not isinstance(obj, (int, float, str, tuple)):
+            if obj is not None and not isinstance(
+                    obj, (int, float, str, tuple, list, dict, set)):
                 docline = (inspect.getdoc(obj) or "").strip().splitlines()
                 summary = docline[0] if docline else ""
             summary = summary.replace("|", "/")[:100]

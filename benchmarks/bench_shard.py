@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Multi-GPU scaling benchmark: sharded GAMMA vs one simulated GPU.
+
+Runs 4-clique counting at 1/2/4 shards for each partitioning policy,
+verifies the counts never change, reports simulated-time speedup and
+per-shard utilization, and — the CI bar — asserts the 4-GPU stealing
+configuration reaches at least 1.5x over single-GPU on the simulated
+clock.  Writes ``BENCH_shard.json`` at the repo root.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_shard.py            # full
+    PYTHONPATH=src python benchmarks/bench_shard.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.algorithms import count_kcliques  # noqa: E402
+from repro.graph import generators  # noqa: E402
+from repro.shard import SHARD_POLICIES, ShardedGamma  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_shard.json"
+
+#: The acceptance bar: 4 simulated GPUs with work stealing must beat one
+#: GPU by this factor on 4-clique (simulated clock, compute-bound graph).
+SPEEDUP_BAR = 1.5
+
+
+def _graph(quick: bool):
+    if quick:
+        return generators.erdos_renyi(500, 15_000, seed=5, name="er500")
+    return generators.erdos_renyi(900, 40_000, seed=5, name="er900")
+
+
+def run(quick: bool) -> dict:
+    graph = _graph(quick)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    rows = []
+    baseline_seconds = None
+    baseline_cliques = None
+    for policy in SHARD_POLICIES:
+        for num_shards in (1, 2, 4):
+            engine = ShardedGamma(graph, num_shards=num_shards,
+                                  policy=policy)
+            result = count_kcliques(engine, 4)
+            seconds = engine.simulated_seconds
+            if baseline_cliques is None:
+                baseline_cliques = result.cliques
+                baseline_seconds = seconds
+            assert result.cliques == baseline_cliques, (
+                f"{policy}/{num_shards}: count changed "
+                f"({result.cliques} != {baseline_cliques})"
+            )
+            utilization = engine.shard_utilization()
+            speedup = baseline_seconds / seconds
+            rows.append({
+                "policy": policy,
+                "gpus": num_shards,
+                "simulated_seconds": seconds,
+                "speedup": round(speedup, 3),
+                "utilization": [round(u, 4) for u in utilization],
+                "cliques": result.cliques,
+            })
+            util = ", ".join(f"{u:.0%}" for u in utilization)
+            print(f"  {policy:9s} x{num_shards}: "
+                  f"{seconds * 1e3:8.3f} ms  "
+                  f"speedup {speedup:4.2f}x  util [{util}]")
+
+    best = max(r["speedup"] for r in rows
+               if r["policy"] == "stealing" and r["gpus"] == 4)
+    print(f"\n4-GPU stealing speedup: {best:.2f}x (bar: {SPEEDUP_BAR}x)")
+    assert best >= SPEEDUP_BAR, (
+        f"sharded speedup regressed: {best:.2f}x < {SPEEDUP_BAR}x"
+    )
+    return {
+        "workload": "4-clique",
+        "graph": {"vertices": graph.num_vertices, "edges": graph.num_edges},
+        "speedup_bar": SPEEDUP_BAR,
+        "best_4gpu_stealing_speedup": best,
+        "rows": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graph for CI smoke runs")
+    parser.add_argument("--out", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+    report = run(args.quick)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -146,6 +146,17 @@ def match_pattern_binary(engine, pattern: Pattern) -> SMResult:
     table = engine.new_edge_table(f"SM-bj:{pattern.name}")
     edge_ids = np.arange(graph.num_edges, dtype=np.int64)[rows]
     table.seed(edge_ids)
+    # Sharded engines partition the seed by unit ownership, reordering rows
+    # (stably) into shard-major order; re-align the host-side bookkeeping to
+    # the order the table actually holds.
+    seeded = table.column_values(0)
+    if not np.array_equal(seeded, edge_ids):
+        perm = np.empty(len(edge_ids), dtype=np.int64)
+        perm[np.argsort(seeded, kind="stable")] = np.argsort(
+            edge_ids, kind="stable"
+        )
+        rows = rows[perm]
+        orient_fwd = orient_fwd[perm]
     assign = np.full((len(rows), k), -1, dtype=np.int64)
     assign[orient_fwd, qu] = src[rows[orient_fwd]]
     assign[orient_fwd, qv] = dst[rows[orient_fwd]]

@@ -84,6 +84,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault-plan", metavar="NAME_OR_PATH",
                      help="install a deterministic fault-injection plan: a "
                           "built-in name (e.g. ci-default) or a JSON file")
+    run.add_argument("--gpus", type=int, default=1, metavar="N",
+                     help="GAMMA: shard the run across N simulated GPUs "
+                          "(see docs/SHARDING.md)")
+    run.add_argument("--shard-policy", default="static",
+                     choices=("static", "degree", "stealing"),
+                     help="frontier partitioning policy for --gpus > 1")
+    run.add_argument("--interconnect", default="nvlink",
+                     choices=("nvlink", "pcie"),
+                     help="inter-GPU link model for --gpus > 1 "
+                          "(pcie stages through host memory)")
     run.add_argument("--degradation", metavar="POLICY",
                      choices=("halve-chunk", "demote-pages", "spill"),
                      help="GAMMA: degradation policy applied when the run "
@@ -143,8 +153,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # adopts the default collector, so the root span covers engine
         # construction (residence staging, pool allocation, ...).
         collector = obs.install(obs.SpanCollector())
+    sharded = getattr(args, "gpus", 1) > 1
+    if sharded and args.system != "GAMMA":
+        print(f"--gpus needs the GAMMA engine, not {args.system}",
+              file=sys.stderr)
+        return 2
     with timer.phase("build-engine"):
-        engine = SYSTEMS[args.system](graph)
+        if sharded:
+            from .gpusim.spec import InterconnectSpec
+            from .shard import ShardedGamma
+
+            engine = ShardedGamma(
+                graph,
+                num_shards=args.gpus,
+                policy=args.shard_policy,
+                interconnect=InterconnectSpec(kind=args.interconnect),
+            )
+        else:
+            engine = SYSTEMS[args.system](graph)
     trace = None
     if args.breakdown or args.profile:
         from .gpusim.trace import TraceRecorder
@@ -220,7 +246,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for name, support in catalog.describe(result.histogram)[:20]:
                 print(f"  {name:24s} {support}")
 
-        events = list(getattr(engine.platform, "resilience_log", []))
+        events = list(
+            getattr(engine, "resilience_log", None)
+            or getattr(engine.platform, "resilience_log", [])
+        )
         if events:
             print(f"resilience events: {len(events)}")
             for event in events:
@@ -229,6 +258,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(f"  {event['type']}:{kind} {where}")
         print(f"simulated time: {engine.simulated_seconds * 1e3:.3f} ms; "
               f"peak memory: {engine.peak_memory_bytes / (1 << 20):.2f} MiB")
+        if sharded:
+            utils = ", ".join(
+                f"gpu{i}={u:.1%}"
+                for i, u in enumerate(engine.shard_utilization())
+            )
+            print(f"shards: {args.gpus} ({args.shard_policy}, "
+                  f"{args.interconnect}); utilization: {utils}")
         if trace is not None and (args.breakdown or args.profile):
             print("\nwhere the time went:")
             print(trace.render())
@@ -266,11 +302,20 @@ def _write_obs_outputs(args, engine, collector) -> None:
             print("manifest not written: engine exposes no platform",
                   file=sys.stderr)
             return
-        manifest = obs.build_manifest(
-            platform, collector,
-            system=args.system, dataset=args.dataset, task=args.task,
-            config=getattr(engine, "config", None),
-        )
+        from .shard import ShardedGamma, build_sharded_manifest
+
+        if isinstance(engine, ShardedGamma):
+            manifest = build_sharded_manifest(
+                engine, collector,
+                system=args.system, dataset=args.dataset, task=args.task,
+                config=getattr(engine, "config", None),
+            )
+        else:
+            manifest = obs.build_manifest(
+                platform, collector,
+                system=args.system, dataset=args.dataset, task=args.task,
+                config=getattr(engine, "config", None),
+            )
         obs.write_manifest(manifest, args.manifest_out)
         print(f"manifest written to {args.manifest_out}")
 

@@ -298,6 +298,20 @@ class Gamma:
         self._checkpoint()
         return result
 
+    def custom_op(self, kind: str, execute, capture=None, apply=None):
+        """Route an engine-extension step through the op journal.
+
+        Layers built on top of the engine (e.g. the sharded front-end's
+        exchange/barrier steps, :mod:`repro.shard`) must bill their charges
+        inside ops: during a resumed replay only op results are re-applied,
+        so any charge made between ops would be double-billed.  ``execute``
+        runs the step live; ``capture`` turns its result into a
+        checkpoint-serializable payload; ``apply`` rebuilds the result from
+        that payload during replay.  Semantics match the built-in ops
+        (see :meth:`run`).
+        """
+        return self._run_op(kind, execute, capture, apply)
+
     def _checkpoint(self) -> None:
         self._last_state = res_runner.capture_state(self)
         if self._ckpt_mgr is not None:

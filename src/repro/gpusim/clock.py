@@ -8,6 +8,7 @@ preparation), mirroring the per-component analysis in the paper's §VI.
 
 from __future__ import annotations
 
+import math
 import warnings
 from collections import defaultdict
 from typing import Callable, Dict, Iterator, List
@@ -22,6 +23,10 @@ PAGE_FAULT = "page_fault"
 KERNEL_LAUNCH = "kernel_launch"
 HOST_PREP = "host_prep"
 CPU_COMPUTE = "cpu_compute"
+#: Inter-GPU peer traffic (sharded execution; repro.gpusim.interconnect).
+INTERCONNECT = "interconnect"
+#: Barrier idle time a shard spends waiting for slower peers.
+SHARD_SYNC = "shard_sync"
 
 ALL_CATEGORIES = (
     COMPUTE,
@@ -33,6 +38,8 @@ ALL_CATEGORIES = (
     KERNEL_LAUNCH,
     HOST_PREP,
     CPU_COMPUTE,
+    INTERCONNECT,
+    SHARD_SYNC,
 )
 
 
@@ -99,8 +106,15 @@ class SimClock:
 
     @property
     def total(self) -> float:
-        """Total simulated seconds across all categories."""
-        return sum(self._buckets.values())
+        """Total simulated seconds across all categories.
+
+        Exactly-rounded (``math.fsum``), so the result does not depend on
+        bucket insertion order: a clock restored from a checkpoint and one
+        that accrued the same buckets live report bit-identical totals —
+        sharded barriers compute waits from this value, and residual-ulp
+        drift there would break resume bit-parity.
+        """
+        return math.fsum(self._buckets.values())
 
     def time_in(self, category: str) -> float:
         """Simulated seconds charged to ``category`` so far."""

@@ -1,0 +1,105 @@
+"""Inter-GPU exchange cost model for sharded execution.
+
+The reproduction scales out by running one simulated :class:`GpuPlatform`
+per shard (see :mod:`repro.shard`).  When shards exchange data — embedding
+set keys for cross-shard deduplication, pattern-table entries for
+aggregation merge — the traffic is charged through an :class:`Interconnect`
+bound to each platform, using the :class:`~repro.gpusim.spec.InterconnectSpec`
+link model:
+
+* ``nvlink`` — direct peer-to-peer copies at link bandwidth plus a fixed
+  per-message latency, charged to the :data:`~repro.gpusim.clock.INTERCONNECT`
+  bucket (G²Miner-style multi-GPU systems assume this path);
+* ``pcie`` — no peer path: the sender stages through host memory (a D2H
+  writeback on its own PCIe bus), the receiver pulls the staged bytes back
+  up (H2D explicit copy), each side paying one staging latency per message.
+
+Every charge lands on exactly *one* platform's clock/counters — the side
+doing the work — so the per-shard op journals used by checkpoint/resume
+stay self-contained (see ``docs/SHARDING.md``).
+"""
+
+from __future__ import annotations
+
+from . import clock as clk
+from .spec import NVLINK, PCIE_STAGED, DEFAULT_INTERCONNECT, InterconnectSpec
+
+#: Counter: bytes moved over the inter-GPU fabric (both directions).
+BYTES_P2P = "bytes_p2p"
+#: Counter: inter-GPU messages (one per peer per exchange step).
+P2P_MESSAGES = "p2p_messages"
+
+
+class Interconnect:
+    """Charges inter-GPU traffic to one platform's clock and counters."""
+
+    def __init__(self, platform, spec: InterconnectSpec | None = None) -> None:
+        self.platform = platform
+        self.spec = spec if spec is not None else DEFAULT_INTERCONNECT
+
+    # -- primitive transfers -------------------------------------------------
+    def send(self, nbytes: int, messages: int = 1) -> None:
+        """Charge pushing ``nbytes`` to peers in ``messages`` messages."""
+        self._charge(nbytes, messages, to_device=False)
+
+    def recv(self, nbytes: int, messages: int = 1) -> None:
+        """Charge pulling ``nbytes`` from peers in ``messages`` messages."""
+        self._charge(nbytes, messages, to_device=True)
+
+    def _charge(self, nbytes: int, messages: int, to_device: bool) -> None:
+        if nbytes < 0 or messages < 0:
+            raise ValueError("nbytes/messages must be >= 0")
+        if nbytes == 0 and messages == 0:
+            return
+        platform = self.platform
+        platform.counters.add(BYTES_P2P, nbytes)
+        platform.counters.add(P2P_MESSAGES, messages)
+        if self.spec.kind == NVLINK:
+            seconds = nbytes / self.spec.bandwidth + messages * self.spec.latency
+            platform.clock.advance(clk.INTERCONNECT, seconds)
+            return
+        # PCIe staging: the transfer rides this platform's own host link.
+        if self.spec.kind != PCIE_STAGED:  # pragma: no cover - spec validates
+            raise ValueError(f"unknown interconnect kind {self.spec.kind!r}")
+        if to_device:
+            platform.pcie.explicit_copy(nbytes, to_device=True)
+        else:
+            platform.pcie.writeback(nbytes)
+        platform.clock.advance(
+            clk.INTERCONNECT, messages * self.spec.latency
+        )
+
+    # -- collectives ---------------------------------------------------------
+    def allgather(self, nbytes_local: int, nbytes_remote: int,
+                  peers: int) -> None:
+        """Charge this shard's side of an all-gather.
+
+        The shard sends its ``nbytes_local`` payload to each of ``peers``
+        peers and receives ``nbytes_remote`` total from them.  With zero
+        peers (single-shard runs) nothing is charged.
+        """
+        if peers <= 0:
+            return
+        self.send(nbytes_local * peers, messages=peers)
+        self.recv(nbytes_remote, messages=peers)
+
+
+def barrier(platforms) -> list[float]:
+    """BSP barrier: advance every lagging platform to the slowest clock.
+
+    Returns the per-platform idle seconds charged (to the
+    :data:`~repro.gpusim.clock.SHARD_SYNC` bucket).  With one platform the
+    barrier is free, keeping single-shard runs bit-identical to unsharded
+    execution.
+    """
+    platforms = list(platforms)
+    if len(platforms) <= 1:
+        return [0.0] * len(platforms)
+    target = max(p.clock.total for p in platforms)
+    waits = []
+    for p in platforms:
+        wait = target - p.clock.total
+        if wait > 0:
+            p.clock.advance(clk.SHARD_SYNC, wait)
+        waits.append(max(0.0, wait))
+    return waits

@@ -118,6 +118,40 @@ class CostModel:
         return self.cpu_ops_per_thread * max(1, threads)
 
 
+#: Interconnect kinds for multi-GPU exchange (repro.shard).
+NVLINK = "nvlink"
+PCIE_STAGED = "pcie"
+INTERCONNECT_KINDS = (NVLINK, PCIE_STAGED)
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Inter-GPU link model for sharded execution (repro.shard).
+
+    ``nvlink`` transfers peer-to-peer at ``bandwidth`` with a fixed
+    per-message ``latency``; ``pcie`` has no peer path, so every exchange
+    stages through host memory (a D2H hop on the sender plus an H2D hop on
+    the receiver over each platform's own PCIe bus) with one staging
+    ``latency`` per message on each side.
+    """
+
+    kind: str = NVLINK
+    #: Per-direction peer-to-peer bandwidth (V100 NVLink2: ~25 GB/s/link).
+    bandwidth: float = 25e9
+    #: Fixed per-message latency share after overlap across warps.
+    latency: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.kind not in INTERCONNECT_KINDS:
+            raise ValueError(
+                f"interconnect kind must be one of {INTERCONNECT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.bandwidth <= 0 or self.latency < 0:
+            raise ValueError("interconnect bandwidth/latency out of range")
+
+
 #: Default spec/cost-model instances shared by the convenience constructors.
 DEFAULT_SPEC = DeviceSpec()
 DEFAULT_COST = CostModel()
+DEFAULT_INTERCONNECT = InterconnectSpec()

@@ -1,0 +1,33 @@
+"""Multi-GPU sharded execution for the GAMMA reproduction.
+
+Partitions the level-0 extension frontier across N simulated GPUs (one
+:class:`~repro.gpusim.platform.GpuPlatform` per shard), runs the
+three-phase pipeline per shard in BSP lockstep, and reconciles
+cross-shard state (duplicate embeddings, pattern supports) over a
+modelled interconnect.  See ``docs/SHARDING.md``.
+"""
+
+from .engine import ShardedCodes, ShardedGamma, make_sharded
+from .manifest import build_sharded_manifest, canonical_manifest_bytes
+from .policy import (
+    DEGREE,
+    SHARD_POLICIES,
+    STATIC,
+    STEALING,
+    assign_units,
+)
+from .table import ShardedTable
+
+__all__ = [
+    "ShardedCodes",
+    "ShardedGamma",
+    "ShardedTable",
+    "make_sharded",
+    "build_sharded_manifest",
+    "canonical_manifest_bytes",
+    "assign_units",
+    "SHARD_POLICIES",
+    "STATIC",
+    "DEGREE",
+    "STEALING",
+]

@@ -1,0 +1,594 @@
+"""Multi-GPU sharded execution: ``ShardedGamma``.
+
+One :class:`~repro.core.framework.Gamma` engine per simulated GPU — each
+with its own clock, page buffers, memory pool and access planners — driven
+in lockstep through the same Fig. 3 interface the single-GPU engine
+exposes, so every algorithm driver in :mod:`repro.algorithms` runs
+unmodified on N shards.
+
+Execution model (BSP, per user-visible op):
+
+1. the level-0 frontier is partitioned across shards by a
+   :mod:`repro.shard.policy` (each shard seeds the full frontier and
+   filters down to its owned units);
+2. every op fans out to all shards in shard order;
+3. a barrier closes the op: lagging shards charge their idle wait to the
+   ``shard_sync`` clock bucket, so each shard's clock equals the makespan
+   and per-shard utilization falls out of the buckets;
+4. cross-shard reconciliation (duplicate embeddings discovered from seeds
+   in different shards, per-shard pattern supports) exchanges data over
+   the :class:`~repro.gpusim.interconnect.Interconnect` model — NVLink
+   peer copies or PCIe staged through host, per the
+   :class:`~repro.gpusim.spec.InterconnectSpec`.
+
+Every charge (exchange, merge kernels, barrier waits) is routed through a
+shard's op journal via :meth:`Gamma.custom_op`, so per-shard
+checkpoint/resume (``run(checkpoint_dir=..., resume=True)``) composes with
+sharding exactly as it does on one GPU.
+
+Single-shard runs are bit-identical to unsharded ``Gamma`` execution:
+ownership filters, exchanges and barriers all vanish at N=1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.embedding_table import EmbeddingTable
+from ..core.extension import ExtensionStats
+from ..core.framework import Gamma, GammaConfig
+from ..core.aggregation import INSTANCES, embedding_set_keys
+from ..core.pattern_table import PatternTable
+from ..errors import (
+    DeviceOutOfMemory,
+    ExecutionError,
+    HostOutOfMemory,
+    SpillIOError,
+)
+from ..graph.csr import CSRGraph
+from ..gpusim import clock as clk
+from ..gpusim.interconnect import Interconnect
+from ..gpusim.spec import InterconnectSpec
+from ..resilience import runner as res_runner
+from ..resilience.faults import BACKOFF_CATEGORY
+from . import policy as shard_policy
+from .table import ShardedTable
+
+#: Bytes per exchanged embedding cell (int64 vertex/edge id).
+_KEY_CELL_BYTES = 8
+#: Bytes per exchanged pattern-table entry (int64 code + int64 support).
+_PATTERN_BYTES = 16
+
+
+def _host_rows(part: EmbeddingTable) -> np.ndarray:
+    """Uncharged host-side view of a shard table's full embeddings.
+
+    Orchestration (computing ownership/duplicate masks) reads the
+    host-resident table directly, like the algorithm drivers do; the
+    device-visible traffic it stands in for is billed explicitly by the
+    exchange ops.
+    """
+    depth = part.depth
+    n = part.num_embeddings
+    out = np.empty((n, depth), dtype=np.int64)
+    current = np.arange(n, dtype=np.int64)
+    for level in range(depth - 1, -1, -1):
+        out[:, level] = part.column_values(level)[current]
+        current = part.column_parents(level)[current]
+    return out
+
+
+class ShardedGamma:
+    """The GAMMA framework across N simulated GPUs (drop-in ``Gamma``)."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: GammaConfig | None = None,
+        num_shards: int = 2,
+        policy: str = shard_policy.STATIC,
+        interconnect: InterconnectSpec | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ExecutionError("num_shards must be >= 1")
+        if policy not in shard_policy.SHARD_POLICIES:
+            raise ExecutionError(
+                f"shard policy must be one of {shard_policy.SHARD_POLICIES}, "
+                f"got {policy!r}"
+            )
+        self.graph = graph
+        self.config = config if config is not None else GammaConfig()
+        self.num_shards = num_shards
+        self.policy = policy
+        self.interconnect_spec = (
+            interconnect if interconnect is not None else InterconnectSpec()
+        )
+        #: One full engine (own platform/clock/pool/planners) per shard.
+        self.shards: List[Gamma] = [
+            Gamma(graph, self.config) for __ in range(num_shards)
+        ]
+        self.links: List[Interconnect] = [
+            Interconnect(shard.platform, self.interconnect_spec)
+            for shard in self.shards
+        ]
+        #: Level-0 unit ownership, computed lazily per unit kind.
+        self._assignments: dict = {}
+        self._closed = False
+        #: Shard index of the most recent fan-out step (degradation
+        #: policies in :meth:`run` target the shard that faulted).
+        self._active_shard = 0
+
+    # -- plumbing -----------------------------------------------------------
+    @property
+    def platform(self):
+        """Shard 0's platform (telemetry/trace attach point; per-shard
+        platforms are reachable via ``shards[i].platform``)."""
+        return self.shards[0].platform
+
+    @property
+    def _tel(self):
+        return self.shards[0].platform.telemetry
+
+    def _assignment(self, units: str) -> np.ndarray:
+        cached = self._assignments.get(units)
+        if cached is None:
+            cached = shard_policy.assign_units(
+                self.graph, self.num_shards, units, self.policy
+            )
+            self._assignments[units] = cached
+        return cached
+
+    def _each(self, fn) -> list:
+        """Run ``fn(shard_index)`` on every shard in shard order."""
+        results = []
+        tel = self._tel
+        for index in range(self.num_shards):
+            self._active_shard = index
+            if tel.active and self.num_shards > 1:
+                with tel.span(f"shard-{index}", kind="shard", shard=index):
+                    results.append(fn(index))
+            else:
+                results.append(fn(index))
+        return results
+
+    def _barrier(self) -> None:
+        """Close a BSP super-step: charge lagging shards' idle wait.
+
+        The wait is billed inside each shard's op journal, so a resumed
+        replay skips it along with the op that preceded it.
+        """
+        if self.num_shards <= 1:
+            return
+        target = max(shard.platform.clock.total for shard in self.shards)
+
+        def sync(index: int):
+            shard = self.shards[index]
+
+            def execute():
+                wait = target - shard.platform.clock.total
+                if wait > 0:
+                    shard.platform.clock.advance(clk.SHARD_SYNC, wait)
+                return None
+
+            return shard.custom_op("shard-sync", execute)
+
+        self._each(sync)
+
+    def _exchange(self, kind: str, payload_bytes: Sequence[int],
+                  merge_ops: float) -> None:
+        """Charge one all-gather + merge step on every shard's journal.
+
+        ``payload_bytes[i]`` is shard i's outgoing payload; each shard
+        additionally receives every peer's payload and runs a merge kernel
+        of ``merge_ops`` element-ops over the union.
+        """
+        if self.num_shards <= 1:
+            return
+        total = int(sum(payload_bytes))
+
+        def exchange(index: int):
+            shard = self.shards[index]
+            local = int(payload_bytes[index])
+
+            def execute():
+                self.links[index].allgather(
+                    local, total - local, peers=self.num_shards - 1
+                )
+                if merge_ops:
+                    shard.platform.kernel.launch(
+                        f"shard:{kind}", element_ops=merge_ops
+                    )
+                return None
+
+            return shard.custom_op(f"shard-exchange:{kind}", execute)
+
+        self._each(exchange)
+
+    # -- table construction --------------------------------------------------
+    def new_vertex_table(self, name: str = "v-ET") -> ShardedTable:
+        parts = self._each(
+            lambda i: self.shards[i].new_vertex_table(f"{name}@{i}")
+        )
+        table = ShardedTable("vertex", name, parts)
+        table.owner = self
+        return table
+
+    def new_edge_table(self, name: str = "e-ET") -> ShardedTable:
+        parts = self._each(
+            lambda i: self.shards[i].new_edge_table(f"{name}@{i}")
+        )
+        table = ShardedTable("edge", name, parts)
+        table.owner = self
+        return table
+
+    # -- seeding -------------------------------------------------------------
+    def _restrict_to_owned(self, table: ShardedTable, units: str) -> None:
+        """Drop non-owned level-0 units from each shard's freshly seeded
+        table.  At N=1 everything is owned and nothing happens, keeping
+        single-shard runs op-for-op identical to unsharded execution."""
+        if self.num_shards <= 1:
+            return
+        assignment = self._assignment(units)
+
+        def restrict(index: int):
+            part = table.parts[index]
+            values = part.column_values(0)
+            mask = assignment[values] == index
+            return self.shards[index].filtering(part, keep_mask=mask)
+
+        self._each(restrict)
+
+    def seed_vertices(self, table: ShardedTable, label: int | None = None):
+        self._each(
+            lambda i: self.shards[i].seed_vertices(table.parts[i], label)
+        )
+        self._restrict_to_owned(table, shard_policy.VERTEX_UNITS)
+        self._barrier()
+        return table
+
+    def seed_edges(self, table: ShardedTable):
+        self._each(lambda i: self.shards[i].seed_edges(table.parts[i]))
+        self._restrict_to_owned(table, shard_policy.EDGE_UNITS)
+        self._barrier()
+        return table
+
+    def _seed_explicit(self, table: ShardedTable, values: np.ndarray) -> None:
+        """Driver-supplied seed (binary-join SM): partition the given unit
+        ids by ownership.  Mirrors ``EmbeddingTable.seed`` — not journaled,
+        so drivers using it forgo checkpoint/resume (as on one GPU)."""
+        values = np.ascontiguousarray(values, dtype=np.int64)
+        units = (shard_policy.VERTEX_UNITS if table.kind == "vertex"
+                 else shard_policy.EDGE_UNITS)
+        assignment = self._assignment(units)
+        for index, part in enumerate(table.parts):
+            part.seed(values[assignment[values] == index])
+        self._barrier()
+
+    # -- extension -----------------------------------------------------------
+    def _merge_stats(self, stats: List[ExtensionStats]) -> ExtensionStats:
+        per_row = [s.per_row_counts for s in stats
+                   if s.per_row_counts is not None and len(s.per_row_counts)]
+        return ExtensionStats(
+            rows_in=sum(s.rows_in for s in stats),
+            rows_out=sum(s.rows_out for s in stats),
+            candidates=sum(s.candidates for s in stats),
+            groups=sum(s.groups for s in stats),
+            kernel_ops=sum(s.kernel_ops for s in stats),
+            list_reads=sum(s.list_reads for s in stats),
+            per_row_counts=(np.concatenate(per_row) if per_row
+                            else np.empty(0, dtype=np.int64)),
+        )
+
+    def vertex_extension(self, table: ShardedTable, anchor_cols,
+                         label: int | None = None,
+                         greater_than_col: int | None = None,
+                         greater_than_cols=(), less_than_cols=(),
+                         injective: bool = True) -> ExtensionStats:
+        stats = self._each(lambda i: self.shards[i].vertex_extension(
+            table.parts[i], anchor_cols, label=label,
+            greater_than_col=greater_than_col,
+            greater_than_cols=greater_than_cols,
+            less_than_cols=less_than_cols, injective=injective,
+        ))
+        self._barrier()
+        return self._merge_stats(stats)
+
+    def vertex_extension_any(self, table: ShardedTable, anchor_cols,
+                             label: int | None = None,
+                             greater_than_col: int | None = None,
+                             greater_than_cols=(), less_than_cols=(),
+                             injective: bool = True) -> ExtensionStats:
+        stats = self._each(lambda i: self.shards[i].vertex_extension_any(
+            table.parts[i], anchor_cols, label=label,
+            greater_than_col=greater_than_col,
+            greater_than_cols=greater_than_cols,
+            less_than_cols=less_than_cols, injective=injective,
+        ))
+        self._barrier()
+        return self._merge_stats(stats)
+
+    def edge_extension(self, table: ShardedTable) -> ExtensionStats:
+        stats = self._each(
+            lambda i: self.shards[i].edge_extension(table.parts[i])
+        )
+        self._barrier()
+        return self._merge_stats(stats)
+
+    # -- dedup (with cross-shard reconciliation) ------------------------------
+    def dedup(self, table: ShardedTable) -> int:
+        """Remove duplicate embeddings, including duplicates discovered by
+        different shards.
+
+        Per shard: local dedup (the existing sort+compact).  Then each
+        shard all-gathers its surviving set keys; every key is kept only on
+        the lowest-indexed shard holding it, and the losers are filtered
+        out.  The exchange ships ``rows x depth x 8`` bytes per shard and
+        merges with one sort-merge pass over the union.
+        """
+        removed = sum(self._each(
+            lambda i: self.shards[i].dedup(table.parts[i])
+        ))
+        if self.num_shards <= 1:
+            self._barrier()
+            return removed
+        self._barrier()
+
+        keys = [embedding_set_keys(_host_rows(part)) for part in table.parts]
+        counts = [len(k) for k in keys]
+        depth = table.depth
+        payload = [n * depth * _KEY_CELL_BYTES for n in counts]
+        total_rows = int(sum(counts))
+        merge_ops = total_rows * float(np.log2(max(2, total_rows)))
+        self._exchange("dedup", payload, merge_ops)
+
+        keep = np.zeros(total_rows, dtype=bool)
+        if total_rows:
+            # Empty shards yield zero-length key arrays whose void dtype
+            # may not promote with the others; drop them before stacking.
+            flat = np.concatenate([k for k in keys if len(k)])
+            __, first = np.unique(flat, return_index=True)
+            keep[first] = True
+        offsets = np.cumsum([0] + counts)
+
+        def reconcile(index: int):
+            mask = keep[offsets[index]:offsets[index + 1]]
+            return self.shards[index].filtering(
+                table.parts[index], keep_mask=mask
+            )
+
+        removed += sum(self._each(reconcile))
+        self._barrier()
+        return removed
+
+    # -- aggregation / filtering ----------------------------------------------
+    def aggregation(self, table: ShardedTable, pattern_table: PatternTable,
+                    support_metric: str = INSTANCES):
+        """Aggregate across shards: per-shard canonical grouping, then an
+        all-gather of per-shard pattern tables summed into the global one.
+
+        Returns per-shard code arrays (opaque to drivers; accepted back by
+        :meth:`filtering`).  ``support_metric='mni'`` is exact only on one
+        shard — distinct-vertex minima do not decompose over a sum — and
+        raises otherwise (see docs/SHARDING.md).
+        """
+        if self.num_shards == 1:
+            return self.shards[0].aggregation(
+                table.parts[0], pattern_table, support_metric
+            )
+        if support_metric != INSTANCES:
+            raise ExecutionError(
+                "sharded aggregation supports support_metric='instances' "
+                "only; MNI minima do not decompose across shards"
+            )
+        local_tables = [PatternTable() for __ in range(self.num_shards)]
+        codes = self._each(lambda i: self.shards[i].aggregation(
+            table.parts[i], local_tables[i], support_metric
+        ))
+        self._barrier()
+        payload = [len(pt) * _PATTERN_BYTES for pt in local_tables]
+        total_patterns = sum(len(pt) for pt in local_tables)
+        self._exchange("pattern-table", payload, float(total_patterns))
+        for local in local_tables:
+            if len(local):
+                pattern_table.merge(local.codes, local.supports)
+        self._barrier()
+        return ShardedCodes(codes)
+
+    def filtering(self, table: ShardedTable,
+                  keep_mask: np.ndarray | None = None,
+                  pattern_table: PatternTable | None = None,
+                  row_codes=None, constraint=None) -> int:
+        if self.num_shards == 1:
+            codes = (row_codes.parts[0]
+                     if isinstance(row_codes, ShardedCodes) else row_codes)
+            return self.shards[0].filtering(
+                table.parts[0], keep_mask=keep_mask,
+                pattern_table=pattern_table, row_codes=codes,
+                constraint=constraint,
+            )
+        if keep_mask is not None:
+            masks = table.split_rows(np.asarray(keep_mask, dtype=bool))
+            removed = sum(self._each(lambda i: self.shards[i].filtering(
+                table.parts[i], keep_mask=masks[i]
+            )))
+            self._barrier()
+            return removed
+        if pattern_table is None or row_codes is None or constraint is None:
+            raise ExecutionError(
+                "support filtering needs pattern_table, row_codes "
+                "and constraint"
+            )
+        if isinstance(row_codes, ShardedCodes):
+            per_shard = row_codes.parts
+        else:
+            per_shard = table.split_rows(np.asarray(row_codes, dtype=np.int64))
+        removed = sum(self._each(lambda i: self.shards[i].filtering(
+            table.parts[i], pattern_table=pattern_table,
+            row_codes=per_shard[i], constraint=constraint,
+        )))
+        self._barrier()
+        return removed
+
+    def output_results(self, table: ShardedTable | None = None,
+                       pattern_table: PatternTable | None = None):
+        if self.num_shards == 1:
+            return self.shards[0].output_results(
+                table.parts[0] if table is not None else None, pattern_table
+            )
+        outputs = []
+        if table is not None:
+            mats = self._each(
+                lambda i: self.shards[i].output_results(table.parts[i])
+            )
+            mats = [m for m in mats if m.size]
+            outputs.append(
+                np.concatenate(mats, axis=0) if mats
+                else np.empty((0, table.depth), dtype=np.int64)
+            )
+        if pattern_table is not None:
+            outputs.append(pattern_table.as_dict())
+        self._barrier()
+        if not outputs:
+            raise ExecutionError("nothing to output")
+        return outputs[0] if len(outputs) == 1 else tuple(outputs)
+
+    # -- resilience -----------------------------------------------------------
+    def enable_checkpointing(self, checkpoint_dir: str | None = None,
+                             resume: bool = False) -> bool:
+        """Arm per-shard journaled checkpointing (``<dir>/shard-<i>``)."""
+        loaded = []
+        for index, shard in enumerate(self.shards):
+            sub = (f"{checkpoint_dir}/shard-{index}"
+                   if checkpoint_dir is not None else None)
+            loaded.append(shard.enable_checkpointing(sub, resume=resume))
+        return all(loaded) and bool(loaded)
+
+    def run(self, task, *, checkpoint_dir: str | None = None,
+            resume: bool = False, policy=None, max_retries: int = 8,
+            backoff_seconds: float = 0.05):
+        """Sharded :meth:`Gamma.run`: checkpoint/resume per shard plus the
+        same degradation retry loop, applied to the shard that faulted."""
+        fn = task if callable(task) else task.run
+        if isinstance(policy, str):
+            from ..resilience import get_policy
+
+            policy = get_policy(policy)
+        self.enable_checkpointing(checkpoint_dir, resume=resume)
+        attempts = 0
+        while True:
+            try:
+                return fn(self)
+            except (DeviceOutOfMemory, HostOutOfMemory, SpillIOError) as exc:
+                attempts += 1
+                if policy is None or attempts > max_retries:
+                    raise
+                faulted = self.shards[self._active_shard]
+                for shard in self.shards:
+                    res_runner.rewind(shard)
+                action = policy.apply(faulted, exc, attempts)
+                if action is None:
+                    raise
+                backoff = backoff_seconds * (2 ** (attempts - 1))
+                for shard in self.shards:
+                    shard.platform.clock.advance(BACKOFF_CATEGORY, backoff)
+                event = {
+                    "type": "degradation",
+                    "policy": policy.name,
+                    "attempt": attempts,
+                    "error": type(exc).__name__,
+                    "shard": self._active_shard,
+                }
+                event.update(action)
+                faulted.platform.resilience_log.append(event)
+
+    # -- bookkeeping -----------------------------------------------------------
+    @property
+    def resilience_log(self) -> list:
+        merged = []
+        for index, shard in enumerate(self.shards):
+            for event in shard.platform.resilience_log:
+                tagged = dict(event)
+                tagged.setdefault("shard", index)
+                merged.append(tagged)
+        return merged
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Makespan: shards barrier after every op, so the slowest shard's
+        clock is the wall the workload observes."""
+        return max(shard.simulated_seconds for shard in self.shards)
+
+    @property
+    def peak_device_bytes(self) -> int:
+        return max(shard.peak_device_bytes for shard in self.shards)
+
+    @property
+    def peak_host_bytes(self) -> int:
+        return max(shard.peak_host_bytes for shard in self.shards)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Fig. 10's quantity on the bottleneck shard (per-GPU peak)."""
+        return max(shard.peak_memory_bytes for shard in self.shards)
+
+    @property
+    def total_peak_memory_bytes(self) -> int:
+        """Cluster-wide footprint (sum of per-shard peaks)."""
+        return sum(shard.peak_memory_bytes for shard in self.shards)
+
+    def shard_utilization(self) -> List[float]:
+        """Busy fraction per shard: 1 - (sync idle / shard clock)."""
+        out = []
+        for shard in self.shards:
+            total = shard.platform.clock.total
+            idle = shard.platform.clock.time_in(clk.SHARD_SYNC)
+            out.append(1.0 - idle / total if total > 0 else 1.0)
+        return out
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for shard in self.shards:
+            shard.close()
+        self._closed = True
+
+    def __enter__(self) -> "ShardedGamma":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ShardedCodes:
+    """Per-shard canonical code arrays returned by sharded aggregation.
+
+    Drivers treat aggregation's return value as opaque and hand it back to
+    ``filtering``; this wrapper keeps the per-shard split exact while
+    still looking like a flat sequence where drivers peek (``len``,
+    concatenation via :meth:`flat`).
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: List[np.ndarray]) -> None:
+        self.parts = [np.asarray(p, dtype=np.int64) for p in parts]
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.parts)
+
+    def flat(self) -> np.ndarray:
+        return (np.concatenate(self.parts) if self.parts
+                else np.empty(0, dtype=np.int64))
+
+
+def make_sharded(graph: CSRGraph, num_shards: int,
+                 policy: str = shard_policy.STATIC,
+                 config: GammaConfig | None = None,
+                 interconnect: InterconnectSpec | None = None) -> ShardedGamma:
+    """Convenience constructor mirroring the ``SYSTEMS`` factory shape."""
+    return ShardedGamma(
+        graph, config, num_shards=num_shards, policy=policy,
+        interconnect=interconnect,
+    )

@@ -1,0 +1,136 @@
+"""Merged run manifests for sharded execution.
+
+A sharded run has N platforms, each with its own clock buckets and
+counters.  :func:`build_sharded_manifest` builds the usual per-platform
+manifest for every shard (via :func:`repro.obs.manifest.build_manifest`)
+and wraps them in one merged document:
+
+* ``counters`` — element-wise sums across shards (total simulated work);
+* ``clock_buckets`` — element-wise *max* is wrong for busy-time semantics,
+  so the merged view keeps the makespan (``simulated_seconds`` = slowest
+  shard) and reports summed bucket seconds separately as
+  ``clock_buckets_total`` (aggregate GPU-seconds per category);
+* ``shards`` — the full per-shard manifests, each tagged with its index
+  and utilization (1 − sync idle / shard clock);
+* the sharding configuration (shard count, policy, interconnect model).
+
+:func:`canonical_manifest_bytes` strips the volatile fields
+(``created_utc``, ``wall_seconds``, ``git_rev``) and serialises with
+sorted keys, giving the byte string two identical sharded runs must agree
+on — the determinism tests compare exactly these bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..obs.manifest import build_manifest
+from ..gpusim import clock as clk
+
+#: Fields that vary run-to-run without the simulation differing.
+VOLATILE_FIELDS = ("created_utc", "wall_seconds", "git_rev")
+
+SHARD_SCHEMA = "gamma-shard-manifest/v1"
+
+
+def _strip_volatile(doc: Any) -> Any:
+    if isinstance(doc, dict):
+        return {
+            key: _strip_volatile(value)
+            for key, value in doc.items()
+            if key not in VOLATILE_FIELDS
+        }
+    if isinstance(doc, list):
+        return [_strip_volatile(item) for item in doc]
+    return doc
+
+
+def build_sharded_manifest(
+    engine,
+    collector: Any = None,
+    *,
+    system: str | None = None,
+    dataset: str | None = None,
+    task: str | None = None,
+    config: Any = None,
+    wall_seconds: float | None = None,
+    extra: Dict[str, Any] | None = None,
+) -> Dict[str, Any]:
+    """Merged manifest for a :class:`~repro.shard.engine.ShardedGamma` run.
+
+    ``collector`` (bound to shard 0's platform) only contributes spans to
+    shard 0's sub-manifest, mirroring how telemetry attaches.
+    """
+    utilizations = engine.shard_utilization()
+    shard_docs = []
+    for index, shard in enumerate(engine.shards):
+        doc = build_manifest(
+            shard.platform,
+            collector if index == 0 else None,
+            system=system,
+            dataset=dataset,
+            task=task,
+            config=config if index == 0 else None,
+            wall_seconds=None,
+        )
+        doc["shard"] = index
+        doc["utilization"] = utilizations[index]
+        shard_docs.append(doc)
+
+    counters: Dict[str, int] = {}
+    buckets_total: Dict[str, float] = {}
+    for doc in shard_docs:
+        for key, value in doc.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + value
+        for key, value in doc.get("clock_buckets", {}).items():
+            buckets_total[key] = buckets_total.get(key, 0.0) + value
+
+    merged: Dict[str, Any] = {
+        "schema": SHARD_SCHEMA,
+        "system": system,
+        "dataset": dataset,
+        "task": task,
+        "num_shards": engine.num_shards,
+        "shard_policy": engine.policy,
+        "interconnect": {
+            "kind": engine.interconnect_spec.kind,
+            "bandwidth": engine.interconnect_spec.bandwidth,
+            "latency": engine.interconnect_spec.latency,
+        },
+        "simulated_seconds": engine.simulated_seconds,
+        "sync_seconds": [
+            shard.platform.clock.time_in(clk.SHARD_SYNC)
+            for shard in engine.shards
+        ],
+        "utilization": utilizations,
+        "peak_device_bytes": engine.peak_device_bytes,
+        "peak_host_bytes": engine.peak_host_bytes,
+        "total_peak_memory_bytes": engine.total_peak_memory_bytes,
+        "counters": counters,
+        "clock_buckets_total": buckets_total,
+        "shards": shard_docs,
+    }
+    # Carry volatile provenance at the top level only, so canonical bytes
+    # (which strip these) cover every shard completely.
+    first = shard_docs[0]
+    for field in VOLATILE_FIELDS:
+        if field in first:
+            merged[field] = first[field]
+    if wall_seconds is not None:
+        merged["wall_seconds"] = wall_seconds
+    if extra:
+        merged["extra"] = extra
+    return merged
+
+
+def canonical_manifest_bytes(manifest: Dict[str, Any]) -> bytes:
+    """Deterministic serialisation: volatile fields removed, keys sorted.
+
+    Two runs of the same sharded workload must produce identical bytes —
+    the simulator never reads the wall clock, so everything left is a pure
+    function of (graph, config, shard count, policy).
+    """
+    return json.dumps(
+        _strip_volatile(manifest), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")

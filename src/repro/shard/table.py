@@ -1,0 +1,138 @@
+"""A driver-facing view over one embedding table per shard.
+
+Algorithm drivers (``repro.algorithms``) are engine-agnostic: they talk to
+whatever object ``new_vertex_table``/``new_edge_table`` returns.  In
+sharded execution that object is a :class:`ShardedTable` — a thin proxy
+holding one :class:`~repro.core.embedding_table.EmbeddingTable` per shard
+and presenting the *global* view drivers expect:
+
+* scalar shape (``num_embeddings``, ``depth``, ``nbytes``) sums shards;
+* column reads concatenate shards in shard order, with parent pointers
+  rebased onto the concatenated previous column;
+* ``materialize`` stacks per-shard matrices in shard order.
+
+The global row order is therefore *shard-major*: all of shard 0's rows,
+then shard 1's, and so on.  Everything that maps global masks or codes
+back onto shards (``ShardedGamma.filtering``) relies on that ordering.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.embedding_table import EmbeddingTable
+from ..errors import ExecutionError
+
+
+class ShardedTable:
+    """Global view over per-shard embedding tables (shard-major rows)."""
+
+    def __init__(self, kind: str, name: str, parts: List[EmbeddingTable]) -> None:
+        if not parts:
+            raise ExecutionError("a sharded table needs at least one shard")
+        self.kind = kind
+        self.name = name
+        self.parts = list(parts)
+
+    # -- shape ---------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.parts)
+
+    @property
+    def depth(self) -> int:
+        return self.parts[0].depth
+
+    @property
+    def num_embeddings(self) -> int:
+        return sum(part.num_embeddings for part in self.parts)
+
+    @property
+    def total_cells(self) -> int:
+        return sum(part.total_cells for part in self.parts)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(part.nbytes for part in self.parts)
+
+    def shard_row_counts(self, level: int | None = None) -> np.ndarray:
+        """Rows per shard at ``level`` (default: the last column)."""
+        if level is None:
+            return np.array(
+                [part.num_embeddings for part in self.parts], dtype=np.int64
+            )
+        return np.array(
+            [len(part.columns[level]) for part in self.parts], dtype=np.int64
+        )
+
+    def split_rows(self, values: np.ndarray) -> List[np.ndarray]:
+        """Split a global per-row array back into per-shard pieces
+        (shard-major order)."""
+        values = np.asarray(values)
+        counts = self.shard_row_counts()
+        if len(values) != int(counts.sum()):
+            raise ExecutionError(
+                f"global row array has {len(values)} entries, table has "
+                f"{int(counts.sum())} rows"
+            )
+        return np.split(values, np.cumsum(counts)[:-1])
+
+    # -- reads ---------------------------------------------------------------
+    def column_values(self, level: int) -> np.ndarray:
+        """Concatenated ids of one level (shard-major)."""
+        return np.concatenate(
+            [part.column_values(level) for part in self.parts]
+        ) if self.parts else np.empty(0, dtype=np.int64)
+
+    def column_parents(self, level: int) -> np.ndarray:
+        """Concatenated parent pointers of one level, rebased to index the
+        concatenated previous column."""
+        pieces = []
+        offset = 0
+        for part in self.parts:
+            parents = part.column_parents(level)
+            if level > 0:
+                pieces.append(np.where(parents >= 0, parents + offset, parents))
+                offset += len(part.columns[level - 1])
+            else:
+                pieces.append(parents)
+        return (np.concatenate(pieces)
+                if pieces else np.empty(0, dtype=np.int64))
+
+    def materialize(self, rows: np.ndarray | None = None) -> np.ndarray:
+        """Full embeddings as an ``(n, depth)`` matrix (shard-major rows)."""
+        if rows is not None:
+            raise ExecutionError(
+                "row-subset materialize is not supported on sharded tables"
+            )
+        mats = [part.materialize() for part in self.parts]
+        mats = [m for m in mats if m.size]
+        if not mats:
+            return np.empty((0, self.depth), dtype=np.int64)
+        return np.concatenate(mats, axis=0)
+
+    # -- seeding -------------------------------------------------------------
+    def seed(self, values: np.ndarray) -> None:
+        """Driver-supplied explicit seed, partitioned by unit ownership.
+
+        Rows land in shard-major order (a stable partition of ``values``),
+        so drivers keeping host-side per-row state must re-align it to
+        ``column_values(0)`` after seeding (see ``match_pattern_binary``).
+        """
+        owner = getattr(self, "owner", None)
+        if owner is None:
+            raise ExecutionError(
+                "sharded tables can only be seeded through their engine"
+            )
+        owner._seed_explicit(self, values)
+
+    # -- lifecycle -----------------------------------------------------------
+    def release(self) -> None:
+        for part in self.parts:
+            part.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = ",".join(str(part.num_embeddings) for part in self.parts)
+        return f"ShardedTable({self.name!r}, {self.kind}, rows=[{sizes}])"

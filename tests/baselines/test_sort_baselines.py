@@ -1,0 +1,88 @@
+"""The benchmark-facing sorting comparators (Fig. 19 / Table III).
+
+These are thin named wrappers over :func:`repro.core.sort.out_of_core_sort`;
+the tests pin that each wrapper sorts correctly, charges the simulated
+clock, and that the cost ordering the figures rely on (multi-merge beats
+naive beats nothing, CPU sort loses badly) holds on a small input.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sort_baselines import (
+    cpu_sort,
+    naive_multi_merge_sort,
+    xtr2sort,
+)
+from repro.core.sort import MULTI_MERGE, out_of_core_sort
+from repro.gpusim import make_platform
+
+
+@pytest.fixture
+def keys():
+    rng = np.random.default_rng(19)
+    return rng.integers(-(1 << 62), 1 << 62, 50_000)
+
+
+class TestWrappersSortCorrectly:
+    def test_naive_multi_merge(self, keys):
+        platform = make_platform()
+        out = naive_multi_merge_sort(platform, keys, segment_len=8_192)
+        np.testing.assert_array_equal(out, np.sort(keys))
+        assert platform.clock.total > 0
+
+    def test_naive_multi_merge_p_size_passthrough(self, keys):
+        base = make_platform()
+        naive_multi_merge_sort(base, keys, segment_len=8_192)
+        small = make_platform()
+        naive_multi_merge_sort(small, keys, segment_len=8_192,
+                               p_size=1 << 10)
+        # A smaller merge window means more merge rounds: the p_size
+        # kwarg must actually reach the sorter.
+        assert small.clock.total != base.clock.total
+
+    def test_xtr2sort(self, keys):
+        platform = make_platform()
+        out = xtr2sort(platform, keys, segment_len=8_192)
+        np.testing.assert_array_equal(out, np.sort(keys))
+        assert platform.clock.total > 0
+
+    def test_cpu_sort(self, keys):
+        platform = make_platform()
+        out = cpu_sort(platform, keys)
+        np.testing.assert_array_equal(out, np.sort(keys))
+        assert platform.clock.total > 0
+
+    def test_default_segment_lengths(self, keys):
+        # Every wrapper must run without an explicit segment length.
+        for sorter in (naive_multi_merge_sort, xtr2sort):
+            platform = make_platform()
+            np.testing.assert_array_equal(
+                sorter(platform, keys), np.sort(keys))
+
+
+class TestCostOrdering:
+    def test_figure19_ordering_holds(self, keys):
+        times = {}
+        for name, sorter in (
+            ("naive", naive_multi_merge_sort),
+            ("xtr2sort", xtr2sort),
+            ("cpu", cpu_sort),
+        ):
+            platform = make_platform()
+            if name == "cpu":
+                sorter(platform, keys)
+            else:
+                sorter(platform, keys, segment_len=8_192)
+            times[name] = platform.clock.total
+
+        platform = make_platform()
+        out_of_core_sort(platform, keys, method=MULTI_MERGE,
+                         segment_len=8_192)
+        times["multi_merge"] = platform.clock.total
+
+        # Fig. 19: the optimized multi-merge beats both baselines.
+        assert times["multi_merge"] < times["naive"]
+        assert times["multi_merge"] < times["xtr2sort"]
+        # Table III: single-threaded CPU sorting loses by a wide margin.
+        assert times["cpu"] > 3 * times["multi_merge"]

@@ -6,12 +6,15 @@ import pytest
 from repro.bench.figures import (
     ALL_FIGURES,
     fig05_temporal_locality,
+    fig12_kcl,
     fig15_density,
     fig16_warps,
+    fig18_kcl_optimizations,
     fig19_multimerge,
     table2_datasets,
     table3_cpu_sort,
 )
+from repro.bench.workloads import KCL_DATASETS
 from repro.graph import datasets
 
 
@@ -65,6 +68,42 @@ class TestLightFigures:
         text = report.render()
         assert "Table II" in text
         assert "[OK" in text
+
+
+class TestComparisonFigures:
+    """The cheaper cross-system drivers (the rest run under
+    ``pytest benchmarks/``)."""
+
+    def test_fig12_kcl_grid(self):
+        report = fig12_kcl()
+        assert report.figure == "Fig. 12"
+        assert len(report.results) == 4 * len(KCL_DATASETS)
+        # Every (system, dataset) cell lands in the rendered grid.
+        for system in ("GAMMA", "Pangolin-GPU", "Pangolin-ST", "Peregrine"):
+            assert system in report.table
+        # The crash check is informational ([?]); nothing may diverge.
+        assert "[DIVERGES" not in report.render()
+
+    def test_fig18_ablation_ordering(self):
+        report = fig18_kcl_optimizations()
+        assert report.figure == "Fig. 18"
+        # 2 datasets x 3 ablation variants.
+        assert len(report.results) == 6
+        assert all(c.startswith("[OK") for c in report.checks)
+        by = {}
+        for r in report.results:
+            by.setdefault(r.dataset, {})[r.system] = r.simulated_seconds
+        for cell in by.values():
+            assert cell["dynamic+pre-merge"] <= cell["dynamic-alloc"]
+            assert cell["dynamic-alloc"] < cell["naive"]
+
+    def test_render_includes_grid_and_checks(self):
+        report = fig12_kcl()
+        text = report.render()
+        assert text.startswith("== Fig. 12")
+        assert "GAMMA" in text
+        for check in report.checks:
+            assert check in text
 
 
 class TestReportsArchive:

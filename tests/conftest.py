@@ -1,10 +1,43 @@
-"""Shared fixtures: small deterministic graphs with known properties."""
+"""Shared fixtures: small deterministic graphs with known properties.
+
+Also hardens the suite against hidden ordering/RNG coupling:
+
+* an autouse fixture reseeds NumPy's *legacy* global RNG before every
+  test, so a test that forgets to construct a seeded ``default_rng``
+  cannot leak entropy into (or absorb entropy from) its neighbours;
+* setting ``REPRO_TEST_SHUFFLE=<seed>`` deterministically shuffles the
+  collection order — CI runs a shuffled leg to flush out tests that only
+  pass because of the order they happen to run in.
+"""
+
+import os
+import random
 
 import numpy as np
 import pytest
 
 from repro.graph import from_edge_list
 from repro.gpusim import make_platform
+
+
+@pytest.fixture(autouse=True)
+def _reseed_global_rng():
+    """Pin the legacy global RNGs per test (isolation, not randomness)."""
+    np.random.seed(0xC0FFEE % (2**32))
+    random.seed(0xC0FFEE)
+    yield
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = os.environ.get("REPRO_TEST_SHUFFLE", "")
+    if not seed:
+        return
+    rng = random.Random(seed)
+    rng.shuffle(items)
+    config.pluginmanager.get_plugin("terminalreporter").write_line(
+        f"REPRO_TEST_SHUFFLE={seed}: running {len(items)} tests in "
+        f"shuffled order"
+    )
 
 
 @pytest.fixture

@@ -58,8 +58,12 @@ _states = st.dictionaries(st.text(max_size=8), _values, max_size=5)
 
 def _equal(a, b) -> bool:
     if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
-        return (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
-                and a.dtype == b.dtype and np.array_equal(a, b))
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+                and a.dtype == b.dtype):
+            return False
+        # NaNs round-trip bit-exactly but compare unequal to themselves.
+        equal_nan = a.dtype.kind == "f"
+        return np.array_equal(a, b, equal_nan=equal_nan)
     if isinstance(a, dict) and isinstance(b, dict):
         return (a.keys() == b.keys()
                 and all(_equal(a[k], b[k]) for k in a))

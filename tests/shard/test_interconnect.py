@@ -1,0 +1,98 @@
+"""Unit tests for the inter-GPU exchange cost model."""
+
+import pytest
+
+from repro.gpusim import clock as clk
+from repro.gpusim import make_platform
+from repro.gpusim.interconnect import (
+    BYTES_P2P,
+    P2P_MESSAGES,
+    Interconnect,
+    barrier,
+)
+from repro.gpusim.spec import InterconnectSpec
+
+
+def test_spec_validates():
+    with pytest.raises(ValueError):
+        InterconnectSpec(kind="infiniband")
+    with pytest.raises(ValueError):
+        InterconnectSpec(bandwidth=0)
+    with pytest.raises(ValueError):
+        InterconnectSpec(latency=-1e-6)
+
+
+def test_nvlink_charges_interconnect_bucket():
+    platform = make_platform()
+    link = Interconnect(
+        platform, InterconnectSpec(kind="nvlink", bandwidth=10e9,
+                                   latency=1e-6)
+    )
+    link.send(10_000_000, messages=2)
+    assert platform.clock.time_in(clk.INTERCONNECT) == pytest.approx(
+        10_000_000 / 10e9 + 2 * 1e-6
+    )
+    assert platform.counters.get(BYTES_P2P) == 10_000_000
+    assert platform.counters.get(P2P_MESSAGES) == 2
+    # NVLink is a peer path: no host-link traffic.
+    assert platform.clock.time_in(clk.PCIE_EXPLICIT) == 0.0
+
+
+def test_pcie_stages_through_host():
+    platform = make_platform()
+    link = Interconnect(platform, InterconnectSpec(kind="pcie"))
+    before_d2h = platform.counters.get("bytes_d2h")
+    link.send(1_000_000)
+    assert platform.counters.get("bytes_d2h") - before_d2h == 1_000_000
+    before_h2d = platform.counters.get("bytes_h2d")
+    link.recv(2_000_000)
+    assert platform.counters.get("bytes_h2d") - before_h2d == 2_000_000
+    # Staging latency still lands on the interconnect bucket.
+    assert platform.clock.time_in(clk.INTERCONNECT) > 0
+
+
+def test_pcie_slower_than_nvlink_at_equal_latency():
+    def run(kind):
+        platform = make_platform()
+        spec = InterconnectSpec(kind=kind, bandwidth=25e9, latency=5e-6)
+        Interconnect(platform, spec).allgather(1 << 20, 3 << 20, peers=3)
+        return platform.clock.total
+
+    assert run("pcie") > run("nvlink")
+
+
+def test_allgather_is_free_without_peers():
+    platform = make_platform()
+    Interconnect(platform).allgather(1 << 20, 0, peers=0)
+    assert platform.clock.total == 0.0
+    assert platform.counters.get(BYTES_P2P) == 0
+
+
+def test_zero_transfer_charges_nothing():
+    platform = make_platform()
+    Interconnect(platform).send(0, messages=0)
+    assert platform.clock.total == 0.0
+
+
+def test_negative_transfer_rejected():
+    platform = make_platform()
+    with pytest.raises(ValueError):
+        Interconnect(platform).send(-1)
+
+
+def test_barrier_advances_laggards_to_makespan():
+    fast, slow = make_platform(), make_platform()
+    slow.clock.advance(clk.COMPUTE, 2.0)
+    fast.clock.advance(clk.COMPUTE, 0.5)
+    waits = barrier([fast, slow])
+    assert waits == [pytest.approx(1.5), 0.0]
+    assert fast.clock.total == pytest.approx(slow.clock.total)
+    assert fast.clock.time_in(clk.SHARD_SYNC) == pytest.approx(1.5)
+    assert slow.clock.time_in(clk.SHARD_SYNC) == 0.0
+
+
+def test_barrier_is_free_for_one_platform():
+    platform = make_platform()
+    platform.clock.advance(clk.COMPUTE, 1.0)
+    assert barrier([platform]) == [0.0]
+    assert platform.clock.time_in(clk.SHARD_SYNC) == 0.0

@@ -1,0 +1,77 @@
+"""Checkpoint/resume and MNI guard-rails for sharded runs."""
+
+import pytest
+
+from repro.algorithms import count_kcliques, frequent_pattern_mining
+from repro.errors import ExecutionError, GammaError
+from repro.graph import generators
+from repro.resilience import FaultPlan, FaultSpec
+from repro.shard import ShardedGamma
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.erdos_renyi(36, 120, seed=23, labels=3)
+
+
+def _task(engine):
+    return count_kcliques(engine, 4)
+
+
+def test_crash_then_resume_matches_clean_run(graph, tmp_path):
+    ckpt = tmp_path / "ck"
+
+    crashed = ShardedGamma(graph, num_shards=2)
+    crashed.shards[1].platform.install_fault_plan(FaultPlan(
+        name="kill",
+        specs=(FaultSpec(kind="device_oom", at="*/level:2"),),
+    ))
+    with pytest.raises(GammaError):
+        crashed.run(_task, checkpoint_dir=str(ckpt))
+    crashed.close()
+    # One checkpoint per shard.
+    assert (ckpt / "shard-0" / "checkpoint.bin").exists()
+    assert (ckpt / "shard-1" / "checkpoint.bin").exists()
+
+    resumed = ShardedGamma(graph, num_shards=2)
+    result = resumed.run(_task, checkpoint_dir=str(ckpt), resume=True)
+
+    clean = ShardedGamma(graph, num_shards=2)
+    reference = _task(clean)
+    assert result.cliques == reference.cliques
+    for i in range(2):
+        resumed_platform = resumed.shards[i].platform
+        clean_platform = clean.shards[i].platform
+        assert (resumed_platform.counters.snapshot()
+                == clean_platform.counters.snapshot())
+        assert (resumed_platform.clock.snapshot()
+                == clean_platform.clock.snapshot())
+
+
+def test_degradation_policy_targets_faulting_shard(graph):
+    engine = ShardedGamma(graph, num_shards=2)
+    engine.shards[1].platform.install_fault_plan(FaultPlan(
+        name="pressure",
+        specs=(FaultSpec(kind="device_oom", at="*/level:2", count=1),),
+    ))
+    result = engine.run(_task, policy="halve-chunk")
+    reference = _task(ShardedGamma(graph, num_shards=2))
+    assert result.cliques == reference.cliques
+    events = [e for e in engine.resilience_log if e["type"] == "degradation"]
+    assert events and all(e["shard"] == 1 for e in events)
+
+
+def test_mni_rejected_across_shards(graph):
+    engine = ShardedGamma(graph, num_shards=2)
+    with pytest.raises(ExecutionError, match="(?i)mni"):
+        frequent_pattern_mining(engine, 2, 3, support_metric="mni")
+
+
+def test_mni_still_works_on_one_shard(graph):
+    sharded = frequent_pattern_mining(
+        ShardedGamma(graph, num_shards=1), 2, 3, support_metric="mni"
+    )
+    from repro.core import Gamma
+
+    plain = frequent_pattern_mining(Gamma(graph), 2, 3, support_metric="mni")
+    assert sharded.patterns == plain.patterns

@@ -192,3 +192,38 @@ class TestObservabilityFlags:
         # The collector must not linger as the process default after a
         # crash, or it would silently adopt the next platform constructed.
         assert obs.spans._default_collector() is None
+
+
+class TestShardedRun:
+    def test_gpus_flag_runs_sharded(self, capsys):
+        assert main(["run", "--task", "kcl", "--k", "3", "--dataset", "ER",
+                     "--gpus", "4", "--shard-policy", "stealing"]) == 0
+        out = capsys.readouterr().out
+        assert "shards: 4 (stealing, nvlink)" in out
+        assert "utilization:" in out
+
+    def test_sharded_counts_match_single_gpu(self, capsys):
+        assert main(["run", "--task", "triangles", "--dataset", "ER"]) == 0
+        single = capsys.readouterr().out
+        assert main(["run", "--task", "triangles", "--dataset", "ER",
+                     "--gpus", "2", "--interconnect", "pcie"]) == 0
+        sharded = capsys.readouterr().out
+        line = next(l for l in single.splitlines() if "triangles:" in l)
+        assert line in sharded
+
+    def test_sharded_manifest_out(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "manifest.json"
+        assert main(["run", "--task", "kcl", "--k", "3", "--dataset", "ER",
+                     "--gpus", "2", "--manifest-out", str(path)]) == 0
+        manifest = json.loads(path.read_text())
+        assert manifest["schema"] == "gamma-shard-manifest/v1"
+        assert manifest["num_shards"] == 2
+        assert len(manifest["shards"]) == 2
+        assert len(manifest["utilization"]) == 2
+
+    def test_gpus_needs_gamma(self, capsys):
+        assert main(["run", "--task", "kcl", "--dataset", "ER",
+                     "--system", "Peregrine", "--gpus", "2"]) == 2
+        assert "--gpus needs the GAMMA engine" in capsys.readouterr().err

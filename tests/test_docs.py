@@ -13,7 +13,7 @@ class TestDeliverableFiles:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/ARCHITECTURE.md", "docs/COSTMODEL.md", "docs/API.md",
-        "docs/LINTING.md", "docs/OBSERVABILITY.md",
+        "docs/LINTING.md", "docs/OBSERVABILITY.md", "docs/SHARDING.md",
     ])
     def test_exists_and_nonempty(self, name):
         path = ROOT / name

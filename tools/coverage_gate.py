@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Ratcheted coverage gate.
+
+Compares a coverage report against the committed floor
+(``COVERAGE_FLOOR.json``) and fails when total line coverage drops more
+than one point below it.  The floor only moves *up*: when the measured
+total exceeds the recorded floor, the gate suggests (or, with
+``--update``, performs) a ratchet.
+
+Accepts two report formats:
+
+* ``tools/pycov.py`` output — ``{"tool": "pycov", "total_percent": ...}``
+  (local runs, no third-party deps);
+* coverage.py JSON — ``{"totals": {"percent_covered": ...}}`` as written
+  by ``pytest --cov --cov-report=json`` in CI.
+
+Usage::
+
+    python tools/coverage_gate.py coverage.json
+    python tools/coverage_gate.py coverage.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+FLOOR_PATH = REPO / "COVERAGE_FLOOR.json"
+
+#: The gate trips when coverage falls below ``floor - SLACK`` — one point
+#: of slack absorbs measurement differences between the local tracer and
+#: coverage.py (branch handling of ``while True``, platform-gated lines).
+SLACK = 1.0
+
+
+def total_percent(report: dict) -> float:
+    if "total_percent" in report:  # tools/pycov.py
+        return float(report["total_percent"])
+    if "totals" in report:  # coverage.py json
+        return float(report["totals"]["percent_covered"])
+    raise SystemExit("unrecognized coverage report format")
+
+
+def per_module(report: dict) -> dict:
+    if "files" in report and report.get("tool") == "pycov":
+        return {name: stats["percent"]
+                for name, stats in report["files"].items()}
+    if "files" in report:  # coverage.py json
+        return {
+            name: float(stats["summary"]["percent_covered"])
+            for name, stats in report["files"].items()
+        }
+    return {}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="coverage JSON (pycov or coverage.py)")
+    parser.add_argument("--floor", default=str(FLOOR_PATH),
+                        help="floor file (default COVERAGE_FLOOR.json)")
+    parser.add_argument("--update", action="store_true",
+                        help="ratchet the floor up to the measured total")
+    parser.add_argument("--modules-out", metavar="PATH",
+                        help="write the per-module percentages as JSON "
+                             "(CI artifact)")
+    args = parser.parse_args(argv)
+
+    report = json.loads(pathlib.Path(args.report).read_text())
+    measured = total_percent(report)
+    floor_file = pathlib.Path(args.floor)
+    floor_doc = json.loads(floor_file.read_text())
+    floor = float(floor_doc["floor_percent"])
+
+    if args.modules_out:
+        modules = dict(sorted(per_module(report).items(),
+                              key=lambda kv: kv[1]))
+        pathlib.Path(args.modules_out).write_text(
+            json.dumps(modules, indent=2) + "\n"
+        )
+        print(f"per-module report -> {args.modules_out}")
+
+    limit = floor - SLACK
+    print(f"coverage: measured {measured:.2f}%, floor {floor:.2f}% "
+          f"(gate at {limit:.2f}%)")
+    if measured < limit:
+        print(f"FAIL: coverage dropped below {limit:.2f}%")
+        return 1
+    if measured > floor:
+        if args.update:
+            floor_doc["floor_percent"] = round(measured, 2)
+            floor_doc["tool"] = report.get("tool", "coverage.py")
+            floor_file.write_text(json.dumps(floor_doc, indent=2) + "\n")
+            print(f"floor ratcheted to {measured:.2f}%")
+        else:
+            print(f"note: measured exceeds floor; ratchet with --update")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

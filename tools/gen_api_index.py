@@ -16,11 +16,12 @@ import repro.graph
 import repro.gpusim
 import repro.obs
 import repro.resilience
+import repro.shard
 
 MODULES = (
     repro, repro.gpusim, repro.graph, repro.core,
     repro.algorithms, repro.baselines, repro.bench, repro.analysis,
-    repro.obs, repro.resilience,
+    repro.obs, repro.resilience, repro.shard,
 )
 
 

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Dependency-free line coverage for the repro package.
+
+The container image pins the Python toolchain and does not ship
+``coverage``/``pytest-cov``, so local runs and the seeded ratchet floor
+use this tracer instead: a ``sys.settrace`` hook records every executed
+``(file, line)`` inside ``src/repro``, and the denominator comes from
+walking compiled code objects' ``co_lines()`` — the same "executable
+lines" definition coverage.py uses for statement coverage.
+
+Usage::
+
+    python tools/pycov.py --out coverage.json -- -x -q tests/
+    python tools/pycov.py --report --out coverage.json -- -q
+
+Everything after ``--`` is passed to ``pytest.main``.  The JSON written
+is understood by ``tools/coverage_gate.py`` (which also accepts
+coverage.py's ``coverage json`` format, used in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import threading
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+PACKAGE = SRC / "repro"
+
+
+def executable_lines(path: pathlib.Path) -> set:
+    """Line numbers bearing executable code, via recursive co_lines()."""
+    source = path.read_text()
+    lines: set = set()
+    try:
+        code = compile(source, str(path), "exec")
+    except SyntaxError:
+        return lines
+
+    def walk(obj) -> None:
+        for __, __, lineno in obj.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        for const in obj.co_consts:
+            if hasattr(const, "co_lines"):
+                walk(const)
+
+    walk(code)
+    # compile() attributes the whole module to line 1 via the implicit
+    # return; a module docstring line is not meaningfully executable.
+    return lines
+
+
+class Tracer:
+    """Collects executed lines for files under ``src/repro``."""
+
+    def __init__(self) -> None:
+        self.hits: dict = {}
+        self._prefix = str(PACKAGE) + "/"
+
+    def _trace(self, frame, event, arg):
+        filename = frame.f_code.co_filename
+        if not filename.startswith(self._prefix):
+            return None
+        if event == "line":
+            self.hits.setdefault(filename, set()).add(frame.f_lineno)
+        return self._trace
+
+    def install(self) -> None:
+        threading.settrace(self._trace)
+        sys.settrace(self._trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+
+
+def build_report(hits: dict) -> dict:
+    files = {}
+    total_exec = 0
+    total_hit = 0
+    for path in sorted(PACKAGE.rglob("*.py")):
+        exe = executable_lines(path)
+        if not exe:
+            continue
+        covered = hits.get(str(path), set()) & exe
+        rel = str(path.relative_to(REPO))
+        files[rel] = {
+            "executable": len(exe),
+            "covered": len(covered),
+            "percent": round(100.0 * len(covered) / len(exe), 2),
+        }
+        total_exec += len(exe)
+        total_hit += len(covered)
+    percent = round(100.0 * total_hit / total_exec, 2) if total_exec else 0.0
+    return {
+        "tool": "pycov",
+        "total_percent": percent,
+        "total_executable": total_exec,
+        "total_covered": total_hit,
+        "files": files,
+    }
+
+
+def render(report: dict, worst: int = 15) -> str:
+    rows = sorted(report["files"].items(), key=lambda kv: kv[1]["percent"])
+    width = max(len(name) for name, __ in rows) if rows else 10
+    out = [f"{'module'.ljust(width)}  covered/exec   %"]
+    for name, stats in rows[:worst]:
+        out.append(
+            f"{name.ljust(width)}  "
+            f"{stats['covered']:>5}/{stats['executable']:<5}  "
+            f"{stats['percent']:6.2f}"
+        )
+    out.append(f"TOTAL {report['total_percent']:.2f}% "
+               f"({report['total_covered']}/{report['total_executable']})")
+    return "\n".join(out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="coverage.json",
+                        help="report path (default coverage.json)")
+    parser.add_argument("--report", action="store_true",
+                        help="print the per-module table (worst first)")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="arguments after -- go to pytest")
+    args = parser.parse_args(argv)
+
+    if str(SRC) not in sys.path:
+        sys.path.insert(0, str(SRC))
+    if str(REPO) not in sys.path:
+        sys.path.insert(0, str(REPO))
+    import pytest
+
+    tracer = Tracer()
+    tracer.install()
+    try:
+        exit_code = pytest.main(args.pytest_args or ["-q"])
+    finally:
+        tracer.uninstall()
+
+    report = build_report(tracer.hits)
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    if args.report:
+        print(render(report))
+    print(f"coverage: {report['total_percent']:.2f}% -> {args.out}")
+    return int(exit_code)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Planner benchmark: compiled auto plans vs the hand-tuned baseline.
+
+Runs each workload twice on fresh GAMMA engines — once under the
+``--plan baseline`` table, once under the cost-based ``--plan auto``
+choice — verifies the mined results are bit-for-bit identical, and
+records the *simulated* speedup the chosen plan delivers.  Also times the
+plan cache: a cold miss (profile + search + SQLite store) and a warm hit,
+gating the warm lookup against a fraction of the planned run's wall time.
+
+Writes ``BENCH_plan.json`` at the repo root.  Gates (exit 1 on failure):
+
+* every workload's planned simulated time <= its baseline time;
+* at least 2 of the {SM(q4-q6), FPM, motif} families reach >= 1.3x
+  (full mode only — the quick grid is too small to clear the bar);
+* the warm plan-cache lookup costs < 5% of the planned run's wall time;
+* planned and baseline results identical everywhere.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_plan.py            # full
+    PYTHONPATH=src python benchmarks/bench_plan.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.algorithms import (  # noqa: E402
+    frequent_pattern_mining,
+    match_pattern,
+    motif_count,
+)
+from repro.core import Gamma  # noqa: E402
+from repro.graph import datasets, sm_query  # noqa: E402
+from repro.plan import (  # noqa: E402
+    PlanCache,
+    profile_dataset,
+    resolve_plan,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_plan.json"
+
+#: Simulated-speedup bar and how many workload families must clear it.
+SPEEDUP_TARGET = 1.3
+FAMILIES_REQUIRED = 2
+
+#: Warm cache lookups may cost at most this fraction of a planned run.
+WARM_LOOKUP_BUDGET = 0.05
+
+
+def _workloads(quick: bool):
+    """(name, family, dataset, spec) grid; quick mode shrinks datasets."""
+    sm_ds = "CL" if quick else "CL*8"
+    edge_ds = "EA" if quick else "CP"
+    return [
+        ("SM(q4)", "SM", sm_ds, {"task": "sm", "query": 4}),
+        ("SM(q5)", "SM", sm_ds, {"task": "sm", "query": 5}),
+        ("SM(q6)", "SM", sm_ds, {"task": "sm", "query": 6}),
+        ("FPM", "FPM", edge_ds,
+         {"task": "fpm", "iterations": 2, "min_support": 1}),
+        ("motif", "motif", edge_ds, {"task": "motif", "num_edges": 2}),
+    ]
+
+
+def _resolve(engine, spec, plan, cache=None):
+    if spec["task"] == "sm":
+        return resolve_plan(engine, "sm", pattern=sm_query(spec["query"]),
+                            plan=plan, cache=cache)
+    if spec["task"] == "fpm":
+        return resolve_plan(engine, "fpm", plan=plan, cache=cache,
+                            iterations=spec["iterations"],
+                            min_support=spec["min_support"])
+    return resolve_plan(engine, "motif", plan=plan, cache=cache,
+                        num_edges=spec["num_edges"])
+
+
+def _run(graph, spec, plan):
+    """One end-to-end run; returns (result-key, simulated, wall)."""
+    start = time.perf_counter()
+    with Gamma(graph) as engine:
+        if spec["task"] == "sm":
+            r = match_pattern(engine, sm_query(spec["query"]), plan=plan)
+            key = (r.embeddings, r.unique_subgraphs)
+        elif spec["task"] == "fpm":
+            r = frequent_pattern_mining(
+                engine, spec["iterations"], spec["min_support"], plan=plan)
+            key = tuple(sorted(r.patterns.items()))
+        else:
+            r = motif_count(engine, spec["num_edges"], plan=plan)
+            key = tuple(sorted(r.histogram.items()))
+        return key, engine.simulated_seconds, time.perf_counter() - start
+
+
+def _time_cache(graph, spec, cache_dir):
+    """Cold-miss and warm-hit wall times for this workload's plan."""
+    with Gamma(graph) as engine:
+        with PlanCache(Path(cache_dir) / "plans.sqlite") as cache:
+            start = time.perf_counter()
+            cold_plan = _resolve(engine, spec, "auto", cache)
+            cold = time.perf_counter() - start
+            start = time.perf_counter()
+            warm_plan = _resolve(engine, spec, "auto", cache)
+            warm = time.perf_counter() - start
+            assert warm_plan.plan_id == cold_plan.plan_id
+            assert cache.hits == 1 and cache.misses == 1
+        # A second process sees only SQLite: reopen and hit again.
+        with PlanCache(Path(cache_dir) / "plans.sqlite") as reopened:
+            start = time.perf_counter()
+            persisted = _resolve(engine, spec, "auto", reopened)
+            warm_sqlite = time.perf_counter() - start
+            assert persisted.plan_id == cold_plan.plan_id
+            assert reopened.hits == 1
+    return cold, warm, warm_sqlite
+
+
+def _measure(name, family, dataset, spec, cache_dir):
+    graph = datasets.load(dataset)
+    with Gamma(graph) as engine:
+        baseline_plan_obj = _resolve(engine, spec, "baseline")
+        auto_plan = _resolve(engine, spec, "auto")
+    base_key, base_sim, __ = _run(graph, spec, baseline_plan_obj)
+    auto_key, auto_sim, auto_wall = _run(graph, spec, auto_plan)
+    cold, warm, warm_sqlite = _time_cache(graph, spec, cache_dir)
+    warm_fraction = (warm / auto_wall) if auto_wall else 0.0
+    return {
+        "workload": name,
+        "family": family,
+        "dataset": dataset,
+        "plan_id": auto_plan.plan_id,
+        "plan_source": auto_plan.source,
+        "predicted_seconds": auto_plan.predicted_seconds,
+        "baseline_simulated_seconds": base_sim,
+        "planned_simulated_seconds": auto_sim,
+        "simulated_speedup": (base_sim / auto_sim) if auto_sim else 1.0,
+        "results_identical": auto_key == base_key,
+        "planned_not_worse": auto_sim <= base_sim * (1.0 + 1e-9),
+        "cache": {
+            "cold_miss_seconds": cold,
+            "warm_hit_seconds": warm,
+            "warm_sqlite_hit_seconds": warm_sqlite,
+            "warm_fraction_of_run": warm_fraction,
+            "within_budget": warm_fraction < WARM_LOOKUP_BUDGET,
+        },
+    }
+
+
+def _render(rows):
+    head = (f"{'workload':9s} {'dataset':8s} {'baseline':>10s} "
+            f"{'planned':>10s} {'speedup':>8s} {'source':>8s} "
+            f"{'warm-hit':>9s}  identical")
+    lines = [head, "-" * len(head)]
+    for r in rows:
+        lines.append(
+            f"{r['workload']:9s} {r['dataset']:8s}"
+            f" {r['baseline_simulated_seconds'] * 1e3:8.3f}ms"
+            f" {r['planned_simulated_seconds'] * 1e3:8.3f}ms"
+            f" {r['simulated_speedup']:7.2f}x"
+            f" {r['plan_source']:>8s}"
+            f" {r['cache']['warm_hit_seconds'] * 1e6:7.0f}us "
+            f" {r['results_identical']}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small datasets (CI smoke)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"report path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-plan-cache-") as tmp:
+        for name, family, dataset, spec in _workloads(args.quick):
+            print(f"measuring {name} on {dataset}...", flush=True)
+            cell_dir = Path(tmp) / name.replace("(", "_").replace(")", "")
+            rows.append(_measure(name, family, dataset, spec, cell_dir))
+            datasets.clear_cache()
+
+    print()
+    print(_render(rows))
+
+    families_hit = sorted({
+        r["family"] for r in rows
+        if r["simulated_speedup"] >= SPEEDUP_TARGET})
+    report = {
+        "schema": 1,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": args.quick,
+        "speedup_target": SPEEDUP_TARGET,
+        "families_at_target": families_hit,
+        "workloads": rows,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    failures = []
+    bad = [r["workload"] for r in rows if not r["results_identical"]]
+    if bad:
+        failures.append(f"planned results diverged from baseline: {bad}")
+    worse = [r["workload"] for r in rows if not r["planned_not_worse"]]
+    if worse:
+        failures.append(f"planner chose a slower plan on: {worse}")
+    # The speedup bar only applies to full-size datasets: the quick grid
+    # is so small that kernel-launch overhead hides the dedup savings.
+    if not args.quick and len(families_hit) < FAMILIES_REQUIRED:
+        failures.append(
+            f"only {families_hit} reached {SPEEDUP_TARGET}x "
+            f"(need {FAMILIES_REQUIRED} families)")
+    slow_cache = [r["workload"] for r in rows
+                  if not r["cache"]["within_budget"]]
+    if slow_cache:
+        failures.append(
+            f"warm plan-cache lookup over {WARM_LOOKUP_BUDGET:.0%} "
+            f"of run time on: {slow_cache}")
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,16 +32,28 @@ class FPMResult:
 
 
 def frequent_pattern_mining(
-    engine, iterations: int, min_support: int, support_metric: str = "instances"
+    engine, iterations: int, min_support: int,
+    support_metric: str = "instances", plan=None,
 ) -> FPMResult:
     """Algorithm 2: mine all patterns of up to ``iterations`` edges with
     support at least ``min_support``.
 
     ``support_metric`` selects the paper's instance-frequency support or
     minimum-image-based (MNI) support; MNI is anti-monotone, so with it the
-    support filter is a safe prune rather than a heuristic one."""
+    support filter is a safe prune rather than a heuristic one.
+
+    ``plan`` selects per-level growth strategies: the baseline grows
+    unordered and dedups (the pre-planner behavior), while the planner's
+    ordered strategy at the pair level generates each 2-edge set exactly
+    once (only ids above the seed edge extend) and skips the dedup pass —
+    identical pattern counts, one sort pass cheaper."""
     if iterations < 1:
         raise ExecutionError("FPM needs at least one iteration")
+    from ..plan import resolve_plan
+
+    plan = resolve_plan(engine, "fpm", plan=plan, iterations=iterations,
+                        min_support=min_support,
+                        support_metric=support_metric)
     constraint = MinSupport(min_support)
     start = engine.simulated_seconds
 
@@ -51,6 +63,7 @@ def frequent_pattern_mining(
     frequent_per_level: list[int] = []
 
     for level in range(1, iterations + 1):
+        rows_before_filter = table.num_embeddings
         codes = engine.aggregation(
             table, pattern_table, support_metric=support_metric
         )
@@ -62,9 +75,26 @@ def frequent_pattern_mining(
         )
         frequent_per_level.append(len(pattern_table))
         if level < iterations:
-            engine.edge_extension(table)
-            # Same edge set, multiple growth orders -> one instance.
-            engine.dedup(table)
+            strategy = (dict(plan.level_strategies[level - 1])
+                        if level - 1 < len(plan.level_strategies)
+                        else {"ordered": False, "dedup": True})
+            # Ordered growth is only sound when the support filter dropped
+            # nothing: a pair {a, b} with a < b whose smaller edge was
+            # pruned must still be generated from the surviving row b, and
+            # the ascending restriction would forbid that.  (Deeper levels
+            # are never ordered: ascending growth also misses sets whose
+            # bridge edge has the largest id.)
+            ordered_ok = (level == 1
+                          and table.num_embeddings == rows_before_filter)
+            if strategy.get("ordered") and ordered_ok:
+                # Ordered growth: every level-1 row holds one edge, so
+                # restricting candidates to larger ids yields each pair
+                # exactly once — no dedup needed.
+                engine.edge_extension(table, greater_than_col=0)
+            else:
+                engine.edge_extension(table)
+                # Same edge set, multiple growth orders -> one instance.
+                engine.dedup(table)
 
     result = FPMResult(
         iterations=iterations,

@@ -24,14 +24,21 @@ class KCliqueResult:
     peak_memory_bytes: int
 
 
-def count_kcliques(engine, k: int, keep_table: bool = False):
+def count_kcliques(engine, k: int, keep_table: bool = False, plan=None):
     """List/count all k-cliques.
 
     Returns :class:`KCliqueResult`, or ``(result, table)`` with
     ``keep_table=True`` (the table rows are the cliques, ascending order).
+
+    Every matching order of a complete pattern is isomorphic, so the plan
+    only validates/records provenance here; ascending-id growth is already
+    canonical.
     """
     if k < 1:
         raise InvalidPatternError("k must be >= 1")
+    from ..plan import resolve_plan
+
+    resolve_plan(engine, "kclique", plan=plan, k=k)
     start = engine.simulated_seconds
     table = engine.new_vertex_table(f"kCL:{k}")
     engine.seed_vertices(table)

@@ -26,16 +26,35 @@ class MotifResult:
     peak_memory_bytes: int
 
 
-def motif_count(engine, num_edges: int) -> MotifResult:
-    """Count all connected ``num_edges``-edge subgraphs by pattern."""
+def motif_count(engine, num_edges: int, plan=None) -> MotifResult:
+    """Count all connected ``num_edges``-edge subgraphs by pattern.
+
+    ``plan`` selects per-level growth strategies (see
+    :func:`repro.algorithms.fpm.frequent_pattern_mining`); the planner's
+    ordered pair-level growth skips the first dedup pass with identical
+    histograms."""
     if num_edges < 1:
         raise ExecutionError("motifs need at least one edge")
+    from ..plan import resolve_plan
+
+    plan = resolve_plan(engine, "motif", plan=plan, num_edges=num_edges)
     start = engine.simulated_seconds
     table = engine.new_edge_table(f"motif:{num_edges}")
     engine.seed_edges(table)
-    for __ in range(num_edges - 1):
-        engine.edge_extension(table)
-        engine.dedup(table)
+    for level in range(1, num_edges):
+        strategy = (dict(plan.level_strategies[level - 1])
+                    if level - 1 < len(plan.level_strategies)
+                    else {"ordered": False, "dedup": True})
+        if strategy.get("ordered"):
+            if level != 1:
+                raise ExecutionError(
+                    "ordered edge growth is only sound at the pair level"
+                )
+            engine.edge_extension(table, greater_than_col=0)
+        else:
+            engine.edge_extension(table)
+        if strategy.get("dedup", True):
+            engine.dedup(table)
     pattern_table = PatternTable()
     engine.aggregation(table, pattern_table)
     histogram = pattern_table.as_dict()

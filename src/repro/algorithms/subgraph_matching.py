@@ -44,6 +44,7 @@ def match_pattern(
     pattern: Pattern,
     keep_table: bool = False,
     symmetry_breaking: bool = False,
+    plan=None,
 ):
     """WOJ subgraph matching (Algorithm 1).
 
@@ -52,13 +53,27 @@ def match_pattern(
     is enumerated exactly once (``embeddings == unique_subgraphs``) and the
     intermediate tables shrink by the automorphism factor.
 
+    ``plan`` selects the matching order: ``None``/``"baseline"`` keeps the
+    hand-tuned order (bit-identical to the pre-planner driver), ``"auto"``
+    asks the query planner, and a :class:`~repro.plan.CompiledPlan` (or a
+    plan-file path) is executed as-is.
+
     Returns :class:`SMResult`, or ``(SMResult, table)`` with
     ``keep_table=True``.
     """
-    order = pattern.matching_order()
+    from ..plan import resolve_plan
+
+    plan = resolve_plan(engine, "sm", pattern=pattern, plan=plan,
+                        symmetry_breaking=symmetry_breaking)
+    symmetry_breaking = plan.symmetry_breaking
+    order = list(plan.order)
+    if sorted(order) != list(range(pattern.num_vertices)):
+        raise InvalidPatternError(
+            f"plan order {order} does not cover the pattern's "
+            f"{pattern.num_vertices} vertices")
     position = {qv: step for step, qv in enumerate(order)}
     restrictions = (
-        pattern.symmetry_breaking_constraints() if symmetry_breaking else []
+        [tuple(r) for r in plan.restrictions] if symmetry_breaking else []
     )
     table = engine.new_vertex_table(f"SM:{pattern.name}")
     start = engine.simulated_seconds
@@ -105,14 +120,20 @@ def match_pattern(
     return result
 
 
-def match_pattern_binary(engine, pattern: Pattern) -> SMResult:
+def match_pattern_binary(engine, pattern: Pattern, plan=None) -> SMResult:
     """Binary-join subgraph matching via edge extension.
 
     The driver grows an e-ET one query edge at a time and keeps a
     host-side assignment matrix (query vertex -> data vertex per row) to
-    filter each extension against the query structure.
+    filter each extension against the query structure.  The plan pins the
+    e-ET orientation: the seed's per-edge forward/backward capability masks
+    are the source of truth for row orientation, rather than re-deriving an
+    alignment permutation after the engine partitions the seed.
     """
-    edge_order = pattern.edge_order()
+    from ..plan import resolve_plan
+
+    plan = resolve_plan(engine, "sm-binary", pattern=pattern, plan=plan)
+    edge_order = [tuple(e) for e in plan.edge_order]
     start = engine.simulated_seconds
     table = engine.new_edge_table(f"SM-bj:{pattern.name}")
 
@@ -136,27 +157,28 @@ def match_pattern_binary(engine, pattern: Pattern) -> SMResult:
         fwd = np.ones(n0, dtype=bool)
         bwd = np.ones(n0, dtype=bool)
     # An edge matching both ways yields two embeddings; duplicate such rows.
-    rows = np.concatenate([np.flatnonzero(fwd), np.flatnonzero(bwd)])
-    orient_fwd = np.concatenate(
-        [np.ones(int(fwd.sum()), dtype=bool), np.zeros(int(bwd.sum()), dtype=bool)]
-    )
     # The table keeps one row per seeded edge; to honor both orientations we
-    # re-seed with explicit duplication.
+    # re-seed with explicit duplication (forward copies first, then backward).
+    rows = np.concatenate([np.flatnonzero(fwd), np.flatnonzero(bwd)])
     table.release()
     table = engine.new_edge_table(f"SM-bj:{pattern.name}")
     edge_ids = np.arange(graph.num_edges, dtype=np.int64)[rows]
     table.seed(edge_ids)
     # Sharded engines partition the seed by unit ownership, reordering rows
-    # (stably) into shard-major order; re-align the host-side bookkeeping to
-    # the order the table actually holds.
-    seeded = table.column_values(0)
-    if not np.array_equal(seeded, edge_ids):
-        perm = np.empty(len(edge_ids), dtype=np.int64)
-        perm[np.argsort(seeded, kind="stable")] = np.argsort(
-            edge_ids, kind="stable"
-        )
-        rows = rows[perm]
-        orient_fwd = orient_fwd[perm]
+    # (stably) into shard-major order.  Orientation is recovered from the
+    # plan's seed-edge capability masks instead of re-deriving an alignment
+    # permutation: a stable partition keeps both copies of a dual-orientation
+    # edge adjacent in relative order, so the first occurrence of an edge id
+    # is the forward copy whenever the edge *can* match forward, and any
+    # second occurrence is the backward copy.
+    rows = table.column_values(0)
+    order_idx = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order_idx]
+    occ_sorted = np.zeros(len(rows), dtype=np.int64)
+    occ_sorted[1:] = sorted_rows[1:] == sorted_rows[:-1]
+    occ = np.empty(len(rows), dtype=np.int64)
+    occ[order_idx] = occ_sorted
+    orient_fwd = (occ == 0) & fwd[rows]
     assign = np.full((len(rows), k), -1, dtype=np.int64)
     assign[orient_fwd, qu] = src[rows[orient_fwd]]
     assign[orient_fwd, qv] = dst[rows[orient_fwd]]

@@ -1,10 +1,10 @@
-"""The five repo-specific checkers; importing this package registers them.
+"""The six repo-specific checkers; importing this package registers them.
 
 Adding a checker: create a module here, subclass
 :class:`repro.analysis.framework.Checker`, decorate with ``@register``, and
 import the module below (docs/LINTING.md walks through it).
 """
 
-from . import charge, npdtype, obsspan, parity, warprace
+from . import charge, npdtype, obsspan, parity, planorder, warprace
 
-__all__ = ["charge", "npdtype", "obsspan", "parity", "warprace"]
+__all__ = ["charge", "npdtype", "obsspan", "parity", "planorder", "warprace"]

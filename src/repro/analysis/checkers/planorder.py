@@ -1,0 +1,64 @@
+"""plan-order: matching-order decisions belong to the query planner.
+
+PR 6 moved order/orientation/strategy selection into ``repro.plan``: the
+algorithm drivers request a plan (``resolve_plan``) and execute whatever
+it says, and the hand-tuned orders survive only as the planner's baseline
+table.  A driver calling ``pattern.matching_order()`` (or its siblings)
+directly re-hardcodes a one-size-fits-all choice and silently bypasses
+the cost model, the plan cache, and the ``--plan baseline`` parity
+escape hatch.
+
+One rule:
+
+* ``planorder`` — a call to ``.matching_order()`` / ``.edge_order()`` /
+  ``.symmetry_breaking_constraints()`` inside the engine scopes
+  (``repro/core/``, ``repro/algorithms/``, ``repro/baselines/``).  The
+  planner package itself (``repro/plan/``) is outside those scopes and
+  is the one place allowed to consult the hand-tuned orders.  Legitimate
+  non-planning uses (e.g. a *verifier* that checks full rows against the
+  pattern and needs some canonical vertex enumeration) carry a waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..framework import Checker, LintContext, SourceModule, in_engine_scope, register
+
+#: Pattern methods that *decide* a matching order / restriction set.
+_ORDER_METHODS = frozenset({
+    "matching_order",
+    "edge_order",
+    "symmetry_breaking_constraints",
+})
+
+
+@register
+class PlanOrderChecker(Checker):
+    name = "plan-order"
+    codes = ("planorder",)
+    description = (
+        "matching orders come from repro.plan; engine scopes must not call "
+        "matching_order()/edge_order()/symmetry_breaking_constraints()"
+    )
+
+    def check(self, module: SourceModule,
+              context: LintContext) -> Iterator[Diagnostic]:
+        if not in_engine_scope(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ORDER_METHODS
+            ):
+                continue
+            yield self.diagnostic(
+                module, node, "planorder",
+                f"direct `.{node.func.attr}()` call hardcodes a matching "
+                "order; request a CompiledPlan via repro.plan.resolve_plan "
+                "instead (the hand-tuned order lives on as the planner's "
+                "baseline table)",
+            )

@@ -52,7 +52,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--system", default="GAMMA",
                      help=f"one of: {', '.join(SYSTEMS)}")
     run.add_argument("--query", type=int, default=1,
-                     help="SM query number q1-q3 (default 1)")
+                     help="SM query number q1-q6 (default 1)")
     run.add_argument("--symmetry-breaking", action="store_true",
                      help="SM: enumerate each subgraph once")
     run.add_argument("--k", type=int, default=4, help="kCL clique size")
@@ -63,6 +63,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metric", default="instances",
                      choices=("instances", "mni"), help="FPM support metric")
     run.add_argument("--edges", type=int, default=2, help="motifs: size")
+    run.add_argument("--plan", default="baseline", metavar="SPEC",
+                     help="execution plan: 'baseline' (hand-tuned orders, "
+                          "bit-identical to pre-planner runs), 'auto' "
+                          "(cost-based planner), or a plan JSON file "
+                          "(see docs/PLANNER.md)")
+    run.add_argument("--plan-cache-dir", metavar="DIR",
+                     help="persist compiled auto plans in DIR/plans.sqlite "
+                          "and reuse them across runs")
     run.add_argument("--breakdown", action="store_true",
                      help="print the simulated-time breakdown")
     run.add_argument("--profile", action="store_true",
@@ -105,6 +113,37 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", choices=sorted(ALL_FIGURES),
                         help="figure/table key, e.g. fig12")
 
+    plan = sub.add_parser(
+        "plan", help="inspect compiled execution plans (docs/PLANNER.md)")
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+    explain = plan_sub.add_parser(
+        "explain", help="compile a plan for one workload and print it")
+    explain.add_argument("--task", required=True,
+                         choices=("sm", "kcl", "fpm", "motifs"))
+    explain.add_argument("--dataset", default="CL",
+                         help="Table II abbreviation (default CL)")
+    explain.add_argument("--query", type=int, default=1,
+                         help="SM query number q1-q6 (default 1)")
+    explain.add_argument("--symmetry-breaking", action="store_true",
+                         help="SM: plan for once-per-subgraph enumeration")
+    explain.add_argument("--k", type=int, default=4, help="kCL clique size")
+    explain.add_argument("--iterations", type=int, default=2,
+                         help="FPM: maximum pattern edges")
+    explain.add_argument("--min-support", type=int, default=10,
+                         help="FPM: support threshold")
+    explain.add_argument("--metric", default="instances",
+                         choices=("instances", "mni"),
+                         help="FPM support metric")
+    explain.add_argument("--edges", type=int, default=2, help="motifs: size")
+    explain.add_argument("--plan", default="auto", metavar="SPEC",
+                         help="'auto' (default), 'baseline', or a plan "
+                              "JSON file")
+    explain.add_argument("--plan-cache-dir", metavar="DIR",
+                         help="plan cache directory to consult/populate")
+    explain.add_argument("--out", metavar="PATH",
+                         help="save the compiled plan as JSON (reusable "
+                              "via `repro run --plan PATH`)")
+
     report = sub.add_parser(
         "report", help="summarize a run manifest, optionally diffing it "
                        "against a baseline manifest")
@@ -133,9 +172,50 @@ def _cmd_systems() -> int:
     return 0
 
 
+#: Tasks the query planner knows how to compile plans for.
+_PLANNABLE_TASKS = ("sm", "kcl", "fpm", "motifs")
+
+
+def _open_plan_cache(cache_dir):
+    """Open the persistent plan cache under ``cache_dir`` (or None)."""
+    if not cache_dir:
+        return None
+    import pathlib
+
+    from .plan import PlanCache
+
+    return PlanCache(pathlib.Path(cache_dir) / "plans.sqlite")
+
+
+def _resolve_cli_plan(args: argparse.Namespace, engine, cache):
+    """Map run/explain CLI arguments onto :func:`repro.plan.resolve_plan`."""
+    from .plan import resolve_plan
+
+    if args.task == "sm":
+        return resolve_plan(
+            engine, "sm", pattern=sm_query(args.query), plan=args.plan,
+            cache=cache, symmetry_breaking=args.symmetry_breaking)
+    if args.task == "kcl":
+        return resolve_plan(engine, "kclique", plan=args.plan, cache=cache,
+                            k=args.k)
+    if args.task == "fpm":
+        return resolve_plan(engine, "fpm", plan=args.plan, cache=cache,
+                            iterations=args.iterations,
+                            min_support=args.min_support,
+                            support_metric=args.metric)
+    return resolve_plan(engine, "motif", plan=args.plan, cache=cache,
+                        num_edges=args.edges)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.system not in SYSTEMS:
         print(f"unknown system {args.system!r}; see `repro systems`",
+              file=sys.stderr)
+        return 2
+    if args.task not in _PLANNABLE_TASKS and (
+            args.plan != "baseline" or args.plan_cache_dir):
+        print(f"--plan/--plan-cache-dir apply to "
+              f"{'/'.join(_PLANNABLE_TASKS)} runs, not {args.task}",
               file=sys.stderr)
         return 2
     from .gpusim.trace import PhaseTimer
@@ -180,23 +260,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .resilience import load_plan
 
         engine.platform.install_fault_plan(load_plan(args.fault_plan))
+    plan_obj = None
+    plan_cache = None
     try:
+        if args.task in _PLANNABLE_TASKS:
+            plan_cache = _open_plan_cache(args.plan_cache_dir)
+            try:
+                with timer.phase("plan"):
+                    plan_obj = _resolve_cli_plan(args, engine, plan_cache)
+            except (OSError, ValueError) as exc:
+                print(f"bad --plan {args.plan!r}: {exc}", file=sys.stderr)
+                return 2
         if args.task == "sm":
             task_fn = lambda eng: match_pattern(  # noqa: E731
                 eng, sm_query(args.query),
                 symmetry_breaking=args.symmetry_breaking,
+                plan=plan_obj,
             )
         elif args.task == "kcl":
-            task_fn = lambda eng: count_kcliques(eng, args.k)  # noqa: E731
+            task_fn = lambda eng: count_kcliques(  # noqa: E731
+                eng, args.k, plan=plan_obj)
         elif args.task == "triangles":
             task_fn = triangle_count
         elif args.task == "fpm":
             task_fn = lambda eng: frequent_pattern_mining(  # noqa: E731
                 eng, args.iterations, args.min_support,
-                support_metric=args.metric,
+                support_metric=args.metric, plan=plan_obj,
             )
         elif args.task == "motifs":
-            task_fn = lambda eng: motif_count(eng, args.edges)  # noqa: E731
+            task_fn = lambda eng: motif_count(  # noqa: E731
+                eng, args.edges, plan=plan_obj)
         else:  # graphlets
             task_fn = lambda eng: graphlet_census(eng, args.k)  # noqa: E731
 
@@ -256,6 +349,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 kind = event.get("kind") or event.get("policy") or ""
                 where = event.get("path") or event.get("error") or ""
                 print(f"  {event['type']}:{kind} {where}")
+        if plan_obj is not None and args.plan != "baseline":
+            line = f"plan: {plan_obj.plan_id} [{plan_obj.source}]"
+            if plan_obj.predicted_seconds:
+                line += (f" predicted "
+                         f"{plan_obj.predicted_seconds * 1e3:.3f} ms")
+            print(line)
+            if plan_cache is not None:
+                stats = plan_cache.stats()
+                print(f"plan cache: hits={stats['hits']} "
+                      f"misses={stats['misses']} ({plan_cache.path})")
         print(f"simulated time: {engine.simulated_seconds * 1e3:.3f} ms; "
               f"peak memory: {engine.peak_memory_bytes / (1 << 20):.2f} MiB")
         if sharded:
@@ -274,18 +377,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"\nwall-clock profile (pipeline: {perf.pipeline_mode()}):")
             print(timer.render())
         if collector is not None:
-            _write_obs_outputs(args, engine, collector)
+            _write_obs_outputs(args, engine, collector,
+                               plan=plan_obj, plan_cache=plan_cache)
         return 0
     except GammaError as exc:
         print(f"CRASH: {type(exc).__name__}: {exc}")
         return 1
     finally:
+        if plan_cache is not None:
+            plan_cache.close()
         if collector is not None:
             collector.finish()  # idempotent; detaches on the crash path too
         engine.close()
 
 
-def _write_obs_outputs(args, engine, collector) -> None:
+def _plan_manifest_extra(engine, plan, plan_cache):
+    """The manifest's ``plan`` block: identity plus predicted-vs-actual."""
+    doc = {
+        "id": plan.plan_id,
+        "source": plan.source,
+        "planner_version": plan.planner_version,
+        "predicted_seconds": plan.predicted_seconds,
+        "baseline_predicted_seconds": plan.baseline_predicted_seconds,
+        "actual_seconds": engine.simulated_seconds,
+    }
+    if plan_cache is not None:
+        doc["cache"] = plan_cache.stats()
+    return {"plan": doc}
+
+
+def _write_obs_outputs(args, engine, collector, plan=None,
+                       plan_cache=None) -> None:
     """Close the telemetry collector and emit the requested artifacts."""
     from . import obs
 
@@ -304,20 +426,58 @@ def _write_obs_outputs(args, engine, collector) -> None:
             return
         from .shard import ShardedGamma, build_sharded_manifest
 
+        extra = (_plan_manifest_extra(engine, plan, plan_cache)
+                 if plan is not None else None)
         if isinstance(engine, ShardedGamma):
             manifest = build_sharded_manifest(
                 engine, collector,
                 system=args.system, dataset=args.dataset, task=args.task,
                 config=getattr(engine, "config", None),
+                extra=extra,
             )
         else:
             manifest = obs.build_manifest(
                 platform, collector,
                 system=args.system, dataset=args.dataset, task=args.task,
                 config=getattr(engine, "config", None),
+                extra=extra,
             )
         obs.write_manifest(manifest, args.manifest_out)
         print(f"manifest written to {args.manifest_out}")
+
+
+def _cmd_plan_explain(args: argparse.Namespace) -> int:
+    """Compile (or load) a plan without running it and print the choice."""
+    import types
+
+    graph = datasets.load(args.dataset)
+    print(f"{args.dataset}: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges")
+    # resolve_plan only consults the engine for its graph; skip building
+    # the simulator for a planning-only command.
+    engine = types.SimpleNamespace(graph=graph)
+    plan_cache = _open_plan_cache(args.plan_cache_dir)
+    try:
+        try:
+            plan_obj = _resolve_cli_plan(args, engine, plan_cache)
+        except (OSError, ValueError) as exc:
+            print(f"bad --plan {args.plan!r}: {exc}", file=sys.stderr)
+            return 2
+        print(plan_obj.describe())
+        if plan_cache is not None:
+            stats = plan_cache.stats()
+            print(f"plan cache: hits={stats['hits']} "
+                  f"misses={stats['misses']} "
+                  f"persisted={stats['persisted']} ({plan_cache.path})")
+        if args.out:
+            plan_obj.save(args.out)
+            print(f"plan written to {args.out} "
+                  f"(run it: repro run --task {args.task} "
+                  f"--dataset {args.dataset} --plan {args.out})")
+        return 0
+    finally:
+        if plan_cache is not None:
+            plan_cache.close()
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -384,6 +544,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_systems()
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "plan":
+            return _cmd_plan_explain(args)
         if args.command == "report":
             return _cmd_report(args)
         return _cmd_figure(args.name)

@@ -701,21 +701,30 @@ class ExtensionEngine:
         return group_ops + row_ops, vertices, len(group_ids)
 
     # -- edge extension -----------------------------------------------------------
-    def extend_edges(self, table: EmbeddingTable) -> ExtensionStats:
+    def extend_edges(self, table: EmbeddingTable,
+                     greater_than_col: "int | None" = None) -> ExtensionStats:
         """Extend every edge-oriented embedding by one adjacent edge
         (Definition 3.1's ``Ext_e``): any edge incident to any embedding
-        vertex that is not already in the embedding."""
+        vertex that is not already in the embedding.
+
+        ``greater_than_col`` restricts candidates to edge ids strictly
+        greater than the edge in that column (the planner's ordered-growth
+        restriction: with column 0 holding each row's minimum edge, every
+        edge *pair* is generated exactly once and the downstream dedup
+        pass becomes unnecessary)."""
         tel = self.platform.telemetry
         depth = table.depth
         with tel.span("extend-edges", kind="level", level=depth), \
                 self.platform.resilience.phase(f"level:{depth}"):
-            stats = self._extend_edges_impl(table)
+            stats = self._extend_edges_impl(table, greater_than_col)
         if tel.active:
             tel.metric("extension.rows_out", stats.rows_out,
                        level=depth, mode="edge")
         return stats
 
-    def _extend_edges_impl(self, table: EmbeddingTable) -> ExtensionStats:
+    def _extend_edges_impl(self, table: EmbeddingTable,
+                           greater_than_col: "int | None" = None,
+                           ) -> ExtensionStats:
         if table.kind != EDGE:
             raise ExecutionError("extend_edges requires an edge table")
         stats = ExtensionStats(rows_in=table.num_embeddings)
@@ -766,6 +775,12 @@ class ExtensionEngine:
         mask = np.ones(len(cand), dtype=bool)
         for col in range(depth):
             mask &= cand != mats[cand_row, col]
+        if greater_than_col is not None:
+            # Ordered growth: the per-warp kernel compares each candidate
+            # against one resident column, so the restriction prunes before
+            # any output is written (the comparison rides the existing
+            # already-present check, no extra charged pass).
+            mask &= cand > mats[cand_row, greater_than_col]
         mask &= _first_occurrence_mask(cand_row, cand, self.graph.num_edges + 1)
 
         counts = np.bincount(cand_row[mask], minlength=n).astype(np.int64)

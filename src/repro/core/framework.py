@@ -491,12 +491,16 @@ class Gamma:
             capture=_capture_stats, apply=_apply_stats,
         )
 
-    def edge_extension(self, table: EmbeddingTable) -> ExtensionStats:
-        """``Edge_Extension(ET, G_d)``."""
+    def edge_extension(self, table: EmbeddingTable,
+                       greater_than_col: int | None = None) -> ExtensionStats:
+        """``Edge_Extension(ET, G_d)``; ``greater_than_col`` applies the
+        planner's ordered-growth restriction (candidate edge id strictly
+        above the id in that column)."""
         def execute():
             with self.platform.telemetry.span("edge-extension", kind="phase"), \
                     self.platform.resilience.phase("phase:edge-extension"):
-                return self._edge_engine.extend_edges(table)
+                return self._edge_engine.extend_edges(
+                    table, greater_than_col=greater_than_col)
 
         return self._run_op(
             "edge-extension", execute,

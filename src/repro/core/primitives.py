@@ -124,7 +124,7 @@ def filtering(
             "query-graph filtering needs fully matched embeddings"
         )
     graph = engine.graph
-    order = pattern.matching_order()
+    order = pattern.matching_order()  # gammalint: allow[planorder] -- verification, not planning: any fixed vertex enumeration works, rows are already fully matched
     mask = np.ones(len(mats), dtype=bool)
     position = {qv: i for i, qv in enumerate(order)}
     for u, v in pattern.edges:

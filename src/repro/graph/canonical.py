@@ -218,8 +218,24 @@ class QuickPatternEncoder:
         per-unique-quick-pattern canonical placement matrix (quick id at
         canonical position, -1 padded) and the unique-row inverse map.
         """
-        packed = np.stack([qa, qb], axis=1)
-        uniq, inverse = np.unique(packed, axis=0, return_inverse=True)
+        from .. import perf
+
+        if perf.use_reference():
+            packed = np.stack([qa, qb], axis=1)
+            uniq, inverse = np.unique(packed, axis=0, return_inverse=True)
+        else:
+            # Same lexicographic (qa, qb) enumeration as np.unique(axis=0),
+            # without the void-dtype round-trip: one two-key lexsort, then
+            # lead flags mark group starts.  uniq order and inverse are
+            # bit-identical to the reference arm.
+            order = np.lexsort((qb, qa))
+            qa_s, qb_s = qa[order], qb[order]
+            lead = np.ones(len(order), dtype=bool)
+            lead[1:] = (qa_s[1:] != qa_s[:-1]) | (qb_s[1:] != qb_s[:-1])
+            groups = np.cumsum(lead, dtype=np.int64) - 1
+            inverse = np.empty(len(order), dtype=np.int64)
+            inverse[order] = groups
+            uniq = np.stack([qa_s[lead], qb_s[lead]], axis=1)
         out_codes = np.empty(len(uniq), dtype=np.int64)
         placements = np.full((len(uniq), MAX_VERTICES), -1, dtype=np.int64)
         for i, (ua, ub) in enumerate(uniq):

@@ -1,0 +1,58 @@
+"""Pattern-aware query planning: compiled, cached execution plans.
+
+The planner closes the gap the hand-written drivers left open: every
+algorithm in :mod:`repro.algorithms` used to hardcode its matching order,
+orientation and join strategy, one-size-fits-all across datasets.  This
+package derives those choices per *(pattern, dataset)* instead:
+
+* :mod:`repro.plan.profile` — a :class:`DatasetProfile` summarizing the
+  data graph (degree profile, label histogram) with a deterministic hash;
+* :mod:`repro.plan.cost` — a :class:`PlanCostModel` that prices candidate
+  matching orders and join strategies against the profile using the
+  gpusim cost-model rates (extension cardinalities, page traffic, sort
+  volume);
+* :mod:`repro.plan.planner` — candidate enumeration with
+  symmetry-breaking restriction mapping; the hand-tuned baseline order is
+  always a candidate (the *hint*), so a planner-chosen order can only
+  beat or match it;
+* :mod:`repro.plan.plan` — the serializable :class:`CompiledPlan` the
+  engines execute (``engine.run(plan)`` works: a plan has ``run``);
+* :mod:`repro.plan.cache` — a persistent SQLite plan cache keyed by
+  ``(pattern-hash, profile-hash)`` with planner-version staleness checks
+  and an in-process LRU in front.
+
+Planning is host-side and uncharged: it happens before a run and never
+contributes simulated time.  ``plan="baseline"`` (the library default)
+reproduces the pre-planner orders bit-for-bit.
+"""
+
+from .cache import PlanCache
+from .cost import PlanCostModel, PlanEstimate, StepEstimate
+from .execute import execute_plan
+from .plan import PLAN_SCHEMA, PLANNER_VERSION, CompiledPlan
+from .planner import (
+    Planner,
+    baseline_plan,
+    compile_plan,
+    enumerate_orders,
+    resolve_plan,
+)
+from .profile import DatasetProfile, profile_dataset
+
+__all__ = [
+    "PLAN_SCHEMA",
+    "PLANNER_VERSION",
+    "CompiledPlan",
+    "DatasetProfile",
+    "PlanCache",
+    "PlanCostModel",
+    "PlanEstimate",
+    "Planner",
+    "StepEstimate",
+    "baseline_plan",
+    "compile_plan",
+    "enumerate_orders",
+    "execute_plan",
+    "profile_dataset",
+    "resolve_plan",
+]

@@ -1,0 +1,334 @@
+"""Candidate enumeration and plan selection.
+
+``compile_plan`` is the front door: given a task, a pattern (for SM) or
+parameters (for FPM/motif/k-clique), and a dataset profile, it either
+reproduces the hand-tuned baseline (``mode="baseline"``, bit-identical to
+the pre-planner drivers) or searches candidates with the cost model
+(``mode="auto"``).  The hand-tuned order is always among the candidates —
+the *hint* — so auto can only beat or match it; strict ties go to the
+hint, which keeps auto == baseline on patterns where the profile offers
+no signal.
+
+``resolve_plan`` is the engine-facing helper: it accepts the user-level
+plan spec (``None`` / ``"baseline"`` / ``"auto"`` / a path / a
+:class:`CompiledPlan`) plus an optional :class:`~repro.plan.cache.PlanCache`
+and returns a concrete plan, validating that a supplied plan matches the
+requested pattern.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .cost import PlanCostModel
+from .plan import (
+    PLANNER_VERSION,
+    CompiledPlan,
+    E_ET,
+    V_ET,
+    pattern_hash,
+    task_signature,
+)
+from .profile import DatasetProfile, profile_dataset
+
+__all__ = [
+    "Planner",
+    "baseline_plan",
+    "compile_plan",
+    "enumerate_orders",
+    "resolve_plan",
+]
+
+#: Cap on enumerated candidate orders; beyond this the searcher keeps the
+#: cheapest-seen set (the hint is always included regardless).
+MAX_CANDIDATE_ORDERS = 4096
+
+
+def enumerate_orders(pattern: Any,
+                     cap: int = MAX_CANDIDATE_ORDERS) -> List[Tuple[int, ...]]:
+    """All connected matching orders of ``pattern``, up to ``cap``.
+
+    Every prefix of a returned order induces a connected subgraph, the
+    invariant the extension engine needs (each new vertex has at least one
+    placed anchor).  Enumeration order is deterministic: DFS over sorted
+    vertex ids.
+    """
+    n = pattern.num_vertices
+    orders: List[Tuple[int, ...]] = []
+
+    def grow(placed: List[int], frontier: set) -> None:
+        if len(orders) >= cap:
+            return
+        if len(placed) == n:
+            orders.append(tuple(placed))
+            return
+        for v in sorted(frontier):
+            nxt = (frontier | set(pattern.neighbors(v))) - set(placed) - {v}
+            grow(placed + [v], nxt)
+
+    for start in range(n):
+        grow([start], set(pattern.neighbors(start)))
+    return orders
+
+
+def _pattern_dict(pattern: Any) -> Dict[str, Any]:
+    return {
+        "edges": [[int(u), int(v)] for u, v in pattern.edges],
+        "labels": ([int(pattern.label(v))
+                    for v in range(pattern.num_vertices)]
+                   if pattern.labeled else None),
+        "name": getattr(pattern, "name", None),
+    }
+
+
+def _dedup_strategies(levels: int) -> Tuple[Dict[str, Any], ...]:
+    return tuple({"ordered": False, "dedup": True} for __ in range(levels))
+
+
+def baseline_plan(task: str, pattern: Any = None,
+                  profile: Optional[DatasetProfile] = None,
+                  **params: Any) -> CompiledPlan:
+    """The pre-planner behavior as a plan: hand-tuned orders, no search."""
+    common = {
+        "source": "baseline",
+        "profile_hash": profile.profile_hash if profile is not None else "",
+        "candidates_considered": 1,
+    }
+    if task == "sm":
+        return CompiledPlan(
+            task="sm", orientation=V_ET, join_strategy="extend",
+            pattern=_pattern_dict(pattern),
+            order=tuple(pattern.matching_order()),
+            restrictions=tuple(pattern.symmetry_breaking_constraints()),
+            symmetry_breaking=bool(params.get("symmetry_breaking", False)),
+            params={}, pattern_hash=pattern_hash(pattern), **common)
+    if task == "sm-binary":
+        return CompiledPlan(
+            task="sm-binary", orientation=E_ET, join_strategy="binary",
+            pattern=_pattern_dict(pattern),
+            edge_order=tuple(
+                (int(u), int(v)) for u, v in pattern.edge_order()),
+            params={}, pattern_hash=pattern_hash(pattern), **common)
+    if task == "fpm":
+        levels = max(0, int(params["iterations"]) - 1)
+        plan_params = {
+            "iterations": int(params["iterations"]),
+            "min_support": int(params["min_support"]),
+            "support_metric": params.get("support_metric", "instances"),
+        }
+        return CompiledPlan(
+            task="fpm", orientation=E_ET, join_strategy="extend",
+            params=plan_params, level_strategies=_dedup_strategies(levels),
+            pattern_hash=task_signature("fpm", plan_params), **common)
+    if task == "motif":
+        levels = max(0, int(params["num_edges"]) - 1)
+        plan_params = {"num_edges": int(params["num_edges"])}
+        return CompiledPlan(
+            task="motif", orientation=E_ET, join_strategy="extend",
+            params=plan_params, level_strategies=_dedup_strategies(levels),
+            pattern_hash=task_signature("motif", plan_params), **common)
+    if task == "kclique":
+        plan_params = {"k": int(params["k"])}
+        return CompiledPlan(
+            task="kclique", orientation=V_ET, join_strategy="extend",
+            order=tuple(range(int(params["k"]))),
+            params=plan_params,
+            pattern_hash=task_signature("kclique", plan_params), **common)
+    raise ValueError(f"unknown plan task {task!r}")
+
+
+class Planner:
+    """Cost-based plan search over one dataset profile."""
+
+    def __init__(self, profile: DatasetProfile,
+                 cost_model: Optional[PlanCostModel] = None) -> None:
+        self.profile = profile
+        self.cost_model = cost_model or PlanCostModel(profile)
+
+    # ------------------------------------------------------------------
+
+    def plan_subgraph_match(self, pattern: Any, *,
+                            symmetry_breaking: bool = False) -> CompiledPlan:
+        """Pick the cheapest connected order; ties go to the hand hint."""
+        hint = tuple(pattern.matching_order())
+        restrictions = tuple(pattern.symmetry_breaking_constraints())
+        candidates = enumerate_orders(pattern)
+        if hint not in candidates:
+            candidates.append(hint)
+
+        best_order, best_est = hint, None
+        hint_est = None
+        for order in candidates:
+            est = self.cost_model.estimate_match_order(
+                pattern, order, restrictions,
+                symmetry_breaking=symmetry_breaking)
+            if order == hint:
+                hint_est = est
+            if best_est is None or est.seconds < best_est.seconds:
+                best_order, best_est = order, est
+        assert hint_est is not None and best_est is not None
+        # Strict tie (or noise-level difference): keep the hint so the
+        # planner never churns orders without a predicted win.
+        if best_est.seconds >= hint_est.seconds * (1.0 - 1e-9):
+            best_order, best_est = hint, hint_est
+
+        return CompiledPlan(
+            task="sm", orientation=V_ET, join_strategy="extend",
+            source="auto" if best_order != hint else "hint",
+            pattern=_pattern_dict(pattern),
+            order=best_order, restrictions=restrictions,
+            symmetry_breaking=symmetry_breaking,
+            pattern_hash=pattern_hash(pattern),
+            profile_hash=self.profile.profile_hash,
+            predicted_seconds=best_est.seconds,
+            baseline_predicted_seconds=hint_est.seconds,
+            candidates_considered=len(candidates))
+
+    def plan_binary_match(self, pattern: Any) -> CompiledPlan:
+        """Binary-join plans keep the hand edge order (the e-ET growth
+        order is already min-edge-first); the plan pins the orientation the
+        host-side row alignment consumes."""
+        plan = baseline_plan("sm-binary", pattern, self.profile)
+        return plan
+
+    def plan_edge_task(self, task: str, **params: Any) -> CompiledPlan:
+        """FPM / motif: choose per-level growth strategies by cost.
+
+        Level 1 (growing edge pairs) admits *ordered* growth — only
+        extension edges with ids above the row's minimum edge — which
+        generates each pair exactly once and needs no dedup.  Deeper
+        levels must keep plain growth + dedup: ascending-id growth misses
+        sets whose bridge edge has the largest id.  The cost model prices
+        both and picks per level; in practice ordered always wins where
+        it is legal because it removes an entire sort pass.
+        """
+        iterations = int(params["iterations"]) if task == "fpm" \
+            else int(params["num_edges"])
+        levels = max(0, iterations - 1)
+        baseline = baseline_plan(task, profile=self.profile, **params)
+        if levels == 0:
+            return baseline
+
+        choices: List[Dict[str, Any]] = []
+        for level in range(1, levels + 1):
+            if level == 1:
+                ordered = {"ordered": True, "dedup": False}
+                plain = {"ordered": False, "dedup": True}
+                ordered_est = self.cost_model.estimate_edge_plan(
+                    iterations, choices + [ordered]
+                    + list(_dedup_strategies(levels - level)))
+                plain_est = self.cost_model.estimate_edge_plan(
+                    iterations, choices + [plain]
+                    + list(_dedup_strategies(levels - level)))
+                choices.append(
+                    ordered if ordered_est.seconds < plain_est.seconds
+                    else plain)
+            else:
+                choices.append({"ordered": False, "dedup": True})
+
+        est = self.cost_model.estimate_edge_plan(iterations, choices)
+        base_est = self.cost_model.estimate_edge_plan(
+            iterations, list(baseline.level_strategies))
+        if est.seconds >= base_est.seconds:
+            return baseline
+        import dataclasses
+        return dataclasses.replace(
+            baseline, source="auto", level_strategies=tuple(choices),
+            predicted_seconds=est.seconds,
+            baseline_predicted_seconds=base_est.seconds,
+            candidates_considered=2 ** min(levels, 1) + 1)
+
+    def plan_kclique(self, k: int) -> CompiledPlan:
+        """Ascending-id clique growth is canonical (every order is
+        isomorphic on a complete pattern); keep the baseline as a hint."""
+        import dataclasses
+        plan = baseline_plan("kclique", profile=self.profile, k=k)
+        est = self.cost_model.estimate_match_order(
+            _clique_pattern(k), tuple(range(k)))
+        return dataclasses.replace(
+            plan, source="hint", predicted_seconds=est.seconds,
+            baseline_predicted_seconds=est.seconds)
+
+
+def _clique_pattern(k: int) -> Any:
+    from ..graph.patterns import clique
+    return clique(k)
+
+
+def compile_plan(task: str, *, pattern: Any = None,
+                 profile: Optional[DatasetProfile] = None,
+                 mode: str = "auto",
+                 cost_model: Optional[PlanCostModel] = None,
+                 **params: Any) -> CompiledPlan:
+    """Compile one plan for ``task`` in ``mode`` (``auto``/``baseline``)."""
+    if mode == "baseline" or profile is None:
+        return baseline_plan(task, pattern, profile, **params)
+    planner = Planner(profile, cost_model)
+    if task == "sm":
+        return planner.plan_subgraph_match(
+            pattern, symmetry_breaking=bool(
+                params.get("symmetry_breaking", False)))
+    if task == "sm-binary":
+        return planner.plan_binary_match(pattern)
+    if task in ("fpm", "motif"):
+        return planner.plan_edge_task(task, **params)
+    if task == "kclique":
+        return planner.plan_kclique(int(params["k"]))
+    raise ValueError(f"unknown plan task {task!r}")
+
+
+def resolve_plan(engine: Any, task: str, *, pattern: Any = None,
+                 plan: Any = None, cache: Any = None,
+                 profile: Optional[DatasetProfile] = None,
+                 **params: Any) -> CompiledPlan:
+    """Turn a user-level plan spec into a concrete :class:`CompiledPlan`.
+
+    ``plan`` may be ``None`` (library default: baseline), ``"baseline"``,
+    ``"auto"``, a path to a plan JSON, or an already-compiled plan.  When
+    a cache is supplied, auto plans are looked up / stored under
+    ``(pattern_hash, profile_hash)``.
+    """
+    if isinstance(plan, CompiledPlan):
+        _check_plan_matches(plan, task, pattern)
+        return plan
+    if isinstance(plan, (str, pathlib.Path)) and plan not in (
+            "auto", "baseline"):
+        loaded = CompiledPlan.load(plan)
+        _check_plan_matches(loaded, task, pattern)
+        return loaded
+
+    mode = "baseline" if plan in (None, "baseline") else "auto"
+    if mode == "baseline":
+        return baseline_plan(task, pattern, profile, **params)
+
+    if profile is None:
+        profile = profile_dataset(engine.graph)
+    key_hash = (pattern_hash(pattern) if pattern is not None
+                else task_signature(task, {
+                    k: v for k, v in params.items()
+                    if isinstance(v, (int, float, str, bool))}))
+    # Symmetry breaking changes restriction pruning, hence the plan.
+    if params.get("symmetry_breaking"):
+        key_hash = key_hash + ":sb"
+
+    def build() -> CompiledPlan:
+        return compile_plan(task, pattern=pattern, profile=profile,
+                            mode="auto", **params)
+
+    if cache is not None:
+        return cache.get_or_plan(key_hash, profile.profile_hash, build)
+    return build()
+
+
+def _check_plan_matches(plan: CompiledPlan, task: str, pattern: Any) -> None:
+    if plan.task != task:
+        raise ValueError(
+            f"plan targets task {plan.task!r}, requested {task!r}")
+    if pattern is not None and plan.pattern_hash:
+        expected = pattern_hash(pattern)
+        if plan.pattern_hash != expected:
+            raise ValueError(
+                "plan was compiled for a different pattern "
+                f"(plan hash {plan.pattern_hash[:12]}…, "
+                f"requested {expected[:12]}…)")

@@ -1,0 +1,132 @@
+"""Dataset profiles: the statistics the planner costs orders against.
+
+A :class:`DatasetProfile` is a small, hashable summary of a data graph —
+vertex/edge counts, degree moments, and (for labeled graphs) per-label
+vertex counts and mean degrees.  Two graphs with the same profile get the
+same plan, which is exactly what makes the persistent plan cache sound:
+its key is ``(pattern_hash, profile_hash)`` and the profile hash pins
+every input the cost model reads.
+
+Profiling is a host-side scan over the CSR arrays; it is never charged to
+the simulated clock (the planner runs before the run starts, like query
+compilation in a database).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["DatasetProfile", "profile_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Summary statistics of one data graph, stable under re-profiling."""
+
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    mean_degree: float
+    num_labels: int
+    #: vertices per label id (empty for unlabeled graphs)
+    label_counts: Tuple[int, ...] = field(default=())
+    #: mean degree of the vertices carrying each label id
+    label_degree_means: Tuple[float, ...] = field(default=())
+
+    # -- derived quantities the cost model reads ---------------------------
+
+    def label_frequency(self, label: "int | None") -> float:
+        """Fraction of vertices carrying ``label`` (1.0 when unlabeled)."""
+        if label is None or not self.label_counts:
+            return 1.0
+        if not (0 <= label < len(self.label_counts)) or not self.num_vertices:
+            return 0.0
+        return self.label_counts[label] / self.num_vertices
+
+    def label_mean_degree(self, label: "int | None") -> float:
+        """Mean degree among vertices of ``label`` (global mean fallback)."""
+        if (label is None or not self.label_degree_means
+                or not 0 <= label < len(self.label_degree_means)):
+            return self.mean_degree
+        return self.label_degree_means[label]
+
+    def edge_probability(self) -> float:
+        """Probability a uniformly random ordered pair is adjacent."""
+        if self.num_vertices <= 1:
+            return 0.0
+        return min(1.0, self.mean_degree / max(1, self.num_vertices - 1))
+
+    # -- serialization / hashing ------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "max_degree": self.max_degree,
+            "mean_degree": round(self.mean_degree, 6),
+            "num_labels": self.num_labels,
+            "label_counts": list(self.label_counts),
+            "label_degree_means": [
+                round(m, 6) for m in self.label_degree_means
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DatasetProfile":
+        return cls(
+            num_vertices=int(data["num_vertices"]),
+            num_edges=int(data["num_edges"]),
+            max_degree=int(data["max_degree"]),
+            mean_degree=float(data["mean_degree"]),
+            num_labels=int(data["num_labels"]),
+            label_counts=tuple(int(c) for c in data.get("label_counts", ())),
+            label_degree_means=tuple(
+                float(m) for m in data.get("label_degree_means", ())
+            ),
+        )
+
+    @property
+    def profile_hash(self) -> str:
+        """sha256 over the canonical JSON form; the cache-key component."""
+        blob = json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def profile_dataset(graph: Any) -> DatasetProfile:
+    """Profile a :class:`~repro.graph.csr.CSRGraph` (host-side, uncharged).
+
+    Degrees are rounded to six decimals inside the hash so re-profiling the
+    same graph on any platform yields the same ``profile_hash``.
+    """
+    degrees = np.diff(graph.offsets).astype(np.int64)
+    num_vertices = int(graph.num_vertices)
+    num_edges = int(graph.num_edges)
+    max_degree = int(degrees.max()) if degrees.size else 0
+    mean_degree = float(degrees.mean()) if degrees.size else 0.0
+
+    labels = getattr(graph, "labels", None)
+    if labels is None:
+        return DatasetProfile(
+            num_vertices=num_vertices, num_edges=num_edges,
+            max_degree=max_degree, mean_degree=mean_degree, num_labels=0,
+        )
+
+    labels = np.asarray(labels, dtype=np.int64)
+    num_labels = int(labels.max()) + 1 if labels.size else 0
+    counts = np.bincount(labels, minlength=num_labels).astype(np.int64)
+    degree_sums = np.bincount(labels, weights=degrees.astype(np.float64),
+                              minlength=num_labels)
+    means = degree_sums / np.maximum(counts, 1)
+    return DatasetProfile(
+        num_vertices=num_vertices, num_edges=num_edges,
+        max_degree=max_degree, mean_degree=mean_degree,
+        num_labels=num_labels,
+        label_counts=tuple(int(c) for c in counts),
+        label_degree_means=tuple(float(m) for m in means),
+    )

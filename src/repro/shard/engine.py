@@ -309,9 +309,12 @@ class ShardedGamma:
         self._barrier()
         return self._merge_stats(stats)
 
-    def edge_extension(self, table: ShardedTable) -> ExtensionStats:
+    def edge_extension(self, table: ShardedTable,
+                       greater_than_col: "int | None" = None,
+                       ) -> ExtensionStats:
         stats = self._each(
-            lambda i: self.shards[i].edge_extension(table.parts[i])
+            lambda i: self.shards[i].edge_extension(
+                table.parts[i], greater_than_col=greater_than_col)
         )
         self._barrier()
         return self._merge_stats(stats)

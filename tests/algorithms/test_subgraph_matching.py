@@ -95,6 +95,30 @@ class TestBinaryJoin:
             binary = match_pattern_binary(e2, pattern)
         assert woj.embeddings == binary.embeddings
 
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "pattern", [sm_query(1), sm_query(2), cycle(4)],
+        ids=lambda p: p.name,
+    )
+    def test_sharded_row_realignment(self, medium_graph, pattern,
+                                     num_shards):
+        """Regression: the e-ET seed's host-side row re-alignment must
+        honor the plan's edge orientation per *table row*, not per sorted
+        position.  A sharded seed interleaves shard-local row blocks, so
+        the old double-argsort alignment silently attributed forward
+        orientations to the wrong rows and dropped or duplicated
+        embeddings on >1 shard."""
+        from repro.shard import ShardedGamma
+
+        with Gamma(medium_graph) as single:
+            expected = match_pattern_binary(single, pattern).embeddings
+        engine = ShardedGamma(medium_graph, num_shards=num_shards)
+        try:
+            got = match_pattern_binary(engine, pattern).embeddings
+        finally:
+            engine.close()
+        assert got == expected
+
 
 class TestLabeledSemantics:
     def test_unlabeled_pattern_ignores_labels(self, medium_graph):

@@ -1,0 +1,30 @@
+# gammalint-fixture: src/repro/algorithms/fixture_driver.py
+"""Seeded violations for the plan-order checker.
+
+The pretend path sits in ``repro/algorithms/`` (engine scope), so direct
+matching-order calls are flagged; the waivered verification call and the
+plan request through ``resolve_plan`` are not.
+"""
+
+
+def hardcoded_driver(engine, pattern):
+    order = pattern.matching_order()  # expect[planorder]
+    restrictions = pattern.symmetry_breaking_constraints()  # expect[planorder]
+    return order, restrictions
+
+
+def hardcoded_binary_driver(engine, pattern):
+    return pattern.edge_order()  # expect[planorder]
+
+
+def verifier(pattern, mats):
+    # Non-planning use: any canonical enumeration works here.
+    order = pattern.matching_order()  # gammalint: allow[planorder] -- verification, not planning
+    return [mats[:, i] for i, __ in enumerate(order)]
+
+
+def plan_driven_driver(engine, pattern):
+    from repro.plan import resolve_plan
+
+    plan = resolve_plan(engine, "sm", pattern=pattern, plan=None)
+    return list(plan.order)

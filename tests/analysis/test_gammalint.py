@@ -17,13 +17,14 @@ REPO_ROOT = pathlib.Path(__file__).parents[2]
 
 
 class TestRegistry:
-    def test_all_five_checkers_registered(self):
+    def test_all_six_checkers_registered(self):
         names = {c.name for c in all_checkers()}
         assert names == {
             "charge-accounting",
             "numpy-dtype",
             "obs-span",
             "pipeline-parity",
+            "plan-order",
             "warp-race",
         }
 
@@ -31,7 +32,7 @@ class TestRegistry:
         codes = known_codes()
         assert {"charge", "dtype", "overflow", "banned-sort",
                 "parity-twin", "parity-test", "warp-race",
-                "obs-span"} <= codes
+                "obs-span", "planorder"} <= codes
         assert {"waiver-reason", "waiver-unknown", "waiver-unused"} <= codes
 
 

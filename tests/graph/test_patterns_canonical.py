@@ -98,7 +98,17 @@ class TestPattern:
 
     def test_sm_query_invalid(self):
         with pytest.raises(InvalidPatternError):
-            sm_query(4)
+            sm_query(7)
+
+    def test_sm_queries_q4_q6_are_labeled_and_connected(self):
+        for which in (4, 5, 6):
+            q = sm_query(which)
+            assert q.labeled
+            # The selective label (7) sits on a low-degree vertex, so the
+            # label-blind hand order must start elsewhere.
+            rare = [v for v in range(q.num_vertices) if q.label(v) == 7]
+            assert len(rare) == 1
+            assert q.matching_order()[0] != rare[0]
 
     def test_standard_pattern_sizes(self):
         assert path(3).num_edges == 3

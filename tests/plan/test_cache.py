@@ -1,0 +1,115 @@
+"""PlanCache: persistence, staleness invalidation, the LRU front."""
+
+import dataclasses
+import json
+import sqlite3
+
+import pytest
+
+from repro.graph import sm_query
+from repro.plan import PlanCache, baseline_plan
+
+
+@pytest.fixture()
+def cache_path(tmp_path):
+    return tmp_path / "plans.sqlite"
+
+
+def _plan(query=1):
+    return baseline_plan("sm", sm_query(query))
+
+
+PH = "deadbeef" * 8     # pattern-hash stand-in
+PR = "cafef00d" * 8     # profile-hash stand-in
+
+
+def test_round_trip_and_counters(cache_path):
+    with PlanCache(cache_path) as cache:
+        assert cache.get(PH, PR) is None
+        cache.put(PH, PR, _plan())
+        got = cache.get(PH, PR)
+        assert got is not None
+        assert got.plan_id == _plan().plan_id
+        assert cache.hits == 1 and cache.misses == 1
+        stats = cache.stats()
+        assert stats["persisted"] == 1 and stats["lru"] == 1
+
+
+def test_survives_process_restart(cache_path):
+    with PlanCache(cache_path) as cache:
+        cache.put(PH, PR, _plan(2))
+    with PlanCache(cache_path) as reopened:
+        got = reopened.get(PH, PR)
+        assert got is not None
+        assert got.plan_id == _plan(2).plan_id
+        assert reopened.hits == 1     # served from SQLite, not the LRU
+
+
+def test_profile_change_is_a_miss(cache_path):
+    with PlanCache(cache_path) as cache:
+        cache.put(PH, PR, _plan())
+    with PlanCache(cache_path) as cache:
+        assert cache.get(PH, "f" * 64) is None
+
+
+def test_planner_version_bump_invalidates(cache_path):
+    with PlanCache(cache_path) as cache:
+        cache.put(PH, PR, _plan())
+    with PlanCache(cache_path) as cache:
+        cache._db.execute("UPDATE plans SET planner_version = 999")
+        cache._db.commit()
+        assert cache.get(PH, PR) is None
+        assert cache.misses == 1
+
+
+def test_corrupted_payload_is_a_miss_not_a_crash(cache_path):
+    with PlanCache(cache_path) as cache:
+        cache.put(PH, PR, _plan())
+    db = sqlite3.connect(str(cache_path))
+    db.execute("UPDATE plans SET payload = ?", (b'{"truncated":',))
+    db.commit()
+    db.close()
+    with PlanCache(cache_path) as cache:
+        assert cache.get(PH, PR) is None
+
+
+def test_get_or_plan_builds_exactly_once(cache_path):
+    builds = []
+
+    def build():
+        builds.append(1)
+        return _plan()
+
+    with PlanCache(cache_path) as cache:
+        first = cache.get_or_plan(PH, PR, build)
+        second = cache.get_or_plan(PH, PR, build)
+        assert first.plan_id == second.plan_id
+        assert len(builds) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+
+def test_lru_is_bounded_but_sqlite_keeps_everything(cache_path):
+    with PlanCache(cache_path, lru_capacity=2) as cache:
+        for q in (1, 2, 3):
+            cache.put(f"{PH}:{q}", PR, _plan(q))
+        assert cache.stats()["lru"] == 2
+        assert cache.stats()["persisted"] == 3
+        # The evicted entry still hits through SQLite.
+        assert cache.get(f"{PH}:1", PR) is not None
+
+
+def test_payload_sha_mismatch_is_stale(cache_path):
+    with PlanCache(cache_path) as cache:
+        cache.put(PH, PR, _plan())
+        # Tamper with the payload while keeping it valid JSON: the stored
+        # sha no longer matches, so the row must be treated as a miss.
+        row = cache._db.execute(
+            "SELECT payload FROM plans").fetchone()[0]
+        doc = json.loads(row.decode("utf-8"))
+        doc["order"] = list(reversed(doc["order"]))
+        cache._db.execute(
+            "UPDATE plans SET payload = ?",
+            (json.dumps(doc, sort_keys=True).encode("utf-8"),))
+        cache._db.commit()
+        cache._lru.clear()
+        assert cache.get(PH, PR) is None

@@ -1,0 +1,162 @@
+"""Plan selection: candidate enumeration, hint safety net, resolve_plan."""
+
+import pytest
+
+from repro.core import Gamma
+from repro.graph import Pattern, sm_query
+from repro.graph.datasets import load as load_dataset
+from repro.plan import (
+    CompiledPlan,
+    baseline_plan,
+    compile_plan,
+    enumerate_orders,
+    profile_dataset,
+    resolve_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def cl_profile():
+    return profile_dataset(load_dataset("CL"))
+
+
+class TestEnumerateOrders:
+    def test_every_prefix_is_connected(self):
+        pattern = sm_query(2)
+        adj = {v: set() for v in range(pattern.num_vertices)}
+        for u, v in pattern.edges:
+            adj[u].add(v)
+            adj[v].add(u)
+        orders = enumerate_orders(pattern)
+        assert orders
+        for order in orders:
+            assert sorted(order) == list(range(pattern.num_vertices))
+            for i in range(1, len(order)):
+                assert adj[order[i]] & set(order[:i])
+
+    def test_cap_respected_and_deterministic(self):
+        pattern = sm_query(3)
+        assert enumerate_orders(pattern) == enumerate_orders(pattern)
+        capped = enumerate_orders(pattern, cap=3)
+        assert len(capped) == 3
+
+    def test_hand_order_is_among_candidates(self):
+        for q in (1, 2, 3, 4, 5, 6):
+            pattern = sm_query(q)
+            assert tuple(pattern.matching_order()) in enumerate_orders(
+                pattern)
+
+
+class TestAutoNeverWorseThanHint:
+    @pytest.mark.parametrize("query", [1, 2, 3, 4, 5, 6])
+    def test_predicted_at_most_baseline(self, cl_profile, query):
+        plan = compile_plan("sm", pattern=sm_query(query),
+                            profile=cl_profile, mode="auto")
+        assert plan.predicted_seconds <= plan.baseline_predicted_seconds
+        assert plan.candidates_considered >= 1
+
+    def test_tie_keeps_the_hint(self, cl_profile):
+        # A single edge: both orders cost the same (unlabeled), so the
+        # planner must not churn away from the hand order.
+        pattern = Pattern([(0, 1)], name="edge")
+        plan = compile_plan("sm", pattern=pattern, profile=cl_profile,
+                            mode="auto")
+        assert plan.source == "hint"
+        assert plan.order == tuple(pattern.matching_order())
+
+    def test_rare_label_query_moves_off_the_hint(self, cl_profile):
+        # q4 anchors the zipf-rarest label on a leaf; the label-blind
+        # hand order starts at the max-degree vertex instead.
+        plan = compile_plan("sm", pattern=sm_query(4), profile=cl_profile,
+                            mode="auto")
+        assert plan.source == "auto"
+        assert plan.order != tuple(sm_query(4).matching_order())
+        assert plan.predicted_seconds < plan.baseline_predicted_seconds
+
+    def test_edge_task_picks_ordered_pair_growth(self, cl_profile):
+        plan = compile_plan("fpm", profile=cl_profile, mode="auto",
+                            iterations=2, min_support=10)
+        assert plan.level_strategies[0] == {"ordered": True, "dedup": False}
+        for strategy in plan.level_strategies[1:]:
+            assert strategy == {"ordered": False, "dedup": True}
+
+
+class TestBaselinePlans:
+    def test_baseline_reproduces_hand_choices(self):
+        pattern = sm_query(2)
+        plan = baseline_plan("sm", pattern)
+        assert plan.source == "baseline"
+        assert plan.order == tuple(pattern.matching_order())
+        assert plan.restrictions == tuple(
+            pattern.symmetry_breaking_constraints())
+
+    def test_baseline_edge_tasks_always_dedup(self):
+        plan = baseline_plan("fpm", iterations=3, min_support=5)
+        assert all(s == {"ordered": False, "dedup": True}
+                   for s in plan.level_strategies)
+
+
+class TestResolvePlan:
+    def test_specs_map_to_sources(self, tiny_graph):
+        with Gamma(tiny_graph) as engine:
+            pattern = sm_query(1)
+            assert resolve_plan(engine, "sm", pattern=pattern,
+                                plan=None).source == "baseline"
+            assert resolve_plan(engine, "sm", pattern=pattern,
+                                plan="baseline").source == "baseline"
+            auto = resolve_plan(engine, "sm", pattern=pattern, plan="auto")
+            assert auto.source in ("auto", "hint")
+            assert auto.profile_hash == profile_dataset(
+                tiny_graph).profile_hash
+
+    def test_compiled_plan_passes_through(self, tiny_graph):
+        pattern = sm_query(1)
+        plan = baseline_plan("sm", pattern)
+        with Gamma(tiny_graph) as engine:
+            assert resolve_plan(engine, "sm", pattern=pattern,
+                                plan=plan) is plan
+
+    def test_file_round_trip(self, tiny_graph, tmp_path):
+        pattern = sm_query(1)
+        path = tmp_path / "q1.plan.json"
+        baseline_plan("sm", pattern).save(path)
+        with Gamma(tiny_graph) as engine:
+            loaded = resolve_plan(engine, "sm", pattern=pattern,
+                                  plan=str(path))
+        assert loaded.source == "file"
+        assert loaded.order == tuple(pattern.matching_order())
+
+    def test_mismatched_plan_rejected(self, tiny_graph):
+        plan = baseline_plan("sm", sm_query(1))
+        with Gamma(tiny_graph) as engine:
+            with pytest.raises(ValueError, match="different pattern"):
+                resolve_plan(engine, "sm", pattern=sm_query(2), plan=plan)
+            with pytest.raises(ValueError, match="task"):
+                resolve_plan(engine, "fpm", plan=plan,
+                             iterations=2, min_support=5)
+
+    def test_unknown_task_rejected(self, tiny_graph):
+        with Gamma(tiny_graph) as engine:
+            with pytest.raises(ValueError, match="unknown plan task"):
+                resolve_plan(engine, "nonsense", plan="auto")
+
+
+class TestPlanIdentity:
+    def test_plan_id_tracks_executable_fields(self, cl_profile):
+        base = baseline_plan("sm", sm_query(4))
+        auto = compile_plan("sm", pattern=sm_query(4), profile=cl_profile,
+                            mode="auto")
+        assert base.plan_id != auto.plan_id          # different order
+        again = compile_plan("sm", pattern=sm_query(4), profile=cl_profile,
+                             mode="auto")
+        assert auto.plan_id == again.plan_id         # deterministic
+
+    def test_round_trip_preserves_identity(self, cl_profile, tmp_path):
+        plan = compile_plan("sm", pattern=sm_query(5), profile=cl_profile,
+                            mode="auto")
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = CompiledPlan.load(path)
+        assert loaded.plan_id == plan.plan_id
+        assert loaded.order == plan.order
+        assert loaded.restrictions == plan.restrictions

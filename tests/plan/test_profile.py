@@ -1,0 +1,47 @@
+"""DatasetProfile: the planner's view of a graph."""
+
+import numpy as np
+
+from repro.graph import from_edge_list
+from repro.plan import DatasetProfile, profile_dataset
+
+
+def test_profile_fields_tiny_graph(tiny_graph):
+    profile = profile_dataset(tiny_graph)
+    assert profile.num_vertices == 5
+    assert profile.num_edges == tiny_graph.num_edges
+    assert profile.max_degree == 3
+    assert profile.num_labels == 3
+    # labels [0, 2, 1, 0, 2] -> two 0s, one 1, two 2s
+    assert profile.label_counts == (2, 1, 2)
+    assert profile.label_frequency(1) == 1 / 5
+
+
+def test_label_degree_means_follow_label_placement():
+    # label 1 sits on the hub of a star; label 0 on the leaves.
+    edges = [(0, i) for i in range(1, 6)]
+    g = from_edge_list(edges, labels=np.array([1, 0, 0, 0, 0, 0]))
+    profile = profile_dataset(g)
+    assert profile.label_mean_degree(1) == 5.0
+    assert profile.label_mean_degree(0) == 1.0
+    assert profile.label_mean_degree(1) > profile.mean_degree
+
+
+def test_profile_hash_is_stable_and_content_sensitive(tiny_graph,
+                                                      wheel_graph):
+    a = profile_dataset(tiny_graph)
+    b = profile_dataset(tiny_graph)
+    assert a.profile_hash == b.profile_hash
+    assert a.profile_hash != profile_dataset(wheel_graph).profile_hash
+
+
+def test_profile_round_trips_through_dict(tiny_graph):
+    profile = profile_dataset(tiny_graph)
+    clone = DatasetProfile.from_dict(profile.as_dict())
+    assert clone == profile
+    assert clone.profile_hash == profile.profile_hash
+
+
+def test_edge_probability_bounded(random_labeled_graph):
+    profile = profile_dataset(random_labeled_graph)
+    assert 0.0 < profile.edge_probability() <= 1.0

@@ -227,3 +227,82 @@ class TestShardedRun:
         assert main(["run", "--task", "kcl", "--dataset", "ER",
                      "--system", "Peregrine", "--gpus", "2"]) == 2
         assert "--gpus needs the GAMMA engine" in capsys.readouterr().err
+
+
+class TestPlanFlags:
+    def test_run_plan_auto_matches_baseline_counts(self, capsys):
+        assert main(["run", "--task", "sm", "--query", "1",
+                     "--dataset", "ER"]) == 0
+        base = capsys.readouterr().out
+        assert main(["run", "--task", "sm", "--query", "1",
+                     "--dataset", "ER", "--plan", "auto"]) == 0
+        auto = capsys.readouterr().out
+        base_line = next(l for l in base.splitlines() if "embeddings" in l)
+        assert base_line in auto
+        assert "plan:" in auto          # provenance printed for non-baseline
+
+    def test_run_plan_baseline_prints_no_plan_line(self, capsys):
+        assert main(["run", "--task", "sm", "--query", "1",
+                     "--dataset", "ER", "--plan", "baseline"]) == 0
+        assert "plan:" not in capsys.readouterr().out
+
+    def test_plan_cache_dir_hits_across_runs(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "plans")
+        args = ["run", "--task", "motifs", "--dataset", "ER",
+                "--plan", "auto", "--plan-cache-dir", cache_dir]
+        assert main(args) == 0
+        assert "misses=1" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "hits=1" in capsys.readouterr().out
+
+    def test_plan_flags_rejected_for_unplanned_tasks(self, capsys):
+        assert main(["run", "--task", "graphlets", "--dataset", "ER",
+                     "--plan", "auto"]) == 2
+        assert "--plan" in capsys.readouterr().err
+
+    def test_bad_plan_file_rejected(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["run", "--task", "sm", "--dataset", "ER",
+                     "--plan", str(bad)]) == 2
+        assert "bad --plan" in capsys.readouterr().err
+
+    def test_manifest_records_plan_block(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "manifest.json"
+        assert main(["run", "--task", "fpm", "--dataset", "ER",
+                     "--min-support", "2", "--plan", "auto",
+                     "--manifest-out", str(path)]) == 0
+        doc = json.loads(path.read_text())["extra"]["plan"]
+        assert doc["id"]
+        assert doc["source"] in ("auto", "hint")
+        assert doc["actual_seconds"] > 0
+
+
+class TestPlanExplainCommand:
+    def test_explain_prints_and_saves(self, capsys, tmp_path):
+        out_path = tmp_path / "plan.json"
+        assert main(["plan", "explain", "--task", "sm", "--query", "2",
+                     "--dataset", "ER", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "task=sm" in out and "order:" in out
+        assert out_path.exists()
+        # The saved plan runs through `repro run --plan <file>`.
+        assert main(["run", "--task", "sm", "--query", "2",
+                     "--dataset", "ER", "--plan", str(out_path)]) == 0
+        assert "[file]" in capsys.readouterr().out
+
+    def test_explain_baseline_mode(self, capsys):
+        assert main(["plan", "explain", "--task", "fpm", "--dataset", "ER",
+                     "--plan", "baseline"]) == 0
+        assert "[baseline]" in capsys.readouterr().out
+
+    def test_explain_wrong_pattern_file_rejected(self, capsys, tmp_path):
+        out_path = tmp_path / "q1.json"
+        assert main(["plan", "explain", "--task", "sm", "--query", "1",
+                     "--dataset", "ER", "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["plan", "explain", "--task", "sm", "--query", "2",
+                     "--dataset", "ER", "--plan", str(out_path)]) == 2
+        assert "bad --plan" in capsys.readouterr().err

@@ -15,13 +15,14 @@ import repro.core
 import repro.graph
 import repro.gpusim
 import repro.obs
+import repro.plan
 import repro.resilience
 import repro.shard
 
 MODULES = (
     repro, repro.gpusim, repro.graph, repro.core,
     repro.algorithms, repro.baselines, repro.bench, repro.analysis,
-    repro.obs, repro.resilience, repro.shard,
+    repro.obs, repro.plan, repro.resilience, repro.shard,
 )
 
 

@@ -4,8 +4,13 @@ The simulator's correctness rests on conventions no type checker sees:
 adjacency reads must be *charged* (or the §IV clocks undercount), every
 fast path needs its bit-for-bit reference twin plus an equivalence test,
 hot-module NumPy code must pin dtypes and guard packed-key overflow, and
-per-warp loops must not race on shared simulator state.  This package
-enforces those invariants mechanically:
+per-warp loops must not race on shared simulator state — not even
+transitively through helper calls.  An interprocedural dataflow layer
+(:mod:`repro.analysis.flow`: project symbol table, call graph, value-kind
+fixpoint) additionally guards process-boundary safety (fork-hostile
+state into pickle/Process/pool sinks) and determinism (unordered
+iteration, order-sensitive float sums, ambient seeds and host clocks).
+This package enforces those invariants mechanically:
 
 * ``python -m repro.analysis src/`` — lint a tree (exit 1 on findings);
 * ``tools/lint.py`` — the CI entry point (gammalint + ruff + mypy);
@@ -25,6 +30,7 @@ from .framework import (
     build_context,
     format_human,
     format_json,
+    format_sarif,
     known_codes,
     lint_module,
     lint_paths,
@@ -44,6 +50,7 @@ __all__ = [
     "build_context",
     "format_human",
     "format_json",
+    "format_sarif",
     "known_codes",
     "lint_module",
     "lint_paths",

@@ -1,10 +1,30 @@
-"""The six repo-specific checkers; importing this package registers them.
+"""The eight repo-specific checkers; importing this package registers them.
 
 Adding a checker: create a module here, subclass
 :class:`repro.analysis.framework.Checker`, decorate with ``@register``, and
-import the module below (docs/LINTING.md walks through it).
+import the module below (docs/LINTING.md walks through it).  Checkers
+needing interprocedural facts (kinds, call graph) read them from
+``context.flow`` (:mod:`repro.analysis.flow`).
 """
 
-from . import charge, npdtype, obsspan, parity, planorder, warprace
+from . import (
+    charge,
+    determinism,
+    forksafety,
+    npdtype,
+    obsspan,
+    parity,
+    planorder,
+    warprace,
+)
 
-__all__ = ["charge", "npdtype", "obsspan", "parity", "planorder", "warprace"]
+__all__ = [
+    "charge",
+    "determinism",
+    "forksafety",
+    "npdtype",
+    "obsspan",
+    "parity",
+    "planorder",
+    "warprace",
+]

@@ -1,0 +1,196 @@
+"""fork-safety: fork-hostile state must not cross a process boundary.
+
+The multiprocessing roadmap (true wall-clock shard parallelism,
+multi-tenant serving) moves engine state across process boundaries via
+pickling and fork.  Two classes of bug slip through every unit test run
+in one process:
+
+* **a fork-hostile value reaches a process-boundary sink** (code
+  ``fork-boundary``): a SQLite connection, open file handle, telemetry
+  collector, platform/clock object, or live RNG flowing — possibly
+  through several calls, attribute loads, or a bound method capturing
+  ``self`` — into ``ProcessPoolExecutor.submit``, ``Process(target=...)``,
+  a pool ``map``/``apply``, or ``pickle.dump(s)``.  The dataflow engine
+  tracks value *kinds* interprocedurally, so a collector captured three
+  calls away from the submit site is still caught.
+* **a class stores unpicklable state without declaring its boundary
+  behavior** (code ``fork-state``): an instance attribute holding a
+  ``sqlite-conn``/``file-handle``/``process-pool`` kind in a class with
+  no ``__getstate__``/``__setstate__``/``__reduce__`` makes every object
+  that transitively owns one un-shippable.  The fix is the
+  connection-per-process pattern: drop the handle in ``__getstate__``
+  and reopen lazily (keyed on ``os.getpid()``) after the boundary.
+
+Scope: the whole package.  Sinks are data (:data:`BOUNDARY_SINKS`); the
+future shard-worker API is pre-registered so the multiprocessing refactor
+starts guarded.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..flow import kinds as K
+from ..flow.symbols import _dotted, module_name_for
+from ..framework import Checker, LintContext, SourceModule, register
+
+#: Callable names (post import-resolution) whose arguments cross a
+#: process boundary.  Values say which argument positions matter
+#: (``None`` = every argument, including keywords).
+BOUNDARY_SINKS: dict[str, "tuple[int, ...] | None"] = {
+    "pickle.dump": (0,),
+    "pickle.dumps": (0,),
+    "multiprocessing.Process": None,
+    "multiprocessing.process.Process": None,
+    # Pre-registered for the multiprocessing refactor (ROADMAP items 1-2):
+    # per-shard worker submission APIs are boundary sinks from day one.
+    "repro.shard.engine.submit_shard_op": None,
+    "repro.shard.worker.submit": None,
+}
+
+#: Method names that are boundary sinks when the receiver is (or may be)
+#: a process pool/executor.
+POOL_SINK_METHODS = frozenset({
+    "submit", "map", "imap", "imap_unordered", "starmap", "apply",
+    "apply_async", "map_async", "starmap_async",
+})
+
+
+def _kind_list(kinds: "frozenset[str]") -> str:
+    return ", ".join(sorted(kinds))
+
+
+@register
+class ForkSafetyChecker(Checker):
+    name = "fork-safety"
+    codes = ("fork-boundary", "fork-state")
+    description = (
+        "fork-hostile values (sqlite connections, file handles, telemetry "
+        "collectors, platform state, RNGs) must not flow into process-"
+        "boundary sinks, and classes owning unpicklable state must define "
+        "__getstate__/__reduce__"
+    )
+
+    def check(self, module: SourceModule, context: LintContext) -> Iterator[Diagnostic]:
+        flow = context.flow
+        if flow is None or not module.path:
+            return
+        mod = flow.table.modules.get(module_name_for(module.path))
+        if mod is None:
+            return
+        yield from self._check_sinks(module, flow, mod)
+        yield from self._check_classes(module, flow, mod)
+
+    # -- rule 1: hostile kinds into boundary sinks --------------------------
+
+    def _check_sinks(self, module: SourceModule, flow, mod) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            sink = self._sink_positions(node, flow, mod)
+            if sink is _NOT_A_SINK:
+                continue
+            args = list(enumerate(node.args))
+            if sink is not None:
+                args = [(i, a) for i, a in args if i in sink]
+            exprs = [a for _, a in args] + [kw.value for kw in node.keywords]
+            for expr in exprs:
+                hostile = flow.kinds(expr) & K.FORK_HOSTILE
+                if hostile:
+                    yield self.diagnostic(
+                        module, expr, "fork-boundary",
+                        f"value of kind [{_kind_list(hostile)}] crosses a "
+                        f"process boundary at `{_describe(node)}`; ship "
+                        "plain data instead (reopen handles per-process, "
+                        "merge telemetry after the join)",
+                    )
+
+    def _sink_positions(self, node: ast.Call, flow, mod):
+        """Argument positions that cross a boundary, or ``_NOT_A_SINK``."""
+        dotted = _dotted(node.func)
+        if dotted:
+            head, _, rest = dotted.partition(".")
+            target = mod.imports.get(head)
+            external = (target + ("." + rest if rest else "")) if target else dotted
+            if external in BOUNDARY_SINKS:
+                return BOUNDARY_SINKS[external]
+            if dotted in BOUNDARY_SINKS:
+                return BOUNDARY_SINKS[dotted]
+        if isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            if method in POOL_SINK_METHODS:
+                receiver = flow.kinds(node.func.value)
+                if K.PROCESS_POOL in receiver:
+                    return None  # every argument crosses
+        return _NOT_A_SINK
+
+    # -- rule 2: unpicklable state without a pickle protocol ----------------
+
+    def _check_classes(self, module: SourceModule, flow, mod) -> Iterator[Diagnostic]:
+        for cls in mod.classes.values():
+            method_names = set(cls.methods)
+            if method_names & {"__getstate__", "__reduce__", "__reduce_ex__"}:
+                continue
+            attrs = flow.class_attr_kinds(cls)
+            flagged: dict[str, frozenset] = {}
+            for attr, kinds in sorted(attrs.items()):
+                unpicklable = kinds & K.UNPICKLABLE
+                if unpicklable:
+                    flagged[attr] = unpicklable
+            if not flagged:
+                continue
+            # Anchor the diagnostic on the first store of the worst attr
+            # inside __init__ when possible, else on the class line.
+            anchor = self._store_site(cls, next(iter(flagged))) or cls.node
+            detail = "; ".join(
+                f"self.{attr} holds [{_kind_list(kinds)}]"
+                for attr, kinds in flagged.items()
+            )
+            yield self.diagnostic(
+                module, anchor, "fork-state",
+                f"class `{cls.name}` stores unpicklable state ({detail}) "
+                "but defines no __getstate__/__setstate__ or __reduce__; "
+                "instances cannot cross a process boundary — use the "
+                "connection-per-process pattern (drop the handle in "
+                "__getstate__, reopen lazily keyed on os.getpid())",
+            )
+
+    @staticmethod
+    def _store_site(cls, attr: str):
+        init = cls.methods.get("__init__")
+        search = [init.node] if init is not None else [
+            m.node for m in cls.methods.values()]
+        for root in search:
+            for node in ast.walk(root):
+                if (isinstance(node, (ast.Assign, ast.AugAssign))
+                        and _targets_self_attr(node, attr)):
+                    return node
+        return None
+
+
+class _NotASink:
+    pass
+
+
+_NOT_A_SINK = _NotASink()
+
+
+def _targets_self_attr(stmt: ast.AST, attr: str) -> bool:
+    targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]  # type: ignore[attr-defined]
+    for target in targets:
+        if (isinstance(target, ast.Attribute) and target.attr == attr
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return True
+    return False
+
+
+def _describe(node: ast.Call) -> str:
+    dotted = _dotted(node.func)
+    if dotted:
+        return dotted + "(...)"
+    if isinstance(node.func, ast.Attribute):
+        return "." + node.func.attr + "(...)"
+    return "<call>"

@@ -19,6 +19,14 @@ unless the loop body resolves conflicts by calling
 ``# gammalint: allow[warp-race] -- <reason>`` waiver.  The fix is almost
 always: accumulate per-warp quantities into an array inside the loop, then
 charge once after it (see ``DynamicAllocStrategy.account``).
+
+The interprocedural rule (code ``warp-race-transitive``) extends this
+through the call graph: a call inside a ``partition()`` loop body whose
+callee *transitively* writes shared simulator state — ``helper()`` three
+frames above a ``clock.advance`` — is the same race wearing a function
+call as a disguise.  The diagnostic names the witness call chain.
+Callees that resolve conflicts themselves (``warp_exclusive_scan`` /
+``warp_ballot`` anywhere in their body) are safe subtrees.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ import ast
 from typing import Iterator
 
 from ..diagnostics import Diagnostic
+from ..flow.engine import shared_call_description
 from ..framework import Checker, LintContext, SourceModule, register
 
 #: attribute-method calls on shared simulator objects: {owner: {method}}.
@@ -93,10 +102,11 @@ def _has_resolution(body: list) -> bool:
 @register
 class WarpRaceChecker(Checker):
     name = "warp-race"
-    codes = ("warp-race",)
+    codes = ("warp-race", "warp-race-transitive")
     description = (
         "per-warp partition() loops must not write shared simulator state "
-        "without warp_exclusive_scan/ballot conflict resolution"
+        "without warp_exclusive_scan/ballot conflict resolution — not "
+        "lexically, and not transitively through called helpers"
     )
 
     def check(self, module: SourceModule, context: LintContext) -> Iterator[Diagnostic]:
@@ -127,3 +137,31 @@ class WarpRaceChecker(Checker):
                             "accumulate per-warp and combine after the "
                             "loop (warp_exclusive_scan/warp_ballot)",
                         )
+                    elif isinstance(node, ast.Call):
+                        yield from self._transitive(module, context, node)
+
+    def _transitive(self, module: SourceModule, context: LintContext,
+                    node: ast.Call) -> Iterator[Diagnostic]:
+        """Resolved calls whose callees reach shared-state writes."""
+        flow = context.flow
+        if flow is None:
+            return
+        # The lexical rule already covers direct shared calls; only
+        # project-resolved callees are worth chasing.
+        if shared_call_description(node) is not None:
+            return
+        target = flow.graph.resolve_site(node)
+        if target is None:
+            return
+        witnesses = flow.transitive_shared_writes(target.qualname) or []
+        if not witnesses:
+            return
+        path, desc = witnesses[0]
+        chain = " -> ".join(q.rpartition(":")[2] or q for q in path)
+        yield self.diagnostic(
+            module, node, "warp-race-transitive",
+            f"call inside a per-warp partition() loop reaches shared "
+            f"simulator state transitively ({chain}: `{desc}`); hoist the "
+            "charge out of the loop or resolve with warp_exclusive_scan/"
+            "warp_ballot in the callee",
+        )

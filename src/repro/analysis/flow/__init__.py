@@ -1,0 +1,64 @@
+"""Interprocedural dataflow for gammalint: symbols, calls, value kinds.
+
+The line-local checkers in :mod:`repro.analysis.checkers` see one AST at
+a time; the checkers that guard *process* boundaries (fork safety,
+determinism, transitive warp races) need to know what a value **is** and
+where it **goes** across functions.  This package provides that:
+
+* :mod:`~repro.analysis.flow.symbols` — project-wide symbol table
+  (modules, classes, methods, imports, aliases);
+* :mod:`~repro.analysis.flow.callgraph` — call-site resolution
+  (``self.method``, module attributes, locally typed receivers, a
+  unique-name fallback) with measured resolution stats;
+* :mod:`~repro.analysis.flow.kinds` — the value-kind lattice
+  (``sqlite-conn``, ``file-handle``, ``unordered-collection``, ...);
+* :mod:`~repro.analysis.flow.engine` — the forward dataflow fixpoint
+  producing per-expression kind sets, per-class attribute kinds and
+  function summaries.
+
+The framework builds one :class:`FlowProject` per lint run and hands it
+to every checker via ``LintContext.flow``; see docs/LINTING.md for the
+checker-author guide and the engine's known resolution limits.
+"""
+
+from .callgraph import CallGraph, CallSite
+from .engine import FlowProject, FunctionSummary, build_project
+from .kinds import (
+    ALL_KINDS,
+    FLOAT_ACC,
+    FILE_HANDLE,
+    FORK_HOSTILE,
+    PLATFORM_STATE,
+    PROCESS_POOL,
+    RNG,
+    SQLITE_CONN,
+    TELEMETRY,
+    UNORDERED,
+    UNPICKLABLE,
+    KindSet,
+)
+from .symbols import ClassInfo, FunctionInfo, ModuleInfo, SymbolTable
+
+__all__ = [
+    "ALL_KINDS",
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FLOAT_ACC",
+    "FILE_HANDLE",
+    "FORK_HOSTILE",
+    "FlowProject",
+    "FunctionInfo",
+    "FunctionSummary",
+    "KindSet",
+    "ModuleInfo",
+    "PLATFORM_STATE",
+    "PROCESS_POOL",
+    "RNG",
+    "SQLITE_CONN",
+    "SymbolTable",
+    "TELEMETRY",
+    "UNORDERED",
+    "UNPICKLABLE",
+    "build_project",
+]

@@ -1,0 +1,342 @@
+"""Call-graph construction over the project symbol table.
+
+Every ``ast.Call`` inside a project function is a *site*; the resolver
+tries to pin it to a :class:`~repro.analysis.flow.symbols.FunctionInfo`:
+
+* bare names — local module functions, classes (→ ``__init__``), imports
+  (``from .plan import resolve_plan``), module-level aliases;
+* ``self.method()`` / ``cls.method()`` — the enclosing class and its
+  project base classes;
+* ``module.func()`` chains through imported project modules;
+* method calls on receivers whose class is locally evident — a parameter
+  annotation, a ``var = ClassName(...)`` assignment in the same function,
+  or a ``self.attr`` the class's ``__init__`` assigned from a constructor;
+* a unique-name fallback: a method name defined exactly once in the whole
+  project resolves to that definition even when the receiver is opaque
+  (class-hierarchy-analysis style — comes last, flagged ``approximate``).
+
+A site is *intra-project* (the denominator of the resolution-rate metric
+asserted in ``tests/analysis/test_flow.py``) when its terminal name is
+defined somewhere in the project and the receiver is the project's —
+bare names, ``self``/``cls``, project modules and locally typed
+receivers — or when the terminal name is project-unique.  External calls
+(``np.argsort``, ``.append``) are neither candidates nor failures.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .symbols import ClassInfo, FunctionInfo, ModuleInfo, SymbolTable, _dotted
+
+
+@dataclass
+class CallSite:
+    """One resolved-or-not call expression inside a project function."""
+
+    caller: FunctionInfo
+    node: ast.Call
+    target: Optional[FunctionInfo]
+    #: terminal name matches a project definition reachable from here.
+    candidate: bool
+    #: resolved through the unique-name fallback (receiver was opaque).
+    approximate: bool = False
+    #: the project class a constructor call instantiates (set even when
+    #: the class has no explicit ``__init__`` to point ``target`` at).
+    target_class: Optional[ClassInfo] = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.target is not None or self.target_class is not None
+
+
+@dataclass
+class _LocalTypes:
+    """Receiver-class facts gathered from one function body."""
+
+    by_var: Dict[str, ClassInfo] = field(default_factory=dict)
+    by_self_attr: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: names/attrs known to hold builtin containers (dict/list/set
+    #: literals, defaultdict, ...): method calls on them are external.
+    builtin_vars: set = field(default_factory=set)
+    builtin_self_attrs: set = field(default_factory=set)
+
+
+#: Method names shared with builtin containers / files / regex / sqlite —
+#: never resolved through the unique-name fallback, because an opaque
+#: receiver bearing one is far more likely a dict than a project object.
+_AMBIENT_METHOD_NAMES = frozenset({
+    "get", "pop", "popitem", "update", "copy", "clear", "setdefault",
+    "keys", "values", "items", "append", "extend", "insert", "remove",
+    "sort", "reverse", "count", "index", "add", "discard", "union",
+    "intersection", "difference", "read", "write", "close", "flush",
+    "seek", "join", "split", "strip", "startswith", "endswith", "format",
+    "encode", "decode", "search", "match", "findall", "sub", "group",
+    "execute", "executescript", "fetchone", "fetchall", "commit",
+    "cursor",
+})
+
+#: Builtin-container constructors for receiver-type bookkeeping.
+_BUILTIN_FACTORIES = frozenset({
+    "dict", "list", "set", "frozenset", "tuple",
+    "collections.defaultdict", "collections.OrderedDict",
+    "collections.Counter", "collections.deque",
+})
+
+
+class CallGraph:
+    """All call sites plus caller→callee edges and resolution stats."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.sites: List[CallSite] = []
+        self.edges: Dict[str, set] = {}
+        #: per-class attribute types harvested from ``__init__`` bodies.
+        self._attr_types: Dict[str, Dict[str, ClassInfo]] = {}
+        self._builtin_attrs: Dict[str, set] = {}
+        for func in table.functions():
+            if func.is_method and func.name == "__init__":
+                typed, builtin = self._harvest_self_attrs(func)
+                self._attr_types[func.cls.qualname] = typed
+                self._builtin_attrs[func.cls.qualname] = builtin
+        for func in table.functions():
+            self._visit_function(func)
+
+    # -- public queries -----------------------------------------------------
+
+    def callees(self, qualname: str) -> set:
+        return self.edges.get(qualname, set())
+
+    def sites_in(self, func: FunctionInfo) -> List[CallSite]:
+        return [s for s in self.sites if s.caller is func]
+
+    def resolve_site(self, node: ast.Call) -> Optional[FunctionInfo]:
+        return self._by_node.get(id(node))
+
+    def resolution_stats(self) -> Tuple[int, int]:
+        """``(resolved, candidates)`` over intra-project call sites."""
+        candidates = [s for s in self.sites if s.candidate]
+        resolved = [s for s in candidates if s.resolved]
+        return len(resolved), len(candidates)
+
+    def resolution_rate(self) -> float:
+        resolved, candidates = self.resolution_stats()
+        return resolved / candidates if candidates else 1.0
+
+    # -- construction -------------------------------------------------------
+
+    @property
+    def _by_node(self) -> Dict[int, FunctionInfo]:
+        cache = getattr(self, "_by_node_cache", None)
+        if cache is None:
+            cache = {
+                id(s.node): s.target for s in self.sites if s.target is not None
+            }
+            self._by_node_cache = cache
+        return cache
+
+    def _harvest_self_attrs(self, init: FunctionInfo):
+        typed: Dict[str, ClassInfo] = {}
+        builtin: set = set()
+        mod = init.module
+        for stmt in ast.walk(init.node):
+            if isinstance(stmt, ast.AnnAssign):
+                targets, value = [stmt.target], stmt.value
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                targets, value = stmt.targets, stmt.value
+            else:
+                continue
+            target = targets[0]
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            cls = self._constructed_class(value, mod) if value else None
+            if cls is not None:
+                typed[target.attr] = cls
+            elif value is not None and _is_builtin_container(value):
+                builtin.add(target.attr)
+        return typed, builtin
+
+    def _constructed_class(self, expr: ast.AST, mod: ModuleInfo) -> Optional[ClassInfo]:
+        """The project class ``expr`` constructs, when syntactically evident."""
+        if isinstance(expr, ast.Call):
+            dotted = _dotted(expr.func)
+            if dotted:
+                entry = mod.resolve_name(dotted, self.table)
+                if isinstance(entry, ClassInfo):
+                    return entry
+        return None
+
+    def _local_types(self, func: FunctionInfo) -> _LocalTypes:
+        types = _LocalTypes()
+        mod = func.module
+        args = func.node.args  # type: ignore[attr-defined]
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is not None:
+                dotted = _annotation_name(arg.annotation)
+                if dotted:
+                    entry = mod.resolve_name(dotted, self.table)
+                    if isinstance(entry, ClassInfo):
+                        types.by_var[arg.arg] = entry
+        for stmt in ast.walk(func.node):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                cls = self._constructed_class(stmt.value, mod)
+                if cls is None:
+                    if (_is_builtin_container(stmt.value)
+                            and isinstance(target, ast.Name)):
+                        types.builtin_vars.add(target.id)
+                        types.by_var.pop(target.id, None)
+                    continue
+                if isinstance(target, ast.Name):
+                    types.by_var[target.id] = cls
+                    types.builtin_vars.discard(target.id)
+                elif (isinstance(target, ast.Attribute)
+                      and isinstance(target.value, ast.Name)
+                      and target.value.id == "self"):
+                    types.by_self_attr[target.attr] = cls
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                dotted = _annotation_name(stmt.annotation)
+                if dotted:
+                    entry = mod.resolve_name(dotted, self.table)
+                    if isinstance(entry, ClassInfo):
+                        types.by_var[stmt.target.id] = entry
+        if func.is_method:
+            types.by_self_attr.update(
+                self._attr_types.get(func.cls.qualname, {}))
+            types.builtin_self_attrs |= self._builtin_attrs.get(
+                func.cls.qualname, set())
+        return types
+
+    def _visit_function(self, func: FunctionInfo) -> None:
+        types = self._local_types(func)
+        edges = self.edges.setdefault(func.qualname, set())
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target, candidate, approx = self._resolve(node, func, types)
+            target_class = None
+            if isinstance(target, ClassInfo):
+                # Constructor call: resolved to the class; the edge goes
+                # to its __init__ when one is defined (dataclasses and
+                # bare exception subclasses have none to point at).
+                target_class = target
+                target = target.method("__init__", self.table)
+                candidate = True
+            self.sites.append(CallSite(
+                caller=func, node=node, target=target,
+                candidate=candidate or target is not None
+                or target_class is not None,
+                approximate=approx, target_class=target_class,
+            ))
+            if target is not None:
+                edges.add(target.qualname)
+
+    def _resolve(self, node: ast.Call, func: FunctionInfo,
+                 types: _LocalTypes):
+        """``(target, is_candidate, approximate)`` for one call site."""
+        mod = func.module
+        f = node.func
+        # Bare name: locals shadowing is rare in this codebase; resolve
+        # through the module namespace.
+        if isinstance(f, ast.Name):
+            entry = mod.resolve_name(f.id, self.table)
+            if isinstance(entry, (FunctionInfo, ClassInfo)):
+                return entry, True, False
+            return None, bool(self.table.by_name.get(f.id)) and f.id in (
+                set(mod.functions) | set(mod.classes)), False
+        if not isinstance(f, ast.Attribute):
+            return None, False, False
+        method = f.attr
+        base = f.value
+        # Method call on a known builtin container — external, not a site.
+        if isinstance(base, ast.Name) and base.id in types.builtin_vars:
+            return None, False, False
+        if (isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+                and base.attr in types.builtin_self_attrs):
+            return None, False, False
+        # self.method() / cls.method() — enclosing class and bases.
+        if isinstance(base, ast.Name) and base.id in ("self", "cls") and func.is_method:
+            found = func.cls.method(method, self.table)
+            if found is not None:
+                return found, True, False
+            # self.attr() where attr is a stored callable of known class —
+            # not a method: fall through to attr-type resolution below.
+            attr_cls = types.by_self_attr.get(method)
+            if attr_cls is not None:
+                init = attr_cls.method("__init__", self.table)
+                if init is not None:
+                    return init, True, False
+            return None, True, False
+        # self.attr.method() — receiver typed via __init__ harvesting.
+        if (isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+                and base.attr in types.by_self_attr):
+            found = types.by_self_attr[base.attr].method(method, self.table)
+            return found, True, False
+        # var.method() — receiver typed locally.
+        if isinstance(base, ast.Name) and base.id in types.by_var:
+            found = types.by_var[base.id].method(method, self.table)
+            return found, True, False
+        # super().method()
+        if (isinstance(base, ast.Call) and isinstance(base.func, ast.Name)
+                and base.func.id == "super" and func.is_method):
+            for base_name in func.cls.base_names:
+                entry = mod.resolve_name(base_name, self.table)
+                if isinstance(entry, ClassInfo):
+                    found = entry.method(method, self.table)
+                    if found is not None:
+                        return found, True, False
+            return None, True, False
+        # module.func() chains (possibly through aliases).
+        dotted = _dotted(f)
+        if dotted:
+            entry = mod.resolve_name(dotted, self.table)
+            if isinstance(entry, (FunctionInfo, ClassInfo)):
+                return entry, True, False
+            head = dotted.partition(".")[0]
+            head_entry = mod.resolve_name(head, self.table)
+            if isinstance(head_entry, ModuleInfo):
+                # Project module, but the attribute is not defined there —
+                # still an intra-project site, just unresolved.
+                return None, True, False
+        # Unique-name fallback: opaque receiver, project-unique method.
+        # Names shared with builtin containers never resolve this way — an
+        # opaque `.get(...)` is a dict lookup, not Config.get.
+        if method in _AMBIENT_METHOD_NAMES:
+            return None, False, False
+        owners = self.table.by_name.get(method, [])
+        if len(owners) == 1 and owners[0].is_method:
+            return owners[0], True, True
+        return None, False, False
+
+
+def _is_builtin_container(expr: ast.AST) -> bool:
+    """``expr`` evidently builds a builtin container (dict/list/set/...)."""
+    if isinstance(expr, (ast.Dict, ast.List, ast.Set, ast.Tuple,
+                         ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        return _dotted(expr.func) in _BUILTIN_FACTORIES
+    return False
+
+
+def _annotation_name(node: ast.AST) -> str:
+    """Dotted class name of an annotation (unwraps quotes and Optional)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        for sep in ("|",):
+            if sep in text:
+                text = text.split(sep)[0].strip()
+        return text if text.replace(".", "").replace("_", "").isalnum() else ""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_name(node.left)
+    if isinstance(node, ast.Subscript):  # Optional[X] / list[X] — head only
+        return ""
+    return _dotted(node)

@@ -1,0 +1,508 @@
+"""Forward dataflow over value kinds, with function summaries.
+
+:class:`FlowProject` is what checkers see: build it once per lint run
+(:func:`build_project`) and ask
+
+* ``project.kinds(expr_node)`` — the kind set of any analyzed expression;
+* ``project.class_kinds(cls_qualname)`` — what instances of a class carry
+  (declared kinds plus everything any method stores on ``self``);
+* ``project.transitive_shared_writes(qualname)`` — shared simulator-state
+  writes reachable through the call graph, with a witness path;
+* ``project.graph`` / ``project.table`` — call-graph and symbol queries.
+
+The analysis is a per-function forward pass: expressions evaluate to
+kind sets (:mod:`repro.analysis.flow.kinds`), assignments bind them,
+attribute stores feed per-class attribute maps, returns feed function
+summaries, and resolved project calls substitute the callee's summary.
+Function summaries and class attribute maps reach a fixpoint in a few
+whole-project passes (kind sets only grow, the vocabulary is finite, so
+termination is structural).  Loop bodies are analyzed twice so kinds
+bound late in an iteration reach uses earlier in the next one.
+
+Known resolution limits (documented in docs/LINTING.md): containers of
+kinded values lose element precision (a list of connections is itself
+``sqlite-conn``-kinded; index 0 vs 1 is not distinguished), receivers
+typed only at runtime resolve through the unique-method-name fallback or
+not at all, and ``**kwargs`` forwarding drops kinds.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from . import kinds as K
+from .callgraph import CallGraph
+from .symbols import ClassInfo, FunctionInfo, ModuleInfo, SymbolTable, _dotted
+
+#: Shared-simulator-state mutators (mirrors the warp-race checker's table).
+SHARED_CALLS = {
+    "clock": {"advance"},
+    "counters": {"add"},
+    "kernel": {"launch"},
+    "cpu": {"work"},
+    "pcie": {"migrate_pages", "explicit_copy", "zerocopy_transactions"},
+}
+
+RESOLUTION_CALLS = frozenset({"warp_exclusive_scan", "warp_ballot"})
+
+#: Fixpoint bound: kind sets only grow and the vocabulary is small, so
+#: summaries stabilize in 2-3 passes; 5 is a safety margin.
+_MAX_PASSES = 5
+
+
+@dataclass
+class FunctionSummary:
+    """What a function does, as seen from its callers."""
+
+    returns: K.KindSet = K.EMPTY
+    #: ``(description, lineno)`` of direct shared-state writes.
+    shared_writes: List[Tuple[str, int]] = field(default_factory=list)
+    #: body calls warp_exclusive_scan/warp_ballot (resolves its writes).
+    has_resolution: bool = False
+
+
+class FlowProject:
+    """Symbol table + call graph + kind facts for one lint run."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph) -> None:
+        self.table = table
+        self.graph = graph
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self._class_attrs: Dict[str, Dict[str, K.KindSet]] = {}
+        self._node_kinds: Dict[int, K.KindSet] = {}
+        self._transitive_cache: Dict[str, "list | None"] = {}
+        self._run_fixpoint()
+
+    # -- checker-facing queries ---------------------------------------------
+
+    def kinds(self, node: ast.AST) -> K.KindSet:
+        """Kind set of an analyzed expression node (empty if unknown)."""
+        return self._node_kinds.get(id(node), K.EMPTY)
+
+    def class_kinds(self, cls: ClassInfo) -> K.KindSet:
+        """Kinds an instance of ``cls`` carries (declared + stored)."""
+        declared = K.CLASS_KINDS.get(cls.name, K.EMPTY)
+        stored = K.join(*self._class_attrs.get(cls.qualname, {}).values()) \
+            if self._class_attrs.get(cls.qualname) else K.EMPTY
+        return K.join(declared, stored)
+
+    def class_attr_kinds(self, cls: ClassInfo) -> Dict[str, K.KindSet]:
+        return dict(self._class_attrs.get(cls.qualname, {}))
+
+    def summary(self, qualname: str) -> FunctionSummary:
+        return self.summaries.get(qualname, FunctionSummary())
+
+    def transitive_shared_writes(
+        self, qualname: str, _depth: int = 6
+    ) -> "list[Tuple[List[str], str]] | None":
+        """Shared writes reachable from ``qualname``: ``(path, desc)``.
+
+        The path starts at ``qualname``'s callee chain and ends at the
+        function performing the write.  Functions that call a warp
+        conflict-resolution primitive are treated as safe subtrees.
+        """
+        cached = self._transitive_cache.get(qualname)
+        if cached is not None or qualname in self._transitive_cache:
+            return cached
+        out = self._transitive(qualname, _depth, frozenset())
+        self._transitive_cache[qualname] = out
+        return out
+
+    def _transitive(self, qualname: str, depth: int, seen: frozenset):
+        if depth <= 0 or qualname in seen:
+            return []
+        summary = self.summaries.get(qualname)
+        if summary is None or summary.has_resolution:
+            return []
+        found = [([qualname], desc) for desc, _ in summary.shared_writes]
+        for callee in sorted(self.graph.callees(qualname)):
+            for path, desc in self._transitive(
+                    callee, depth - 1, seen | {qualname}):
+                found.append(([qualname] + path, desc))
+        return found
+
+    # -- fixpoint driver ----------------------------------------------------
+
+    def _run_fixpoint(self) -> None:
+        functions = list(self.table.functions())
+        # Seed structural summaries (shared writes / resolution calls are
+        # flow-insensitive facts; one scan suffices).
+        for func in functions:
+            self.summaries[func.qualname] = FunctionSummary(
+                shared_writes=_direct_shared_writes(func.node),
+                has_resolution=_has_resolution(func.node),
+            )
+        for _ in range(_MAX_PASSES):
+            changed = False
+            self._node_kinds.clear()
+            for func in functions:
+                analyzer = _FunctionAnalyzer(self, func)
+                returns = analyzer.run()
+                summary = self.summaries[func.qualname]
+                if returns != summary.returns:
+                    summary.returns = K.join(summary.returns, returns)
+                    changed = True
+            if not changed:
+                break
+
+    def _store_class_attr(self, cls: ClassInfo, attr: str,
+                          kinds: K.KindSet) -> None:
+        attrs = self._class_attrs.setdefault(cls.qualname, {})
+        attrs[attr] = K.join(attrs.get(attr, K.EMPTY), kinds)
+
+
+# ---------------------------------------------------------------------------
+# Per-function forward pass
+# ---------------------------------------------------------------------------
+
+
+class _FunctionAnalyzer:
+    """Evaluates one function body, annotating expression kind sets."""
+
+    def __init__(self, project: FlowProject, func: FunctionInfo) -> None:
+        self.project = project
+        self.func = func
+        self.mod: ModuleInfo = func.module
+        self.env: Dict[str, K.KindSet] = {}
+        self.returns: K.KindSet = K.EMPTY
+
+    def run(self) -> K.KindSet:
+        node = self.func.node
+        for stmt in node.body:  # type: ignore[attr-defined]
+            self.exec_stmt(stmt)
+        return self.returns
+
+    # -- statements ---------------------------------------------------------
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            kinds = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.bind(target, kinds)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self.bind(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            kinds = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = K.join(
+                    self.env.get(stmt.target.id, K.EMPTY), kinds)
+            else:
+                self.bind(stmt.target, kinds, augment=True)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns = K.join(self.returns, self.eval(stmt.value))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_kinds = self.eval(stmt.iter)
+            self.bind(stmt.target, _element_kinds(iter_kinds))
+            for _ in range(2):  # loop-carried bindings need a second pass
+                for inner in stmt.body:
+                    self.exec_stmt(inner)
+            for inner in stmt.orelse:
+                self.exec_stmt(inner)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            for _ in range(2):
+                for inner in stmt.body:
+                    self.exec_stmt(inner)
+            for inner in stmt.orelse:
+                self.exec_stmt(inner)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            for inner in stmt.body + stmt.orelse:
+                self.exec_stmt(inner)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                kinds = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.bind(item.optional_vars, kinds)
+            for inner in stmt.body:
+                self.exec_stmt(inner)
+        elif isinstance(stmt, ast.Try):
+            for inner in stmt.body:
+                self.exec_stmt(inner)
+            for handler in stmt.handlers:
+                for inner in handler.body:
+                    self.exec_stmt(inner)
+            for inner in stmt.orelse + stmt.finalbody:
+                self.exec_stmt(inner)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: analyze with the closure environment so
+            # captured kinds (e.g. a collector) stay visible.
+            saved = dict(self.env)
+            for inner in stmt.body:
+                self.exec_stmt(inner)
+            self.env = saved
+        elif isinstance(stmt, (ast.Delete, ast.Pass, ast.Break, ast.Continue,
+                               ast.Import, ast.ImportFrom, ast.Global,
+                               ast.Nonlocal, ast.ClassDef, ast.Raise,
+                               ast.Assert)):
+            if isinstance(stmt, ast.Assert):
+                self.eval(stmt.test)
+            elif isinstance(stmt, ast.Raise) and stmt.exc is not None:
+                self.eval(stmt.exc)
+
+    def bind(self, target: ast.AST, kinds: K.KindSet,
+             augment: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = kinds if not augment else K.join(
+                self.env.get(target.id, K.EMPTY), kinds)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            element = _element_kinds(kinds)
+            for sub in target.elts:
+                self.bind(sub, element)
+        elif isinstance(target, ast.Starred):
+            self.bind(target.value, kinds)
+        elif (isinstance(target, ast.Attribute)
+              and isinstance(target.value, ast.Name)
+              and target.value.id == "self"
+              and self.func.is_method):
+            self.project._store_class_attr(self.func.cls, target.attr, kinds)
+
+    # -- expressions --------------------------------------------------------
+
+    def eval(self, node: ast.AST) -> K.KindSet:
+        kinds = self._eval(node)
+        if kinds:
+            self.project._node_kinds[id(node)] = kinds
+        return kinds
+
+    def _eval(self, node: ast.AST) -> K.KindSet:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, self._module_level_kinds(node.id))
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Set):
+            for elt in node.elts:
+                self.eval(elt)
+            return frozenset({K.UNORDERED})
+        if isinstance(node, ast.SetComp):
+            self._eval_comprehension(node)
+            return frozenset({K.UNORDERED})
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.DictComp):
+            return self._eval_comprehension(node)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return K.join(*(self.eval(e) for e in node.elts)) \
+                if node.elts else K.EMPTY
+        if isinstance(node, ast.Dict):
+            kinds = K.join(*(self.eval(v) for v in node.values
+                             if v is not None)) if node.values else K.EMPTY
+            if any(isinstance(v, ast.Constant) and isinstance(v.value, float)
+                   for v in node.values if v is not None):
+                kinds = K.join(kinds, frozenset({K.FLOAT_ACC}))
+            return kinds
+        if isinstance(node, ast.BinOp):
+            return K.join(self.eval(node.left), self.eval(node.right))
+        if isinstance(node, ast.BoolOp):
+            return K.join(*(self.eval(v) for v in node.values))
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return K.join(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.Subscript):
+            self.eval(node.slice)
+            return _element_kinds(self.eval(node.value))
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.Await):
+            return self.eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            kinds = self.eval(node.value)
+            self.bind(node.target, kinds)
+            return kinds
+        if isinstance(node, (ast.Compare, ast.UnaryOp, ast.Lambda,
+                             ast.Constant, ast.JoinedStr, ast.FormattedValue,
+                             ast.Slice)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+            return K.EMPTY
+        return K.EMPTY
+
+    def _eval_comprehension(self, node: ast.AST) -> K.KindSet:
+        element = K.EMPTY
+        for comp in node.generators:  # type: ignore[attr-defined]
+            iter_kinds = self.eval(comp.iter)
+            self.bind(comp.target, _element_kinds(iter_kinds))
+            element = K.join(element, iter_kinds & frozenset({K.UNORDERED}))
+            for cond in comp.ifs:
+                self.eval(cond)
+        if isinstance(node, ast.DictComp):
+            self.eval(node.key)
+            value = self.eval(node.value)
+            return K.join(element - frozenset({K.UNORDERED}), value)
+        body = self.eval(node.elt)  # type: ignore[attr-defined]
+        # A list/generator built by iterating an unordered source is
+        # itself in arbitrary order.
+        return K.join(element, body)
+
+    def _module_level_kinds(self, name: str) -> K.KindSet:
+        """Kinds of a module-level alias (``_RNG = random.Random(0)``)."""
+        alias = self.mod.aliases.get(name)
+        if alias is None:
+            return K.EMPTY
+        return K.CALL_KINDS.get(self._externalize(alias), K.EMPTY)
+
+    def _externalize(self, dotted: str) -> str:
+        """Swap the head of ``dotted`` for its imported target."""
+        head, _, rest = dotted.partition(".")
+        target = self.mod.imports.get(head)
+        if target is None:
+            return dotted
+        return target + ("." + rest if rest else "")
+
+    def _eval_call(self, node: ast.Call) -> K.KindSet:
+        for kw in node.keywords:
+            self.eval(kw.value)
+        arg_kinds = [self.eval(a) for a in node.args]
+        dotted = _dotted(node.func)
+        external = self._externalize(dotted) if dotted else ""
+        bare = dotted.rpartition(".")[2] if dotted else ""
+        # defaultdict(float) — the canonical float-accumulator source.
+        if (external.rpartition(".")[2] == "defaultdict" and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == "float"):
+            return frozenset({K.FLOAT_ACC})
+        if dotted in K.ORDER_SANITIZERS or bare in K.ORDER_SANITIZERS:
+            first = arg_kinds[0] if arg_kinds else K.EMPTY
+            return first - frozenset({K.UNORDERED})
+        if dotted in K.KIND_PRESERVING and arg_kinds:
+            return arg_kinds[0]
+        if (dotted in K.ORDER_INSENSITIVE_CONSUMERS
+                or external in K.ORDER_INSENSITIVE_CONSUMERS):
+            return K.EMPTY
+        source = K.CALL_KINDS.get(external) or K.CALL_KINDS.get(dotted)
+        if source:
+            return source
+        # Project call: class constructor or function summary.
+        entry = self.mod.resolve_name(dotted, self.project.table) \
+            if dotted else None
+        if isinstance(entry, ClassInfo):
+            return self.project.class_kinds(entry)
+        target = self.project.graph.resolve_site(node)
+        if target is not None:
+            if target.name == "__init__" and target.cls is not None:
+                return self.project.class_kinds(target.cls)
+            return self.project.summary(target.qualname).returns
+        # Method call on a kinded receiver.
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.eval(node.func.value)
+            method = node.func.attr
+            if method in K.UNORDERED_METHODS:
+                return frozenset({K.UNORDERED})
+            if method in K.SET_ALGEBRA_METHODS and K.UNORDERED in receiver:
+                return frozenset({K.UNORDERED})
+            if method in ("values", "items") and K.FLOAT_ACC in receiver:
+                return frozenset({K.FLOAT_ACC})
+            # An opaque method on a fork-hostile object likely hands back
+            # a dependent resource (a cursor, a span handle).
+            hostile = receiver & K.FORK_HOSTILE
+            if hostile and method not in ("close", "join"):
+                return hostile
+        return K.EMPTY
+
+    def _eval_attribute(self, node: ast.Attribute) -> K.KindSet:
+        base = node.value
+        # self.attr — per-class attribute map (plus declared class kinds
+        # for bound methods, handled below).
+        if (isinstance(base, ast.Name) and base.id == "self"
+                and self.func.is_method):
+            attrs = self.project.class_attr_kinds(self.func.cls)
+            found = attrs.get(node.attr)
+            if found is not None:
+                return found
+            if self.func.cls.method(node.attr, self.project.table) is not None:
+                # Bound method: carries everything the instance carries.
+                return self.project.class_kinds(self.func.cls)
+            return K.EMPTY
+        receiver = self.eval(base)
+        if receiver:
+            # Attribute of a typed receiver: prefer its attr map.
+            cls = self._receiver_class(base)
+            if cls is not None:
+                attrs = self.project.class_attr_kinds(cls)
+                if node.attr in attrs:
+                    return attrs[node.attr]
+                if cls.method(node.attr, self.project.table) is not None:
+                    return self.project.class_kinds(cls)
+            return receiver & (K.FORK_HOSTILE | frozenset({K.FLOAT_ACC}))
+        return K.EMPTY
+
+    def _receiver_class(self, base: ast.AST) -> Optional[ClassInfo]:
+        dotted = _dotted(base)
+        if not dotted:
+            return None
+        entry = self.mod.resolve_name(dotted, self.project.table)
+        return entry if isinstance(entry, ClassInfo) else None
+
+
+# ---------------------------------------------------------------------------
+# Structural summaries (shared writes) + project construction
+# ---------------------------------------------------------------------------
+
+
+def _owner_chain(node: ast.AST) -> List[str]:
+    names: List[str] = []
+    while isinstance(node, ast.Attribute):
+        names.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.append(node.id)
+    return names
+
+
+def shared_call_description(node: ast.AST) -> Optional[str]:
+    """``owner.method`` when ``node`` calls a shared-state mutator."""
+    if not (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)):
+        return None
+    chain = _owner_chain(node.func)
+    method, owners = chain[0], chain[1:]
+    for owner, methods in SHARED_CALLS.items():
+        if method in methods and owner in owners:
+            return f"{owner}.{method}"
+    return None
+
+
+def _direct_shared_writes(func_node: ast.AST) -> List[Tuple[str, int]]:
+    out: List[Tuple[str, int]] = []
+    for node in ast.walk(func_node):
+        desc = shared_call_description(node)
+        if desc is not None:
+            out.append((desc, getattr(node, "lineno", 0)))
+    return out
+
+
+def _has_resolution(func_node: ast.AST) -> bool:
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if name in RESOLUTION_CALLS:
+                return True
+    return False
+
+
+def _element_kinds(kinds: K.KindSet) -> K.KindSet:
+    """Kinds of one element pulled out of a container of ``kinds``."""
+    return kinds - frozenset({K.UNORDERED, K.FLOAT_ACC})
+
+
+def build_project(modules: Iterable) -> FlowProject:
+    """Symbol table → call graph → kind fixpoint over parsed modules.
+
+    ``modules`` yields objects with ``path`` and ``tree`` attributes
+    (:class:`repro.analysis.framework.SourceModule` fits).
+    """
+    table = SymbolTable()
+    for module in modules:
+        table.add_module(module.path, module.tree)
+    graph = CallGraph(table)
+    return FlowProject(table, graph)

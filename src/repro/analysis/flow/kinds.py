@@ -1,0 +1,146 @@
+"""The value-kind lattice: what a value *is* for safety purposes.
+
+gammalint's interprocedural checkers do not track types — they track
+*kinds*: coarse safety-relevant facts like "this value is (or contains) a
+SQLite connection" or "iterating this value visits elements in an
+arbitrary order".  A value's abstract state is a frozen set of kind
+strings; the lattice is the powerset with union as join, so merging two
+branches simply unions what either branch may have produced.
+
+Kinds enter the dataflow at *sources* (constructor calls, set literals,
+``os.listdir``), propagate through assignments, attributes, returns and
+resolved project calls (:mod:`repro.analysis.flow.engine`), and leave at
+*sanitizers* (``sorted`` strips ``unordered-collection``; a class defining
+``__getstate__`` launders its pickle-hostile state).  Checkers then ask
+for the kinds of the expression at a sink site.
+
+Registering a new kind is data, not code: add the constant, list its
+sources in :data:`CALL_KINDS` / :data:`CLASS_KINDS`, and (if a checker
+should act on it) add it to that checker's sink table.  docs/LINTING.md
+walks through the full recipe.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+KindSet = FrozenSet[str]
+
+EMPTY: KindSet = frozenset()
+
+# ---------------------------------------------------------------------------
+# The kind vocabulary
+# ---------------------------------------------------------------------------
+
+#: An open ``sqlite3`` connection (fork- and pickle-hostile).
+SQLITE_CONN = "sqlite-conn"
+#: An open OS-level file object (pickle-hostile; offsets diverge on fork).
+FILE_HANDLE = "file-handle"
+#: A seeded random generator whose stream forks would duplicate.
+RNG = "rng"
+#: A telemetry collector/registry (process-local span state).
+TELEMETRY = "telemetry-collector"
+#: Simulator platform state: clocks, kernels, pools — shared by reference.
+PLATFORM_STATE = "shared-platform-state"
+#: A collection whose iteration order is arbitrary (set, listdir, glob).
+UNORDERED = "unordered-collection"
+#: A float-valued accumulator mapping (clock buckets, phase seconds):
+#: summing its values with builtin ``sum`` is insertion-order dependent.
+FLOAT_ACC = "float-accumulator"
+#: A process pool / executor handle (its submit methods are fork sinks).
+PROCESS_POOL = "process-pool"
+
+ALL_KINDS = (
+    SQLITE_CONN, FILE_HANDLE, RNG, TELEMETRY, PLATFORM_STATE,
+    UNORDERED, FLOAT_ACC, PROCESS_POOL,
+)
+
+#: Kinds the pickle machinery cannot serialize at all — storing one on an
+#: instance without ``__getstate__``/``__reduce__`` makes the whole object
+#: un-shippable across a process boundary.
+UNPICKLABLE = frozenset({SQLITE_CONN, FILE_HANDLE, PROCESS_POOL})
+
+#: Kinds that must not silently cross a process boundary: the unpicklable
+#: ones plus state that *technically* pickles but forks into divergent
+#: copies (collectors keep collecting locally, platform clocks drift,
+#: RNG streams duplicate).
+FORK_HOSTILE = UNPICKLABLE | frozenset({TELEMETRY, PLATFORM_STATE, RNG})
+
+# ---------------------------------------------------------------------------
+# Sources: dotted callee name -> kinds the call's result carries.
+# Callee names are matched after import resolution ("np.random.default_rng"
+# resolves to "numpy.random.default_rng" when numpy was imported as np).
+# ---------------------------------------------------------------------------
+
+CALL_KINDS: dict[str, KindSet] = {
+    "sqlite3.connect": frozenset({SQLITE_CONN}),
+    "open": frozenset({FILE_HANDLE}),
+    "io.open": frozenset({FILE_HANDLE}),
+    "os.fdopen": frozenset({FILE_HANDLE}),
+    "gzip.open": frozenset({FILE_HANDLE}),
+    "tempfile.TemporaryFile": frozenset({FILE_HANDLE}),
+    "tempfile.NamedTemporaryFile": frozenset({FILE_HANDLE}),
+    "random.Random": frozenset({RNG}),
+    "random.SystemRandom": frozenset({RNG}),
+    "numpy.random.default_rng": frozenset({RNG}),
+    "numpy.random.RandomState": frozenset({RNG}),
+    "set": frozenset({UNORDERED}),
+    "frozenset": frozenset({UNORDERED}),
+    "os.listdir": frozenset({UNORDERED}),
+    "os.scandir": frozenset({UNORDERED}),
+    "glob.glob": frozenset({UNORDERED}),
+    "glob.iglob": frozenset({UNORDERED}),
+    "collections.defaultdict": EMPTY,  # refined below via the float arg
+    "concurrent.futures.ProcessPoolExecutor": frozenset({PROCESS_POOL}),
+    "multiprocessing.Pool": frozenset({PROCESS_POOL}),
+    "multiprocessing.pool.Pool": frozenset({PROCESS_POOL}),
+}
+
+#: Method names (receiver-agnostic) whose *result* is unordered no matter
+#: what we know about the receiver: pathlib traversal never promises an
+#: order, and set algebra stays a set.
+UNORDERED_METHODS = frozenset({"iterdir", "glob", "rglob", "scandir"})
+
+#: Set-algebra methods: unordered in, unordered out (receiver-sensitive).
+SET_ALGEBRA_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+#: Project classes that *are* a kind, matched by bare class name so the
+#: mapping survives import-path refactors.  (A class whose __init__ stores
+#: a kinded value on self also picks the kind up automatically through the
+#: class-summary fixpoint; this table covers the roots.)
+CLASS_KINDS: dict[str, KindSet] = {
+    "SpanCollector": frozenset({TELEMETRY}),
+    "MetricsRegistry": frozenset({TELEMETRY}),
+    "SimClock": frozenset({PLATFORM_STATE}),
+    "GpuPlatform": frozenset({PLATFORM_STATE}),
+    "Gamma": frozenset({PLATFORM_STATE}),
+    "ShardedGamma": frozenset({PLATFORM_STATE}),
+    "Interconnect": frozenset({PLATFORM_STATE}),
+}
+
+#: Calls that *consume* their argument order-insensitively — reading an
+#: unordered collection through them is deterministic, so the result
+#: carries no kinds.  Builtin ``sum`` is included only for the
+#: ``unordered-collection`` rule (integer sums commute exactly); summing a
+#: ``float-accumulator``'s values is still order-sensitive and is caught
+#: separately by the determinism checker's ``det-float`` rule.
+ORDER_INSENSITIVE_CONSUMERS = frozenset({
+    "len", "min", "max", "any", "all", "math.fsum", "sum",
+})
+
+#: Calls that return their argument with ``unordered-collection`` removed.
+ORDER_SANITIZERS = frozenset({"sorted"})
+
+#: Calls that preserve their argument's kinds unchanged (containers keep
+#: arbitrary order when built from an unordered source).
+KIND_PRESERVING = frozenset({"list", "tuple", "iter", "reversed", "enumerate"})
+
+
+def join(*sets: KindSet) -> KindSet:
+    """Lattice join: the union of every kind either operand may carry."""
+    out: set[str] = set()
+    for kinds in sets:
+        out |= kinds
+    return frozenset(out)

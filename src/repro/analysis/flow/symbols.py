@@ -1,0 +1,277 @@
+"""Project-wide symbol table for the dataflow engine.
+
+One :class:`SymbolTable` indexes every module handed to a lint run:
+module-level functions, classes and their methods, import bindings
+(``import numpy as np`` / ``from .plan import CompiledPlan``) and
+module-level aliases (``partition = shard_policy.partition``).  Qualified
+names follow the ``pkg.mod:Class.method`` convention so a name is globally
+unique and still splits cleanly into its module and in-module parts.
+
+The table is purely syntactic — no imports are executed.  Module dotted
+names derive from each file's ``repro/...`` path suffix, matching the
+scope rules in :mod:`repro.analysis.framework`, so fixture files that
+*pretend* to live in the package resolve exactly like real ones.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for ``path`` (``repro/...`` suffix preferred)."""
+    posix = pathlib.PurePath(path).as_posix()
+    idx = posix.rfind("repro/")
+    rel = posix[idx:] if idx >= 0 else posix.rsplit("/", 1)[-1]
+    rel = rel[:-3] if rel.endswith(".py") else rel
+    parts = [p for p in rel.split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str            #: ``pkg.mod:name`` or ``pkg.mod:Class.name``
+    module: "ModuleInfo"
+    node: ast.AST            #: FunctionDef | AsyncFunctionDef
+    cls: "ClassInfo | None" = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name  # type: ignore[attr-defined]
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+    def param_names(self) -> List[str]:
+        args = self.node.args  # type: ignore[attr-defined]
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and (resolved) project bases."""
+
+    qualname: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Base-class expressions as dotted strings (resolved lazily).
+    base_names: List[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def method(self, name: str, table: "SymbolTable") -> Optional[FunctionInfo]:
+        """Look ``name`` up on this class, then project base classes."""
+        seen: set[str] = set()
+        stack: List[ClassInfo] = [self]
+        while stack:
+            cls = stack.pop(0)
+            if cls.qualname in seen:
+                continue
+            seen.add(cls.qualname)
+            if name in cls.methods:
+                return cls.methods[name]
+            for base in cls.base_names:
+                resolved = cls.module.resolve_name(base, table)
+                if isinstance(resolved, ClassInfo):
+                    stack.append(resolved)
+        return None
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: its definitions and import bindings."""
+
+    name: str                #: dotted (``repro.plan.cache``)
+    path: str
+    node: ast.Module
+    is_package: bool = False  #: True for ``__init__.py`` files
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: local name -> dotted target: ``np`` -> ``numpy``,
+    #: ``CompiledPlan`` -> ``repro.plan.plan.CompiledPlan``.
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: module-level ``alias = <dotted name>`` assignments.
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+    def resolve_name(self, dotted: str, table: "SymbolTable"):
+        """Resolve a dotted name used in this module to a table entry.
+
+        Returns a :class:`FunctionInfo`, :class:`ClassInfo`,
+        :class:`ModuleInfo`, an external dotted string (resolved through
+        imports but not project-defined), or ``None`` when the head name
+        is unknown.
+        """
+        head, _, rest = dotted.partition(".")
+        target: str | None = None
+        if head in self.classes:
+            base: object = self.classes[head]
+        elif head in self.functions:
+            base = self.functions[head]
+        elif head in self.imports:
+            target = self.imports[head]
+            base = None
+        elif head in self.aliases:
+            return self.resolve_name(
+                self.aliases[head] + (("." + rest) if rest else ""), table)
+        else:
+            return None
+        if target is not None:
+            full = target + (("." + rest) if rest else "")
+            entry = table.lookup(full)
+            return entry if entry is not None else full
+        # head resolved to a local definition; descend into classes.
+        while rest and isinstance(base, ClassInfo):
+            head, _, rest = rest.partition(".")
+            base = base.methods.get(head)
+        return base if not rest else None
+
+
+class SymbolTable:
+    """Every module of one lint run, indexed for resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: bare function/method name -> every FunctionInfo bearing it.
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_module(self, path: str, tree: ast.Module) -> ModuleInfo:
+        mod = ModuleInfo(
+            name=module_name_for(path), path=path, node=tree,
+            is_package=pathlib.PurePath(path).name == "__init__.py",
+        )
+        self._collect_imports(mod)
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod, stmt, cls=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(mod, stmt)
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+                dotted = _dotted(value)
+                if isinstance(target, ast.Name) and dotted:
+                    mod.aliases[target.id] = dotted
+        self.modules[mod.name] = mod
+        return mod
+
+    def _collect_imports(self, mod: ModuleInfo) -> None:
+        package = mod.name.rsplit(".", 1)[0] if "." in mod.name else ""
+        for stmt in ast.walk(mod.node):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    target = alias.name if alias.asname else alias.name.partition(".")[0]
+                    mod.imports[local] = target
+            elif isinstance(stmt, ast.ImportFrom):
+                base = stmt.module or ""
+                if stmt.level:
+                    # Relative import: climb from the module's package
+                    # (a package __init__ is one level closer to itself).
+                    parts = mod.name.split(".")
+                    keep = len(parts) - stmt.level + (1 if mod.is_package else 0)
+                    parts = parts[:max(keep, 0)]
+                    base = ".".join(parts + ([stmt.module] if stmt.module else []))
+                elif not base:
+                    base = package
+                for alias in stmt.names:
+                    local = alias.asname or alias.name
+                    mod.imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def _add_function(self, mod: ModuleInfo, node: ast.AST,
+                      cls: Optional[ClassInfo]) -> FunctionInfo:
+        name = node.name  # type: ignore[attr-defined]
+        if cls is None:
+            qual = f"{mod.name}:{name}"
+        else:
+            qual = f"{mod.name}:{cls.name}.{name}"
+        info = FunctionInfo(qualname=qual, module=mod, node=node, cls=cls)
+        if cls is None:
+            mod.functions[name] = info
+        else:
+            cls.methods[name] = info
+        self.by_name.setdefault(name, []).append(info)
+        return info
+
+    def _add_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        cls = ClassInfo(
+            qualname=f"{mod.name}:{node.name}", module=mod, node=node,
+            base_names=[d for b in node.bases if (d := _dotted(b))],
+        )
+        mod.classes[node.name] = cls
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod, stmt, cls=cls)
+
+    # -- lookup -------------------------------------------------------------
+
+    def lookup(self, dotted: str):
+        """Resolve an absolute dotted name to a module/class/function.
+
+        Accepts plain dots (``repro.plan.cache.PlanCache.get``); tries the
+        longest module prefix first.
+        """
+        if ":" in dotted:
+            modpart, _, sym = dotted.partition(":")
+            mod = self.modules.get(modpart)
+            if mod is None:
+                return None
+            head, _, rest = sym.partition(".")
+            entry = mod.classes.get(head) or mod.functions.get(head)
+            if rest and isinstance(entry, ClassInfo):
+                return entry.methods.get(rest)
+            return entry
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            mod = self.modules.get(".".join(parts[:cut]))
+            if mod is None:
+                continue
+            rest = parts[cut:]
+            if not rest:
+                return mod
+            entry: object = mod.classes.get(rest[0]) or mod.functions.get(rest[0])
+            if entry is None and rest[0] in mod.imports:
+                chased = mod.imports[rest[0]] + (
+                    "." + ".".join(rest[1:]) if len(rest) > 1 else "")
+                return self.lookup(chased)
+            for name in rest[1:]:
+                if isinstance(entry, ClassInfo):
+                    entry = entry.methods.get(name)
+                else:
+                    return None
+            return entry
+        return None
+
+    def functions(self) -> Iterator[FunctionInfo]:
+        for mod in self.modules.values():
+            yield from mod.functions.values()
+            for cls in mod.classes.values():
+                yield from cls.methods.values()
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` as a string when ``node`` is a pure attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

@@ -14,10 +14,11 @@ import ast
 import json
 import pathlib
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence, Type
 
 from .diagnostics import Diagnostic
+from .flow import FlowProject, build_project
 from .waivers import META_CODES, WaiverSet
 
 # ---------------------------------------------------------------------------
@@ -109,6 +110,14 @@ class LintContext:
     tests_corpus: str = ""
     #: Names of the corpus files (for diagnostics only).
     corpus_files: tuple = ()
+    #: The interprocedural dataflow project built over every module of
+    #: this lint run (symbol table, call graph, value kinds).  The runner
+    #: always populates it; ``field`` keeps dataclass defaults happy for
+    #: direct construction in tests.
+    flow: "FlowProject | None" = field(default=None, compare=False)
+    #: Report module-level waivers none of whose codes suppressed
+    #: anything this run (``--check-waivers``).
+    check_waivers: bool = False
 
 
 #: Test files belong to the equivalence corpus when their *name* says so or
@@ -196,6 +205,8 @@ def lint_module(module: SourceModule, context: LintContext,
                 checkers: Sequence[Checker] | None = None,
                 select: Iterable[str] | None = None) -> list[Diagnostic]:
     """All surviving diagnostics for one module (waivers applied)."""
+    if context.flow is None:
+        context.flow = build_project([module])
     checkers = list(checkers) if checkers is not None else all_checkers()
     selected = frozenset(select) if select else None
     out: list[Diagnostic] = []
@@ -207,19 +218,24 @@ def lint_module(module: SourceModule, context: LintContext,
                 continue
             out.append(diag)
     if selected is None:
-        out.extend(module.waivers.problems(known_codes()))
+        out.extend(module.waivers.problems(
+            known_codes(), check_stale=context.check_waivers))
     return sorted(out)
 
 
 def lint_source(text: str, path: str = "<string>",
                 tests_corpus: str = "",
-                select: Iterable[str] | None = None) -> list[Diagnostic]:
+                select: Iterable[str] | None = None,
+                check_waivers: bool = False) -> list[Diagnostic]:
     """Lint an in-memory snippet as if it lived at ``path``.
 
     The fixture harness drives this; ``path`` decides checker scopes.
+    The flow project is built from the single snippet, so interprocedural
+    checkers see exactly its module-local call graph.
     """
     module = SourceModule(path, text)
-    context = LintContext(tests_corpus=tests_corpus)
+    context = LintContext(tests_corpus=tests_corpus,
+                          check_waivers=check_waivers)
     return lint_module(module, context, select=select)
 
 
@@ -237,22 +253,41 @@ def iter_python_files(paths: Sequence[pathlib.Path]) -> Iterator[pathlib.Path]:
 def lint_paths(paths: Sequence[pathlib.Path],
                tests_dir: pathlib.Path | None = None,
                select: Iterable[str] | None = None,
-               root: pathlib.Path | None = None) -> list[Diagnostic]:
-    """Lint every Python file under ``paths``; returns sorted diagnostics."""
+               root: pathlib.Path | None = None,
+               check_waivers: bool = False,
+               only_files: "set[str] | None" = None) -> list[Diagnostic]:
+    """Lint every Python file under ``paths``; returns sorted diagnostics.
+
+    Two phases: every file is parsed first so the interprocedural flow
+    project (symbol table, call graph, kinds) spans the whole run, then
+    checkers execute per module.  ``only_files`` restricts which modules
+    are *checked* (``--changed``) while the flow project still covers the
+    full path set — cross-file resolution must not depend on what
+    happens to be in the diff.
+    """
     context = build_context(tests_dir)
+    context.check_waivers = check_waivers
     checkers = all_checkers()
     out: list[Diagnostic] = []
+    modules: list[SourceModule] = []
     for file_path in iter_python_files(paths):
         try:
-            module = SourceModule.from_path(file_path, root=root)
+            modules.append(SourceModule.from_path(file_path, root=root))
         except SyntaxError as exc:
             out.append(Diagnostic(
                 path=str(file_path), line=exc.lineno or 1, col=1,
                 code="syntax-error", message=str(exc.msg), checker="framework",
             ))
+    context.flow = build_project(modules)
+    for module in modules:
+        if only_files is not None and _resolved(module.path) not in only_files:
             continue
         out.extend(lint_module(module, context, checkers, select=select))
     return sorted(out)
+
+
+def _resolved(path: str) -> str:
+    return str(pathlib.Path(path).resolve())
 
 
 # ---------------------------------------------------------------------------
@@ -274,6 +309,60 @@ def format_json(diagnostics: Sequence[Diagnostic]) -> str:
         {
             "diagnostics": [d.to_json() for d in diagnostics],
             "count": len(diagnostics),
+        },
+        indent=2,
+    )
+
+
+def format_sarif(diagnostics: Sequence[Diagnostic]) -> str:
+    """SARIF 2.1.0 report — what GitHub code scanning ingests.
+
+    One run, one rule per distinct diagnostic code, one result per
+    finding; CI uploads this so findings surface as PR annotations.
+    """
+    rules: dict[str, dict] = {}
+    by_checker: dict[str, str] = {}
+    for checker in all_checkers():
+        for code in checker.codes:
+            by_checker[code] = checker.description
+    results = []
+    for diag in diagnostics:
+        if diag.code not in rules:
+            rules[diag.code] = {
+                "id": diag.code,
+                "shortDescription": {
+                    "text": by_checker.get(diag.code, diag.code),
+                },
+            }
+        results.append({
+            "ruleId": diag.code,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": pathlib.PurePath(diag.path).as_posix(),
+                    },
+                    "region": {
+                        "startLine": diag.line,
+                        "startColumn": max(diag.col, 1),
+                    },
+                },
+            }],
+        })
+    return json.dumps(
+        {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {
+                    "driver": {
+                        "name": "gammalint",
+                        "rules": [rules[c] for c in sorted(rules)],
+                    },
+                },
+                "results": results,
+            }],
         },
         indent=2,
     )

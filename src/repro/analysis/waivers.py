@@ -32,7 +32,8 @@ WAIVER_RE = re.compile(
 )
 
 #: Codes emitted by the waiver machinery itself (never waivable).
-META_CODES = ("waiver-reason", "waiver-unknown", "waiver-unused")
+META_CODES = ("waiver-reason", "waiver-unknown", "waiver-unused",
+              "waiver-stale")
 
 #: Module waivers must appear in the file head, next to the docstring —
 #: burying one deep in a file hides how much it silences.
@@ -103,8 +104,17 @@ class WaiverSet:
                 return True
         return False
 
-    def problems(self, known_codes: frozenset) -> list[Diagnostic]:
-        """Diagnostics about the waivers themselves."""
+    def problems(self, known_codes: frozenset,
+                 check_stale: bool = False) -> list[Diagnostic]:
+        """Diagnostics about the waivers themselves.
+
+        ``check_stale`` additionally reports module-level waivers with
+        codes that suppressed nothing this run (``waiver-stale``) — the
+        ``--check-waivers`` mode.  Line-level staleness is always on
+        (``waiver-unused``): a line waiver points at exactly one line, so
+        "suppressed nothing" is unambiguous, whereas a module waiver can
+        legitimately go quiet on a partial-tree run.
+        """
         out = []
         for waiver in self._all():
             if not waiver.reason:
@@ -136,6 +146,13 @@ class WaiverSet:
                     waiver, "waiver-unused",
                     f"waiver for {', '.join(unused)} suppresses nothing "
                     "on this line; delete it",
+                ))
+            elif unused and waiver.module_level and check_stale:
+                out.append(self._meta(
+                    waiver, "waiver-stale",
+                    f"module waiver for {', '.join(unused)} suppressed "
+                    "nothing in this run; the waived code no longer "
+                    "occurs — narrow or delete the waiver",
                 ))
         return out
 

@@ -14,6 +14,7 @@ a figure of the paper's evaluation:
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Sequence
 
@@ -494,7 +495,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"simulated time: {sim * 1e3:.3f} ms")
     buckets = manifest.get("clock_buckets") or {}
     if buckets:
-        total = sum(buckets.values()) or 1.0
+        total = math.fsum(buckets.values()) or 1.0
         rows = [(name, seconds, seconds / total)
                 for name, seconds in sorted(
                     buckets.items(), key=lambda kv: -kv[1])]

@@ -14,6 +14,7 @@ The CLI exposes it as ``repro run ... --breakdown``.
 
 from __future__ import annotations
 
+import math
 import time
 from collections import defaultdict
 from contextlib import contextmanager
@@ -60,7 +61,11 @@ class TraceRecorder:
     # -- reporting --------------------------------------------------------------
     @property
     def total(self) -> float:
-        return sum(self._by_category.values())
+        # math.fsum: exactly rounded, so the total is independent of the
+        # order categories were first charged in — same bit-parity rule
+        # SimClock.total follows (checkpoint-restored runs repopulate the
+        # dict in manifest order, not charge order).
+        return math.fsum(self._by_category.values())
 
     def summary(self) -> List[Tuple[str, float, float]]:
         """``(category, seconds, share)`` rows, largest first."""
@@ -123,7 +128,7 @@ class PhaseTimer:
 
     @property
     def total(self) -> float:
-        return sum(self._seconds.values())
+        return math.fsum(self._seconds.values())
 
     def seconds(self, name: str) -> float:
         """Accumulated self time of ``name`` (0.0 if never entered)."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
 import sqlite3
 import time
@@ -45,19 +46,53 @@ _LRU_CAPACITY = 64
 
 
 class PlanCache:
-    """Hash-keyed plan store: LRU in front of a SQLite blob table."""
+    """Hash-keyed plan store: LRU in front of a SQLite blob table.
+
+    Fork-safe by construction: the SQLite connection is opened lazily and
+    keyed on ``os.getpid()``, so a child process (shard worker, Pool fork)
+    that inherits a cache never reuses the parent's handle — it opens its
+    own on first touch.  Pickling drops the connection and the in-process
+    LRU (both are per-process state); the unpickled cache reconnects to
+    the same database file on demand.
+    """
 
     def __init__(self, path: "str | pathlib.Path",
                  lru_capacity: int = _LRU_CAPACITY) -> None:
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._db = sqlite3.connect(str(self.path))
-        self._db.executescript(_SCHEMA)
-        self._db.commit()
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
         self._lru: "OrderedDict[str, CompiledPlan]" = OrderedDict()
         self._lru_capacity = max(1, lru_capacity)
         self.hits = 0
         self.misses = 0
+        self._db.execute("SELECT 1")  # fail fast on an unopenable path
+
+    # -- process boundary ----------------------------------------------
+
+    @property
+    def _db(self) -> sqlite3.Connection:
+        """This process's connection (reopened after a fork)."""
+        pid = os.getpid()
+        if self._conn is None or self._conn_pid != pid:
+            # A connection inherited across fork() must not be used *or
+            # closed* — closing could checkpoint the parent's journal.
+            # Drop the reference and open a fresh handle for this pid.
+            self._conn = sqlite3.connect(str(self.path))
+            self._conn_pid = pid
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+        return self._conn
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_conn"] = None
+        state["_conn_pid"] = None
+        state["_lru"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
 
@@ -152,7 +187,10 @@ class PlanCache:
         }
 
     def close(self) -> None:
-        self._db.close()
+        if self._conn is not None and self._conn_pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._conn_pid = None
 
     def __enter__(self) -> "PlanCache":
         return self

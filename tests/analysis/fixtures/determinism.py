@@ -1,0 +1,45 @@
+# gammalint-fixture: src/repro/core/fixture_determinism.py
+"""Seeded violations for the determinism checker (all three codes)."""
+
+import math
+import random
+import time
+from collections import defaultdict
+
+
+def _active_categories(rows):
+    # The unordered kind is born here; the loop is a call away.
+    return {name for name, seconds in rows if seconds > 0}
+
+
+def build_manifest(rows, emit):
+    for name in _active_categories(rows):  # expect[det-order]
+        emit(name)
+    for name in sorted(_active_categories(rows)):  # sanitized: fine
+        emit(name)
+    return len(_active_categories(rows))  # order-insensitive: fine
+
+
+def bucket_total(events):
+    buckets = defaultdict(float)
+    for _, category, seconds in events:
+        buckets[category] += seconds
+    wrong = sum(buckets.values())  # expect[det-float]
+    right = math.fsum(buckets.values())
+    return wrong, right
+
+
+def choose_anchor(candidates):
+    pick = random.choice(candidates)  # expect[det-seed]
+    started = time.perf_counter()  # expect[det-seed]
+    return pick, started
+
+
+def seeded_anchor(candidates, seed):
+    rng = random.Random(seed)  # explicit stream: fine
+    return rng.choice(candidates)
+
+
+def profiled_anchor(candidates):
+    started = time.perf_counter()  # gammalint: allow[det-seed] -- fixture: host-side profiling, never feeds simulated accounting
+    return candidates[0], started

@@ -1,0 +1,55 @@
+# gammalint-fixture: src/repro/shard/fixture_forksafety.py
+"""Seeded violations for the fork-safety checker (interprocedural)."""
+
+import pickle
+import sqlite3
+
+
+def _open_store(path):
+    # The kind is born here; the sink is two calls away.
+    return sqlite3.connect(path)
+
+
+def ship_connection(path, wire):
+    conn = _open_store(path)
+    blob = pickle.dumps(conn)  # expect[fork-boundary]
+    wire.send(blob)
+    return conn
+
+
+def ship_rows(path, wire):
+    conn = _open_store(path)
+    total = conn.execute("SELECT COUNT(*) FROM t").fetchone()[0]
+    wire.send(pickle.dumps(int(total)))  # converted to plain data: fine
+    conn.close()
+
+
+def waived_send(path, wire):
+    conn = _open_store(path)
+    wire.send(pickle.dumps(conn))  # gammalint: allow[fork-boundary] -- fixture: test double's send() never leaves the process
+    conn.close()
+
+
+class LeakyCache:
+    """Stores a connection, declares no pickle protocol."""
+
+    def __init__(self, path):
+        self._db = sqlite3.connect(path)  # expect[fork-state]
+        self._capacity = 8
+
+
+class ForkSafeCache:
+    """Same state, but the boundary behavior is declared."""
+
+    def __init__(self, path):
+        self._path = path
+        self._db = sqlite3.connect(path)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_db"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._db = sqlite3.connect(self._path)

@@ -1,0 +1,55 @@
+# gammalint-fixture: src/repro/gpusim/fixture_warptrans.py
+"""Seeded violations for the transitive warp-race rule.
+
+The lexical warp-race fixture covers direct shared calls; this one hides
+the shared-state write behind one and two layers of helper calls, which
+only the call-graph-backed rule can see.
+"""
+
+from repro.gpusim.warp import warp_exclusive_scan
+
+
+def _charge_compute(platform, amount):
+    platform.clock.advance("compute", amount)
+
+
+def _account_warp(platform, start, stop):
+    # Two frames above the loop, the race is the same race.
+    _charge_compute(platform, (stop - start) * 1e-9)
+
+
+def hidden_race(grid, platform, counts):
+    for warp_id, start, stop in grid.partition(len(counts)):
+        _account_warp(platform, start, stop)  # expect[warp-race-transitive]
+    return None
+
+
+def _resolved_charge(platform, values):
+    scan, total = warp_exclusive_scan(values)
+    platform.clock.advance("compute", total * 1e-9)
+    return scan
+
+
+def resolved_helper(grid, platform, counts):
+    # The callee resolves conflicts itself: a safe subtree.
+    for warp_id, start, stop in grid.partition(len(counts)):
+        _resolved_charge(platform, counts[start:stop])
+    return None
+
+
+def _pure_helper(counts, start, stop):
+    return int(sum(counts[start:stop]))
+
+
+def harmless_calls(grid, platform, counts):
+    per_warp = []
+    for warp_id, start, stop in grid.partition(len(counts)):
+        per_warp.append(_pure_helper(counts, start, stop))
+    platform.kernel.launch("extend", element_ops=sum(per_warp))
+    return per_warp
+
+
+def waived_race(grid, platform, counts):
+    for warp_id, start, stop in grid.partition(len(counts)):
+        _account_warp(platform, start, stop)  # gammalint: allow[warp-race-transitive] -- fixture: single-warp grid by construction
+    return None

@@ -1,0 +1,223 @@
+"""Unit tests for the interprocedural flow layer.
+
+Three concerns:
+
+* the **call graph** resolves the shapes that actually occur in this
+  codebase — self/base-class methods, module aliases, calls inside
+  comprehension scopes, constructors of classes with no explicit
+  ``__init__`` — and knows what it cannot resolve;
+* the **dataflow engine** carries value kinds through returns, calls and
+  stores, and ``transitive_shared_writes`` produces a witness chain;
+* the resolution-rate acceptance bar: **>= 90%** of intra-project call
+  sites on the real ``src/repro`` tree resolve, measured over a
+  non-trivial candidate count so the metric cannot be gamed by shrinking
+  the denominator.
+"""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis.flow import build_project
+from repro.analysis.flow import kinds as K
+from repro.analysis.flow.symbols import module_name_for
+from repro.analysis.framework import SourceModule
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _module(path, text):
+    return SourceModule(path, textwrap.dedent(text))
+
+
+def _project(*modules):
+    return build_project([_module(p, t) for p, t in modules])
+
+
+UTIL = (
+    "src/repro/flowtest/util.py",
+    """
+    import sqlite3
+
+
+    def helper():
+        return set()
+
+
+    def open_store(path):
+        return sqlite3.connect(path)
+
+
+    class Base:
+        def ping(self):
+            return 1
+
+        def template(self):
+            return self.hook()
+
+
+    class Child(Base):
+        def hook(self):
+            return 2
+    """,
+)
+
+MAIN = (
+    "src/repro/flowtest/main.py",
+    """
+    from dataclasses import dataclass
+
+    import repro.flowtest.util as u
+    from .util import Child, helper
+
+
+    @dataclass
+    class Record:
+        value: int = 0
+
+
+    def bare_and_alias():
+        a = helper()
+        b = u.helper()
+        return a, b
+
+
+    def in_comprehension(n):
+        return [helper() for _ in range(n)]
+
+
+    def self_and_base():
+        child = Child()
+        child.ping()
+        child.hook()
+        return child
+
+
+    def constructs_dataclass():
+        return Record(value=3)
+
+
+    def opaque_dict(d):
+        return d.get("key")
+    """,
+)
+
+
+class TestModuleNames:
+    def test_plain_and_init(self):
+        assert module_name_for("src/repro/plan/cache.py") == "repro.plan.cache"
+        assert module_name_for("src/repro/plan/__init__.py") == "repro.plan"
+
+    def test_fixture_style_path(self):
+        assert module_name_for("repro/core/x.py") == "repro.core.x"
+
+
+class TestCallGraph:
+    @pytest.fixture(scope="class")
+    def project(self):
+        return _project(UTIL, MAIN)
+
+    def _targets(self, project, func_qual):
+        func = next(f for f in project.table.functions()
+                    if f.qualname.endswith(func_qual))
+        return {
+            s.target.qualname.rpartition(":")[2]
+            for s in project.graph.sites_in(func) if s.target is not None
+        }
+
+    def test_bare_name_and_module_alias(self, project):
+        targets = self._targets(project, "bare_and_alias")
+        # both the `from .util import helper` name and the
+        # `import repro.flowtest.util as u` attribute chain resolve.
+        assert targets == {"helper"}
+        sites = [s for s in project.graph.sites_in(
+            next(f for f in project.table.functions()
+                 if f.qualname.endswith("bare_and_alias")))]
+        assert sum(s.resolved for s in sites) == 2
+
+    def test_call_inside_comprehension_scope(self, project):
+        assert "helper" in self._targets(project, "in_comprehension")
+
+    def test_self_methods_through_base(self, project):
+        # Child().ping() resolves through the project base class;
+        # Child().hook() on the subclass itself.
+        targets = self._targets(project, "self_and_base")
+        assert {"Base.ping", "Child.hook"} <= targets
+        # and self.hook() inside Base.template resolves nowhere (Base has
+        # no hook) but stays a candidate — an honest unresolved site.
+        template = next(f for f in project.table.functions()
+                        if f.qualname.endswith("Base.template"))
+        sites = project.graph.sites_in(template)
+        assert any(s.candidate and not s.resolved for s in sites)
+
+    def test_dataclass_constructor_counts_resolved(self, project):
+        func = next(f for f in project.table.functions()
+                    if f.qualname.endswith("constructs_dataclass"))
+        sites = [s for s in project.graph.sites_in(func)
+                 if s.target_class is not None]
+        assert len(sites) == 1
+        assert sites[0].target_class.name == "Record"
+        assert sites[0].resolved and sites[0].target is None
+
+    def test_builtin_receiver_methods_are_not_candidates(self, project):
+        func = next(f for f in project.table.functions()
+                    if f.qualname.endswith("opaque_dict"))
+        # `.get` is shared with dict — never a candidate through the
+        # unique-name fallback, so it cannot pollute the metric.
+        assert all(not s.candidate for s in project.graph.sites_in(func))
+
+
+class TestEngine:
+    def test_unordered_kind_flows_through_return(self):
+        project = _project(UTIL, MAIN)
+        func = next(f for f in project.table.functions()
+                    if f.qualname.endswith("bare_and_alias"))
+        summary = project.summary(func.qualname)
+        assert K.UNORDERED in summary.returns
+
+    def test_sqlite_kind_flows_interprocedurally(self):
+        project = _project(UTIL)
+        func = next(f for f in project.table.functions()
+                    if f.qualname.endswith("open_store"))
+        assert K.SQLITE_CONN in project.summary(func.qualname).returns
+
+    def test_transitive_shared_writes_witness(self):
+        project = _project((
+            "src/repro/flowtest/race.py",
+            """
+            def _charge(platform, amount):
+                platform.clock.advance("compute", amount)
+
+
+            def outer(platform):
+                _charge(platform, 1e-6)
+            """,
+        ))
+        func = next(f for f in project.table.functions()
+                    if f.qualname.endswith(":outer"))
+        witnesses = project.transitive_shared_writes(func.qualname)
+        assert witnesses, "outer -> _charge -> clock.advance not found"
+        path, desc = witnesses[0]
+        assert desc == "clock.advance"
+        assert any(q.endswith("_charge") for q in path)
+
+
+class TestResolutionRate:
+    """The acceptance bar from the issue, measured on the real tree."""
+
+    @pytest.fixture(scope="class")
+    def project(self):
+        modules = [
+            SourceModule.from_path(p)
+            for p in sorted(SRC_ROOT.rglob("*.py"))
+        ]
+        return build_project(modules)
+
+    def test_rate_at_least_90_percent(self, project):
+        resolved, candidates = project.graph.resolution_stats()
+        # Guard the denominator: a "100% of 12 sites" result would be a
+        # broken candidate filter, not a good resolver.
+        assert candidates >= 1000, candidates
+        rate = resolved / candidates
+        assert rate >= 0.90, f"resolution rate {rate:.1%} ({resolved}/{candidates})"

@@ -17,10 +17,12 @@ REPO_ROOT = pathlib.Path(__file__).parents[2]
 
 
 class TestRegistry:
-    def test_all_six_checkers_registered(self):
+    def test_all_eight_checkers_registered(self):
         names = {c.name for c in all_checkers()}
         assert names == {
             "charge-accounting",
+            "determinism",
+            "fork-safety",
             "numpy-dtype",
             "obs-span",
             "pipeline-parity",
@@ -32,8 +34,11 @@ class TestRegistry:
         codes = known_codes()
         assert {"charge", "dtype", "overflow", "banned-sort",
                 "parity-twin", "parity-test", "warp-race",
-                "obs-span", "planorder"} <= codes
-        assert {"waiver-reason", "waiver-unknown", "waiver-unused"} <= codes
+                "warp-race-transitive", "obs-span", "planorder",
+                "fork-boundary", "fork-state",
+                "det-order", "det-float", "det-seed"} <= codes
+        assert {"waiver-reason", "waiver-unknown", "waiver-unused",
+                "waiver-stale"} <= codes
 
 
 class TestWaivers:
@@ -116,8 +121,50 @@ class TestCli:
         assert main(["--list-checkers"]) == 0
         out = capsys.readouterr().out
         for name in ("charge-accounting", "numpy-dtype", "obs-span",
-                     "pipeline-parity", "warp-race"):
+                     "pipeline-parity", "warp-race", "fork-safety",
+                     "determinism"):
             assert name in out
+
+    def test_sarif_output(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "core" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def f(g, v):\n    return g.offsets[v]\n")
+        assert main([str(target), "--format", "sarif"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == "2.1.0"
+        run = report["runs"][0]
+        assert run["tool"]["driver"]["name"] == "gammalint"
+        assert [r["ruleId"] for r in run["results"]] == ["charge"]
+        location = run["results"][0]["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 2
+
+    def test_check_waivers_flags_stale_module_waiver(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "core" / "stale.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "# gammalint: module-allow[charge] -- nothing here charges\n"
+            "x = 1\n")
+        assert main([str(target)]) == 0
+        assert main([str(target), "--check-waivers"]) == 1
+        assert "waiver-stale" in capsys.readouterr().out
+
+    def test_changed_with_bad_ref_degrades_to_full_run(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "core" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def f(g, v):\n    return g.offsets[v]\n")
+        # not a git checkout / bogus ref: warn, then lint everything.
+        assert main([str(target), "--changed", "no-such-ref-xyz"]) == 1
+        captured = capsys.readouterr()
+        assert "linting everything" in captured.err
+        assert "charge" in captured.out
+
+    def test_max_seconds_budget(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        assert main([str(target), "--max-seconds", "120"]) == 0
+        assert "budget" in capsys.readouterr().err
+        assert main([str(target), "--max-seconds", "0.0000001"]) == 3
+        assert "TOO SLOW" in capsys.readouterr().err
 
     def test_syntax_error_is_a_diagnostic(self, tmp_path, capsys):
         target = tmp_path / "broken.py"
@@ -127,10 +174,13 @@ class TestCli:
 
 
 def test_src_tree_is_clean():
-    """The acceptance criterion, pinned: the shipped tree lints clean."""
+    """The acceptance criterion, pinned: the shipped tree lints clean —
+    all eight checkers including the interprocedural ones, with the
+    stale-waiver audit on."""
     diagnostics = lint_paths(
         [REPO_ROOT / "src"],
         tests_dir=REPO_ROOT / "tests",
         root=REPO_ROOT,
+        check_waivers=True,
     )
     assert diagnostics == [], "\n".join(d.format() for d in diagnostics)

@@ -9,6 +9,7 @@ import pathlib
 import repro
 import repro.algorithms
 import repro.analysis
+import repro.analysis.flow
 import repro.baselines
 import repro.bench
 import repro.core
@@ -22,7 +23,8 @@ import repro.shard
 MODULES = (
     repro, repro.gpusim, repro.graph, repro.core,
     repro.algorithms, repro.baselines, repro.bench, repro.analysis,
-    repro.obs, repro.plan, repro.resilience, repro.shard,
+    repro.analysis.flow, repro.obs, repro.plan, repro.resilience,
+    repro.shard,
 )
 
 

@@ -22,15 +22,20 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
-def run_gammalint() -> int:
+def run_gammalint(strict: bool = False) -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.analysis.__main__ import main as gammalint_main
 
     print("== gammalint ==")
-    return gammalint_main([
+    argv = [
         str(REPO_ROOT / "src"),
         "--tests-dir", str(REPO_ROOT / "tests"),
-    ])
+    ]
+    if strict:
+        # CI mode also audits the waiver ledger: a module-level
+        # allow[code] whose code no longer fires is debt to collect.
+        argv.append("--check-waivers")
+    return gammalint_main(argv)
 
 
 def run_external(tool: str, args: list[str], strict: bool) -> int:
@@ -51,7 +56,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     statuses = [
-        run_gammalint(),
+        run_gammalint(strict=args.strict),
         run_external("ruff", ["check", "src", "tests", "tools"], args.strict),
         run_external("mypy", [], args.strict),
     ]

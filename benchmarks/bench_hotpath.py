@@ -38,6 +38,8 @@ from repro.bench.workloads import (  # noqa: E402
 from repro.graph import datasets  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpath.json"
+REPORTS_DIR = REPO_ROOT / "benchmarks" / "reports"
+DEFAULT_HISTORY = REPORTS_DIR / "history"
 
 
 def _workloads(quick: bool):
@@ -67,8 +69,9 @@ def _run_cell(system: str, dataset: str, task):
 
 
 def _collected_run(system, dataset, task):
-    """One extra run with a span collector attached; returns the manifest
-    and the number of spans the run produced."""
+    """One extra run with a span collector attached; returns the manifest,
+    the number of spans the run produced, and the flat span-tree records
+    (the shape the perf-history store and critical-path report consume)."""
     collector = obs.install(obs.SpanCollector())
     graph = datasets.load(dataset)
     start = time.perf_counter()
@@ -82,7 +85,7 @@ def _collected_run(system, dataset, task):
             system=system, dataset=dataset, task=task.name,
             config=getattr(engine, "config", None), wall_seconds=wall,
         )
-        return manifest, len(collector.spans)
+        return manifest, len(collector.spans), obs.span_tree_records(collector)
     finally:
         collector.finish()
         engine.close()
@@ -131,7 +134,8 @@ def _measure(name, system, dataset, task_factory, repeats, null_cost):
     with perf.pipeline(perf.FAST):
         _run_cell(system, dataset, task)  # warm caches (incl. bitset build)
         fast_runs = [_run_cell(system, dataset, task) for __ in range(repeats)]
-        manifest, span_count = _collected_run(system, dataset, task)
+        manifest, span_count, span_records = _collected_run(
+            system, dataset, task)
     with perf.pipeline(perf.REFERENCE):
         ref_runs = [_run_cell(system, dataset, task) for __ in range(repeats)]
     fast_wall = min(r[0] for r in fast_runs)
@@ -159,6 +163,10 @@ def _measure(name, system, dataset, task_factory, repeats, null_cost):
             "within_budget": overhead <= NULL_OVERHEAD_BUDGET,
         },
         "manifest": manifest,
+        # Consumed by the history append + critical-path artifact in
+        # main(); popped before the report is serialised (the manifest
+        # already summarises the spans, the raw records would bloat it).
+        "_span_records": span_records,
     }
 
 
@@ -194,6 +202,48 @@ def _diff_against_previous(rows, previous):
     return "\n".join(lines) if lines else "(no comparable previous run)"
 
 
+def _record_history(rows, history_dir) -> None:
+    """Append each workload's fast/reference arms to the perf-history
+    store and write the critical-path artifact; pops the private
+    ``_span_records`` key either way so the JSON report stays lean."""
+    from repro.obs.profile import HistoryStore, render_critical_path
+
+    sections = []
+    records_by_row = [(row, row.pop("_span_records", None)) for row in rows]
+    for row, records in records_by_row:
+        if records:
+            sections.append(f"== {row['workload']} ({row['dataset']}) ==\n"
+                            + render_critical_path(records))
+    if sections:
+        REPORTS_DIR.mkdir(exist_ok=True)
+        (REPORTS_DIR / "critical_path_hotpath.txt").write_text(
+            "\n\n".join(sections) + "\n")
+        print(f"critical-path report -> "
+              f"{REPORTS_DIR / 'critical_path_hotpath.txt'}")
+    if not history_dir:
+        return
+    with HistoryStore(history_dir) as store:
+        for row, records in records_by_row:
+            manifest = row.get("manifest") or {}
+            store.append(
+                bench="hotpath", workload=row["workload"], arm="fast",
+                wall_seconds=row["fast_seconds"],
+                simulated_seconds=row["simulated_seconds"],
+                clock_buckets=manifest.get("clock_buckets"),
+                counters=manifest.get("counters"),
+                span_tree=records,
+            )
+            # The reference pipeline simulates identically (the bench
+            # asserts it); only its wall time is its own.
+            store.append(
+                bench="hotpath", workload=row["workload"], arm="reference",
+                wall_seconds=row["reference_seconds"],
+                simulated_seconds=row["simulated_seconds"],
+            )
+    print(f"perf history: appended {2 * len(rows)} record(s) "
+          f"to {history_dir}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -202,6 +252,9 @@ def main(argv=None) -> int:
                         help="timed repeats per pipeline (min is reported)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"report path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--history-dir", default=str(DEFAULT_HISTORY),
+                        help="perf-history store directory (empty string "
+                             "disables the append)")
     args = parser.parse_args(argv)
     repeats = 1 if args.quick else max(1, args.repeats)
 
@@ -231,6 +284,8 @@ def main(argv=None) -> int:
     if previous is not None:
         print("\nvs previous run:")
         print(_diff_against_previous(rows, previous))
+
+    _record_history(rows, args.history_dir)
 
     report = {
         "schema": 2,

@@ -47,6 +47,7 @@ from repro.plan import (  # noqa: E402
 )
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_plan.json"
+DEFAULT_HISTORY = REPO_ROOT / "benchmarks" / "reports" / "history"
 
 #: Simulated-speedup bar and how many workload families must clear it.
 SPEEDUP_TARGET = 1.3
@@ -175,6 +176,9 @@ def main(argv=None) -> int:
                         help="small datasets (CI smoke)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"report path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--history-dir", default=str(DEFAULT_HISTORY),
+                        help="perf-history store directory (empty string "
+                             "disables the append)")
     args = parser.parse_args(argv)
 
     rows = []
@@ -187,6 +191,22 @@ def main(argv=None) -> int:
 
     print()
     print(_render(rows))
+
+    if args.history_dir:
+        from repro.obs.profile import HistoryStore
+
+        with HistoryStore(args.history_dir) as store:
+            for r in rows:
+                store.append(
+                    bench="plan", workload=r["workload"], arm="auto",
+                    simulated_seconds=r["planned_simulated_seconds"],
+                    extra={"plan_id": r["plan_id"],
+                           "plan_source": r["plan_source"]})
+                store.append(
+                    bench="plan", workload=r["workload"], arm="baseline",
+                    simulated_seconds=r["baseline_simulated_seconds"])
+        print(f"perf history: appended {2 * len(rows)} record(s) "
+              f"to {args.history_dir}")
 
     families_hit = sorted({
         r["family"] for r in rows

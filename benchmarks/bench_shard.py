@@ -7,6 +7,12 @@ per-shard utilization, and — the CI bar — asserts the 4-GPU stealing
 configuration reaches at least 1.5x over single-GPU on the simulated
 clock.  Writes ``BENCH_shard.json`` at the repo root.
 
+Every cell also appends one record to the perf-history store
+(``repro.obs.profile.HistoryStore``, arm ``<policy>x<gpus>``) for the
+regression sentinel, and the 4-GPU stealing run's merged manifest —
+straggler section included — plus a rendered straggler report land under
+``benchmarks/reports/``.
+
 Usage:
     PYTHONPATH=src python benchmarks/bench_shard.py            # full
     PYTHONPATH=src python benchmarks/bench_shard.py --quick    # CI smoke
@@ -17,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -24,9 +31,17 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.algorithms import count_kcliques  # noqa: E402
 from repro.graph import generators  # noqa: E402
-from repro.shard import SHARD_POLICIES, ShardedGamma  # noqa: E402
+from repro.obs.profile import HistoryStore  # noqa: E402
+from repro.obs.profile.straggler import render_straggler_report  # noqa: E402
+from repro.shard import (  # noqa: E402
+    SHARD_POLICIES,
+    ShardedGamma,
+    build_sharded_manifest,
+)
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_shard.json"
+REPORTS_DIR = REPO_ROOT / "benchmarks" / "reports"
+DEFAULT_HISTORY = REPORTS_DIR / "history"
 
 #: The acceptance bar: 4 simulated GPUs with work stealing must beat one
 #: GPU by this factor on 4-clique (simulated clock, compute-bound graph).
@@ -39,41 +54,75 @@ def _graph(quick: bool):
     return generators.erdos_renyi(900, 40_000, seed=5, name="er900")
 
 
-def run(quick: bool) -> dict:
+def run(quick: bool, history_dir=DEFAULT_HISTORY) -> dict:
     graph = _graph(quick)
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
 
     rows = []
     baseline_seconds = None
     baseline_cliques = None
-    for policy in SHARD_POLICIES:
-        for num_shards in (1, 2, 4):
-            engine = ShardedGamma(graph, num_shards=num_shards,
-                                  policy=policy)
-            result = count_kcliques(engine, 4)
-            seconds = engine.simulated_seconds
-            if baseline_cliques is None:
-                baseline_cliques = result.cliques
-                baseline_seconds = seconds
-            assert result.cliques == baseline_cliques, (
-                f"{policy}/{num_shards}: count changed "
-                f"({result.cliques} != {baseline_cliques})"
-            )
-            utilization = engine.shard_utilization()
-            speedup = baseline_seconds / seconds
-            rows.append({
-                "policy": policy,
-                "gpus": num_shards,
-                "simulated_seconds": seconds,
-                "speedup": round(speedup, 3),
-                "utilization": [round(u, 4) for u in utilization],
-                "cliques": result.cliques,
-            })
-            util = ", ".join(f"{u:.0%}" for u in utilization)
-            print(f"  {policy:9s} x{num_shards}: "
-                  f"{seconds * 1e3:8.3f} ms  "
-                  f"speedup {speedup:4.2f}x  util [{util}]")
+    straggler = None
+    history = HistoryStore(history_dir) if history_dir else None
+    try:
+        for policy in SHARD_POLICIES:
+            for num_shards in (1, 2, 4):
+                engine = ShardedGamma(graph, num_shards=num_shards,
+                                      policy=policy)
+                start = time.perf_counter()
+                result = count_kcliques(engine, 4)
+                wall = time.perf_counter() - start
+                seconds = engine.simulated_seconds
+                if baseline_cliques is None:
+                    baseline_cliques = result.cliques
+                    baseline_seconds = seconds
+                assert result.cliques == baseline_cliques, (
+                    f"{policy}/{num_shards}: count changed "
+                    f"({result.cliques} != {baseline_cliques})"
+                )
+                utilization = engine.shard_utilization()
+                speedup = baseline_seconds / seconds
+                rows.append({
+                    "policy": policy,
+                    "gpus": num_shards,
+                    "simulated_seconds": seconds,
+                    "speedup": round(speedup, 3),
+                    "utilization": [round(u, 4) for u in utilization],
+                    "cliques": result.cliques,
+                })
+                if history is not None:
+                    history.append(
+                        bench="shard", workload="4-clique",
+                        arm=f"{policy}x{num_shards}",
+                        wall_seconds=wall, simulated_seconds=seconds,
+                        clock_buckets=engine.shards[0]
+                        .platform.clock.snapshot(),
+                    )
+                if policy == "stealing" and num_shards == 4:
+                    # The acceptance-criterion artifact: the merged
+                    # manifest must embed the straggler section, and the
+                    # rendered report ships as a bench artifact.
+                    manifest = build_sharded_manifest(
+                        engine, system="GAMMA", dataset=graph.name,
+                        task="kcl4", wall_seconds=wall,
+                    )
+                    assert "straggler" in manifest, (
+                        "stealing x4 manifest lost its straggler section"
+                    )
+                    straggler = manifest["straggler"]
+                    REPORTS_DIR.mkdir(exist_ok=True)
+                    (REPORTS_DIR / "straggler_shard.txt").write_text(
+                        render_straggler_report(straggler) + "\n")
+                util = ", ".join(f"{u:.0%}" for u in utilization)
+                print(f"  {policy:9s} x{num_shards}: "
+                      f"{seconds * 1e3:8.3f} ms  "
+                      f"speedup {speedup:4.2f}x  util [{util}]")
+    finally:
+        if history is not None:
+            history.close()
 
+    assert straggler is not None, "stealing x4 never ran"
+    print("\nstraggler report (stealing x4):")
+    print(render_straggler_report(straggler))
     best = max(r["speedup"] for r in rows
                if r["policy"] == "stealing" and r["gpus"] == 4)
     print(f"\n4-GPU stealing speedup: {best:.2f}x (bar: {SPEEDUP_BAR}x)")
@@ -85,6 +134,7 @@ def run(quick: bool) -> dict:
         "graph": {"vertices": graph.num_vertices, "edges": graph.num_edges},
         "speedup_bar": SPEEDUP_BAR,
         "best_4gpu_stealing_speedup": best,
+        "straggler": straggler,
         "rows": rows,
     }
 
@@ -94,8 +144,13 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="smaller graph for CI smoke runs")
     parser.add_argument("--out", default=str(DEFAULT_OUTPUT))
+    parser.add_argument("--history-dir", default=str(DEFAULT_HISTORY),
+                        help="perf-history store directory (empty string "
+                             "disables the append)")
     args = parser.parse_args(argv)
-    report = run(args.quick)
+    report = run(args.quick,
+                 history_dir=Path(args.history_dir)
+                 if args.history_dir else None)
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"report -> {args.out}")
     return 0

@@ -7,8 +7,8 @@ opens a span.  A new extension/aggregation/filtering entry point that
 skips the ``with ...span(...)`` wrapper silently attributes its charges to
 the parent span, and the trace misleads the next person profiling it.
 
-The rule, inside ``repro/core/`` only: a public function or method whose
-name marks it as a phase boundary —
+The rule, inside ``repro/core/`` and ``repro/obs/``: a public function
+or method whose name marks it as a phase boundary —
 
 * prefixed ``extend_``, ``seed_``, ``aggregate_``, ``filter_``,
   ``dedup_``, or
@@ -23,6 +23,13 @@ convention is *public entry span + private uninstrumented impl*.
 A boundary that is deliberately uninstrumented (e.g. a trivial forwarding
 shim whose target opens the span) carries a waiver with the reason:
 ``# gammalint: allow[obs-span] -- <where the span is opened instead>``.
+
+obs-profile note: ``repro/obs/profile/`` is exempt wholesale.  The
+profiling subpackage *analyzes* recorded span trees offline — its
+functions (``aggregate_paths``, ``aggregate_*`` siblings, ...) collide
+with the phase-boundary prefixes by vocabulary, not by role, and opening
+spans inside the analyzer would recursively instrument the instrument.
+``tests/analysis/fixtures/obsprofile.py`` pins the exemption.
 """
 
 from __future__ import annotations
@@ -33,9 +40,15 @@ from typing import Iterator
 from ..diagnostics import Diagnostic
 from ..framework import Checker, LintContext, SourceModule, _package_relpath, register
 
-#: Only the engine core: baselines/algorithms charge through it, and the
-#: CPU baselines intentionally have no span-tree story of their own.
-OBS_SCOPE = "repro/core/"
+#: The engine core plus the telemetry layer itself: baselines/algorithms
+#: charge through the core, and the CPU baselines intentionally have no
+#: span-tree story of their own.
+OBS_SCOPES = ("repro/core/", "repro/obs/")
+
+#: obs-profile exemption: the profiling subpackage analyzes span trees
+#: offline; its ``aggregate_*``-shaped names are analysis vocabulary, not
+#: engine phase boundaries (see module docstring).
+PROFILE_EXEMPT = ("repro/obs/profile/",)
 
 #: Name prefixes that mark a function as a phase boundary.
 ENTRY_PREFIXES = ("extend_", "seed_", "aggregate_", "filter_", "dedup_")
@@ -72,12 +85,16 @@ class ObsSpanChecker(Checker):
     codes = ("obs-span",)
     description = (
         "engine phase boundaries (extend_*/seed_*/aggregate_*/filter_*/"
-        "dedup_*/sort entry points in repro/core/) must open a telemetry "
+        "dedup_*/sort entry points in repro/core/ and repro/obs/, minus "
+        "the offline repro/obs/profile/ analyzers) must open a telemetry "
         "span so counter and time deltas stay attributable"
     )
 
     def check(self, module: SourceModule, context: LintContext) -> Iterator[Diagnostic]:
-        if not _package_relpath(module.path).startswith(OBS_SCOPE):
+        relpath = _package_relpath(module.path)
+        if not relpath.startswith(OBS_SCOPES):
+            return
+        if relpath.startswith(PROFILE_EXEMPT):
             return
         for node in ast.walk(module.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):

@@ -84,6 +84,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the metric samples as JSON lines")
     run.add_argument("--manifest-out", metavar="PATH",
                      help="write a run manifest (diff with `repro report`)")
+    run.add_argument("--critical-path", action="store_true",
+                     help="print the simulated-time critical path and the "
+                          "hot span subtrees after the run "
+                          "(docs/OBSERVABILITY.md)")
+    run.add_argument("--history-dir", metavar="DIR",
+                     help="append this run's metrics and span tree to the "
+                          "perf-history store under DIR (gate later with "
+                          "`repro perf-report --history DIR`)")
     run.add_argument("--checkpoint-dir", metavar="DIR",
                      help="GAMMA: write a level-granular checkpoint after "
                           "every completed op (see docs/RESILIENCE.md)")
@@ -157,6 +165,24 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--time-threshold", type=float, default=0.05,
                         help="relative simulated-time drift tolerated "
                              "(default 0.05)")
+
+    perf = sub.add_parser(
+        "perf-report",
+        help="gate recent perf-history records with the regression "
+             "sentinel (docs/OBSERVABILITY.md)")
+    perf.add_argument("--history", default="benchmarks/reports/history",
+                      metavar="DIR",
+                      help="perf-history directory (default "
+                           "benchmarks/reports/history)")
+    perf.add_argument("--bench", help="gate only this bench")
+    perf.add_argument("--workload", help="gate only this workload")
+    perf.add_argument("--arm", help="gate only this arm")
+    perf.add_argument("--window", type=int, default=8,
+                      help="baseline window size (default 8)")
+    perf.add_argument("--json", metavar="PATH", dest="json_out",
+                      help="write the machine-readable verdicts to PATH")
+    perf.add_argument("--warn-only", action="store_true",
+                      help="report regressions but exit 0 (CI soft-launch)")
     return parser
 
 
@@ -227,7 +253,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"{args.dataset}: {graph.num_vertices} vertices, "
           f"{graph.num_edges} edges (stand-in; see DESIGN.md)")
     collector = None
-    if args.trace_out or args.metrics_out or args.manifest_out:
+    if (args.trace_out or args.metrics_out or args.manifest_out
+            or args.critical_path or args.history_dir):
         from . import obs
 
         # Install before the engine exists: the first GpuPlatform built
@@ -445,6 +472,33 @@ def _write_obs_outputs(args, engine, collector, plan=None,
             )
         obs.write_manifest(manifest, args.manifest_out)
         print(f"manifest written to {args.manifest_out}")
+    if args.critical_path or args.history_dir:
+        records = obs.span_tree_records(collector)
+    if args.critical_path:
+        from .obs.profile import render_critical_path
+
+        print()
+        print(render_critical_path(records))
+    if args.history_dir:
+        from .obs.profile import HistoryStore
+
+        root = collector.root
+        with HistoryStore(args.history_dir) as store:
+            record = store.append(
+                bench="cli",
+                workload=f"{args.task}-{args.dataset}",
+                arm=args.system,
+                wall_seconds=(root.wall_seconds
+                              if root is not None else None),
+                simulated_seconds=engine.simulated_seconds,
+                clock_buckets=(platform.clock.snapshot()
+                               if platform is not None else None),
+                counters=(platform.counters.snapshot()
+                          if platform is not None else None),
+                span_tree=records,
+            )
+        print(f"perf history: appended seq {record['seq']} "
+              f"to {args.history_dir}")
 
 
 def _cmd_plan_explain(args: argparse.Namespace) -> int:
@@ -529,6 +583,49 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_report(args: argparse.Namespace) -> int:
+    """Sentinel-gate the newest history record of each matching cell.
+
+    Exit codes mirror ``tools/obs_diff.py``'s contract: 0 clean (or
+    ``--warn-only``), 1 when a cell is flagged, 2 when there is no
+    history to gate (missing directory or no matching cell).
+    """
+    import json
+    import pathlib
+
+    from .obs.profile import (HistoryStore, SentinelConfig, check_run,
+                              render_verdicts)
+
+    root = pathlib.Path(args.history)
+    if not (root / "history.jsonl").exists():
+        print(f"{root}: no perf history found", file=sys.stderr)
+        return 0 if args.warn_only else 2
+    config = SentinelConfig(window=args.window)
+    verdicts = []
+    with HistoryStore(root) as store:
+        cells = [
+            cell for cell in store.cells()
+            if (args.bench is None or cell["bench"] == args.bench)
+            and (args.workload is None or cell["workload"] == args.workload)
+            and (args.arm is None or cell["arm"] == args.arm)
+        ]
+        if not cells:
+            print("no matching history cells", file=sys.stderr)
+            return 0 if args.warn_only else 2
+        for cell in cells:
+            rows = store.window(cell["bench"], cell["workload"],
+                                arm=cell["arm"], limit=config.window + 1)
+            verdicts.append(check_run(rows[0], rows[1:], config))
+    print(render_verdicts(verdicts))
+    if args.json_out:
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(verdicts, indent=2, sort_keys=True) + "\n")
+        print(f"verdicts written to {args.json_out}")
+    if any(v["flagged"] for v in verdicts):
+        return 0 if args.warn_only else 1
+    return 0
+
+
 def _cmd_figure(name: str) -> int:
     report = ALL_FIGURES[name]()
     print(report.render())
@@ -549,6 +646,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_plan_explain(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "perf-report":
+            return _cmd_perf_report(args)
         return _cmd_figure(args.name)
     except BrokenPipeError:  # output piped into head/less and closed early
         return 0

@@ -9,7 +9,6 @@ preparation), mirroring the per-component analysis in the paper's §VI.
 from __future__ import annotations
 
 import math
-import warnings
 from collections import defaultdict
 from typing import Callable, Dict, Iterator, List
 
@@ -56,8 +55,9 @@ class SimClock:
         #: Callables ``(category, seconds)`` notified on every charge
         #: (see :class:`repro.gpusim.trace.TraceRecorder`).  Fan-out: any
         #: number of listeners may subscribe via :meth:`add_listener`.
+        #: The deprecated single-slot ``listener`` property shim was
+        #: removed; ``tests/gpusim/test_trace.py`` pins its absence.
         self._listeners: List[Callable[[str, float], None]] = []
-        self._legacy_listener: "Callable[[str, float], None] | None" = None
 
     def add_listener(
         self, fn: Callable[[str, float], None]
@@ -72,27 +72,6 @@ class SimClock:
             self._listeners.remove(fn)
         except ValueError:
             pass
-        if self._legacy_listener is fn:
-            self._legacy_listener = None
-
-    @property
-    def listener(self) -> "Callable[[str, float], None] | None":
-        """Deprecated single-slot hook; use :meth:`add_listener` instead."""
-        return self._legacy_listener
-
-    @listener.setter
-    def listener(self, fn: "Callable[[str, float], None] | None") -> None:
-        warnings.warn(
-            "SimClock.listener is deprecated; use add_listener()/"
-            "remove_listener() — assignment only replaces the listener "
-            "previously set through this property, not other subscribers.",
-            DeprecationWarning, stacklevel=2,
-        )
-        if self._legacy_listener is not None:
-            self.remove_listener(self._legacy_listener)
-        self._legacy_listener = fn
-        if fn is not None:
-            self._listeners.append(fn)
 
     def advance(self, category: str, seconds: float) -> None:
         """Charge ``seconds`` of simulated time to ``category``."""

@@ -79,6 +79,13 @@ class TraceRecorder:
             if seconds > 0
         ]
 
+    def as_dict(self) -> Dict[str, float]:
+        """Non-zero per-category seconds as a plain dict (JSON-stable;
+        the shape the perf-history store records)."""
+        return {name: seconds
+                for name, seconds in sorted(self._by_category.items())
+                if seconds > 0}
+
     def render(self, width: int = 40) -> str:
         """ASCII breakdown bars (one :func:`repro.obs.render_bars` view)."""
         return render_bars(self.summary(), width,
@@ -142,6 +149,11 @@ class PhaseTimer:
              (self._seconds[name] / total if total else 0.0))
             for name in self._order
         ]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Per-phase self seconds in recording order (JSON-stable; the
+        shape the perf-history store records)."""
+        return {name: self._seconds[name] for name in self._order}
 
     def render(self, width: int = 40) -> str:
         """ASCII per-phase wall-clock bars (same layout as the simulated

@@ -6,6 +6,11 @@ event :class:`~repro.gpusim.stats.Counters`, the simulated
 one span tree (run → phase → level → kernel) with machine-readable
 exports.  See ``docs/OBSERVABILITY.md`` for the span model, the Chrome
 trace / JSONL formats, and the manifest-diff regression gate.
+
+The analysis layer on top — critical-path profiling, the perf-history
+store, and the regression sentinel — lives in :mod:`repro.obs.profile`
+(imported on demand; it pulls in sqlite3 and is not needed on the hot
+telemetry path).
 """
 
 from .exporters import (
@@ -14,6 +19,7 @@ from .exporters import (
     metrics_jsonl_lines,
     render_bars,
     render_span_tree,
+    span_tree_records,
     write_chrome_trace,
     write_metrics_jsonl,
 )
@@ -53,6 +59,7 @@ __all__ = [
     "write_metrics_jsonl",
     "render_bars",
     "render_span_tree",
+    "span_tree_records",
     "build_manifest",
     "write_manifest",
     "load_manifest",

@@ -18,12 +18,42 @@ Three consumers, one span tree:
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 from typing import Any, Dict, List, Sequence, Tuple
 
 from .spans import SpanCollector
 
 _US = 1e6  # trace-event timestamps are microseconds
+
+
+def span_tree_records(collector: SpanCollector) -> List[Dict[str, Any]]:
+    """Flatten the collector's spans into JSON-stable records.
+
+    One plain dict per span (index/parent links, inclusive and self wall
+    and simulated time, counter and bucket deltas) — the portable form the
+    profiler layer (:mod:`repro.obs.profile`) rebuilds trees from and the
+    perf-history store persists alongside each bench record.
+    """
+    records: List[Dict[str, Any]] = []
+    for span in collector.walk():
+        records.append({
+            "index": span.index,
+            "parent": span.parent,
+            "name": span.name,
+            "kind": span.kind,
+            "level": span.level,
+            "depth": span.depth,
+            "wall_seconds": span.wall_seconds,
+            "wall_self_seconds": span.wall_self_seconds,
+            "sim_seconds": span.sim_seconds,
+            "sim_self_seconds": math.fsum(span.sim_self.values()),
+            "sim_buckets": dict(span.sim_buckets),
+            "sim_self": dict(span.sim_self),
+            "counters": dict(span.counters),
+            "counters_self": dict(span.counters_self),
+        })
+    return records
 
 
 def render_bars(rows: Sequence[Tuple[str, float, float]],

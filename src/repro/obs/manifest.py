@@ -16,6 +16,7 @@ trustworthy at tight thresholds.
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 import subprocess
 import time
@@ -168,9 +169,14 @@ def diff_manifests(baseline: Dict[str, Any], candidate: Dict[str, Any],
     """
     findings: List[Dict[str, Any]] = []
 
+    def finite(value: Any) -> bool:
+        return isinstance(value, (int, float)) and math.isfinite(value)
+
     def note(kind: str, name: str, base: float, cand: float,
              regression: bool) -> None:
-        ratio: Optional[float] = (cand / base) if base else None
+        ratio: Optional[float] = (
+            (cand / base) if (finite(base) and finite(cand) and base)
+            else None)
         findings.append({
             "kind": kind, "name": name, "baseline": base, "candidate": cand,
             "ratio": ratio, "regression": regression,
@@ -179,8 +185,17 @@ def diff_manifests(baseline: Dict[str, Any], candidate: Dict[str, Any],
     base_counters = baseline.get("counters", {})
     cand_counters = candidate.get("counters", {})
     for name in sorted(set(base_counters) | set(cand_counters)):
-        base = int(base_counters.get(name, 0))
-        cand = int(cand_counters.get(name, 0))
+        raw_base = base_counters.get(name, 0)
+        raw_cand = cand_counters.get(name, 0)
+        if not finite(raw_base) or not finite(raw_cand):
+            # NaN/inf guard: a non-finite candidate is a broken run and
+            # fails the gate; a non-finite baseline (candidate fine) only
+            # warns — recovery from a corrupt baseline must not fail.
+            note("counter", name, raw_base, raw_cand,
+                 regression=not finite(raw_cand))
+            continue
+        base = int(raw_base)
+        cand = int(raw_cand)
         if cand == base:
             continue
         grew = cand - base
@@ -196,9 +211,23 @@ def diff_manifests(baseline: Dict[str, Any], candidate: Dict[str, Any],
 
     base_sim = float(baseline.get("simulated_seconds", 0.0))
     cand_sim = float(candidate.get("simulated_seconds", 0.0))
-    if base_sim > 0 and abs(cand_sim - base_sim) / base_sim > time_threshold:
+    if not math.isfinite(cand_sim):
+        # NaN never compares > threshold, so without this guard a NaN
+        # candidate would sail through the gate silently.
+        note("sim_time", "simulated_seconds", base_sim, cand_sim,
+             regression=True)
+    elif not math.isfinite(base_sim):
+        note("sim_time", "simulated_seconds", base_sim, cand_sim,
+             regression=False)
+    elif base_sim > 0 and abs(cand_sim - base_sim) / base_sim > time_threshold:
         note("sim_time", "simulated_seconds", base_sim, cand_sim,
              regression=cand_sim > base_sim)
+    elif base_sim == 0.0 and cand_sim > 0.0:
+        # Zero-baseline: no ratio exists; report the appearance of
+        # simulated time informationally rather than dividing by zero or
+        # staying silent.
+        note("sim_time", "simulated_seconds", base_sim, cand_sim,
+             regression=False)
 
     base_res = (baseline.get("resilience") or {}).get("by_type", {})
     cand_res = (candidate.get("resilience") or {}).get("by_type", {})

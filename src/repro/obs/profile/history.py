@@ -1,0 +1,237 @@
+"""Perf-history store: append-only JSONL with a SQLite lookup index.
+
+Every benchmark run appends one record per (bench, workload, arm) cell to
+``benchmarks/reports/history/history.jsonl``.  The JSONL file is the
+source of truth — append-only, human-greppable, merge-friendly — and
+``index.sqlite`` is a derived index (seq, key columns, byte offsets) that
+makes "the last K runs of this cell" a single indexed query instead of a
+full-file scan.  The index is rebuilt from the JSONL whenever the two
+disagree, so deleting ``index.sqlite`` (or a partial write) is always
+recoverable.
+
+Records carry the run's headline metrics (wall seconds, simulated
+seconds), the clock-bucket and counter snapshots, and optionally the full
+span-tree records (:func:`repro.obs.exporters.span_tree_records`) that
+the regression sentinel's subtree attribution needs.
+
+Fork-safe by the same construction as :class:`repro.plan.cache.PlanCache`:
+the SQLite connection is opened lazily per ``os.getpid()`` and dropped on
+pickling, so a store inherited across ``fork()`` never reuses the
+parent's handle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sqlite3
+import time
+from typing import Any, Dict, List, Optional
+
+from ..manifest import git_revision
+
+__all__ = ["HistoryStore", "HISTORY_SCHEMA"]
+
+HISTORY_SCHEMA = "gamma-perf-history/1"
+
+_INDEX_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    seq      INTEGER PRIMARY KEY,
+    bench    TEXT NOT NULL,
+    workload TEXT NOT NULL,
+    arm      TEXT NOT NULL,
+    git_rev  TEXT NOT NULL,
+    offset   INTEGER NOT NULL,
+    length   INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_cell ON records (bench, workload, arm, seq);
+"""
+
+
+class HistoryStore:
+    """Append-only perf history under one directory (JSONL + index)."""
+
+    def __init__(self, root: "str | pathlib.Path") -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.jsonl_path = self.root / "history.jsonl"
+        self.index_path = self.root / "index.sqlite"
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+        self._sync_index()
+
+    # -- process boundary ----------------------------------------------
+    @property
+    def _db(self) -> sqlite3.Connection:
+        """This process's connection (reopened after a fork)."""
+        pid = os.getpid()
+        if self._conn is None or self._conn_pid != pid:
+            # Never reuse (or close) a handle inherited across fork();
+            # drop the reference and open fresh for this pid.
+            self._conn = sqlite3.connect(str(self.index_path))
+            self._conn_pid = pid
+            self._conn.executescript(_INDEX_SCHEMA)
+            self._conn.commit()
+        return self._conn
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_conn"] = None
+        state["_conn_pid"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
+    def close(self) -> None:
+        if self._conn is not None and self._conn_pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._conn_pid = None
+
+    def __enter__(self) -> "HistoryStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- index maintenance ---------------------------------------------
+    def _sync_index(self) -> None:
+        """Rebuild the index when it disagrees with the JSONL file."""
+        lines = self._count_jsonl_lines()
+        (indexed,) = self._db.execute(
+            "SELECT COUNT(*) FROM records").fetchone()
+        if indexed != lines:
+            self.reindex()
+
+    def _count_jsonl_lines(self) -> int:
+        if not self.jsonl_path.exists():
+            return 0
+        count = 0
+        with self.jsonl_path.open("rb") as fh:
+            for line in fh:
+                if line.strip():
+                    count += 1
+        return count
+
+    def reindex(self) -> int:
+        """Rebuild ``index.sqlite`` from scratch; returns the row count."""
+        db = self._db
+        db.execute("DELETE FROM records")
+        rows = []
+        if self.jsonl_path.exists():
+            offset = 0
+            with self.jsonl_path.open("rb") as fh:
+                for line in fh:
+                    length = len(line)
+                    if line.strip():
+                        record = json.loads(line)
+                        rows.append((
+                            int(record.get("seq", len(rows) + 1)),
+                            str(record.get("bench", "")),
+                            str(record.get("workload", "")),
+                            str(record.get("arm", "")),
+                            str(record.get("git_rev", "unknown")),
+                            offset, length,
+                        ))
+                    offset += length
+        db.executemany(
+            "INSERT OR REPLACE INTO records "
+            "(seq, bench, workload, arm, git_rev, offset, length) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)", rows)
+        db.commit()
+        return len(rows)
+
+    # -- writing --------------------------------------------------------
+    def append(self, *, bench: str, workload: str, arm: str = "",
+               wall_seconds: "float | None" = None,
+               simulated_seconds: "float | None" = None,
+               clock_buckets: "Dict[str, float] | None" = None,
+               counters: "Dict[str, int] | None" = None,
+               span_tree: "List[Dict[str, Any]] | None" = None,
+               git_rev: "str | None" = None,
+               extra: "Dict[str, Any] | None" = None) -> Dict[str, Any]:
+        """Append one record; returns the record (with its ``seq``)."""
+        db = self._db
+        row = db.execute("SELECT MAX(seq) FROM records").fetchone()
+        seq = int(row[0] or 0) + 1
+        record: Dict[str, Any] = {
+            "schema": HISTORY_SCHEMA,
+            "seq": seq,
+            "created_utc": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "git_rev": git_rev if git_rev is not None else git_revision(),
+            "bench": bench,
+            "workload": workload,
+            "arm": arm,
+            "wall_seconds": wall_seconds,
+            "simulated_seconds": simulated_seconds,
+        }
+        if clock_buckets:
+            record["clock_buckets"] = dict(clock_buckets)
+        if counters:
+            record["counters"] = dict(counters)
+        if span_tree:
+            record["span_tree"] = list(span_tree)
+        if extra:
+            record["extra"] = dict(extra)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        data = line.encode("utf-8")
+        offset = (self.jsonl_path.stat().st_size
+                  if self.jsonl_path.exists() else 0)
+        with self.jsonl_path.open("ab") as fh:
+            fh.write(data)
+        db.execute(
+            "INSERT INTO records "
+            "(seq, bench, workload, arm, git_rev, offset, length) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (seq, bench, workload, arm, record["git_rev"], offset,
+             len(data)),
+        )
+        db.commit()
+        return record
+
+    # -- reading --------------------------------------------------------
+    def _read_at(self, offset: int, length: int) -> Dict[str, Any]:
+        with self.jsonl_path.open("rb") as fh:
+            fh.seek(offset)
+            return json.loads(fh.read(length))
+
+    def window(self, bench: str, workload: str, arm: str = "",
+               limit: int = 8,
+               before_seq: "int | None" = None) -> List[Dict[str, Any]]:
+        """Newest-first records for one cell, optionally before ``seq``."""
+        query = ("SELECT offset, length FROM records "
+                 "WHERE bench = ? AND workload = ? AND arm = ?")
+        params: List[Any] = [bench, workload, arm]
+        if before_seq is not None:
+            query += " AND seq < ?"
+            params.append(before_seq)
+        query += " ORDER BY seq DESC LIMIT ?"
+        params.append(int(limit))
+        rows = self._db.execute(query, params).fetchall()
+        return [self._read_at(offset, length) for offset, length in rows]
+
+    def latest(self, bench: str, workload: str,
+               arm: str = "") -> "Dict[str, Any] | None":
+        """The most recent record for one cell, or ``None``."""
+        rows = self.window(bench, workload, arm, limit=1)
+        return rows[0] if rows else None
+
+    def cells(self) -> List[Dict[str, str]]:
+        """Distinct (bench, workload, arm) cells, sorted, with counts."""
+        rows = self._db.execute(
+            "SELECT bench, workload, arm, COUNT(*) FROM records "
+            "GROUP BY bench, workload, arm "
+            "ORDER BY bench, workload, arm").fetchall()
+        return [
+            {"bench": bench, "workload": workload, "arm": arm,
+             "count": count}
+            for bench, workload, arm, count in rows
+        ]
+
+    def __len__(self) -> int:
+        (count,) = self._db.execute(
+            "SELECT COUNT(*) FROM records").fetchone()
+        return int(count)

@@ -115,6 +115,14 @@ class ShardedGamma:
         ]
         #: Level-0 unit ownership, computed lazily per unit kind.
         self._assignments: dict = {}
+        #: One entry per closed barrier: which shard gated the superstep
+        #: and how long each peer waited (read by
+        #: :func:`repro.obs.profile.straggler_report`).  Deterministic —
+        #: derived from simulated clocks only — so it may feed the
+        #: canonical sharded manifest.  Empty at N=1.
+        self.barrier_log: List[dict] = []
+        #: One entry per cross-shard all-gather (kind + payload bytes).
+        self.exchange_log: List[dict] = []
         self._closed = False
         #: Shard index of the most recent fan-out step (degradation
         #: policies in :meth:`run` target the shard that faulted).
@@ -153,15 +161,28 @@ class ShardedGamma:
                 results.append(fn(index))
         return results
 
-    def _barrier(self) -> None:
+    def _barrier(self, label: str = "") -> None:
         """Close a BSP super-step: charge lagging shards' idle wait.
 
         The wait is billed inside each shard's op journal, so a resumed
-        replay skips it along with the op that preceded it.
+        replay skips it along with the op that preceded it.  ``label``
+        names the op the barrier closes; each barrier appends one
+        straggler entry (gating shard, per-shard waits) to
+        :attr:`barrier_log`.
         """
         if self.num_shards <= 1:
             return
-        target = max(shard.platform.clock.total for shard in self.shards)
+        totals = [shard.platform.clock.total for shard in self.shards]
+        target = max(totals)
+        gating = totals.index(target)
+        entry = {
+            "superstep": len(self.barrier_log),
+            "op": label or "op",
+            "gating_shard": gating,
+            "target_seconds": target,
+            "waits": [target - total for total in totals],
+        }
+        self.barrier_log.append(entry)
 
         def sync(index: int):
             shard = self.shards[index]
@@ -174,7 +195,14 @@ class ShardedGamma:
 
             return shard.custom_op("shard-sync", execute)
 
-        self._each(sync)
+        tel = self._tel
+        if tel.active:
+            with tel.span(f"barrier:{entry['op']}", kind="barrier",
+                          superstep=entry["superstep"],
+                          gating_shard=gating):
+                self._each(sync)
+        else:
+            self._each(sync)
 
     def _exchange(self, kind: str, payload_bytes: Sequence[int],
                   merge_ops: float) -> None:
@@ -187,6 +215,12 @@ class ShardedGamma:
         if self.num_shards <= 1:
             return
         total = int(sum(payload_bytes))
+        self.exchange_log.append({
+            "after_superstep": len(self.barrier_log),
+            "kind": kind,
+            "payload_bytes": [int(b) for b in payload_bytes],
+            "total_bytes": total,
+        })
 
         def exchange(index: int):
             shard = self.shards[index]
@@ -245,13 +279,13 @@ class ShardedGamma:
             lambda i: self.shards[i].seed_vertices(table.parts[i], label)
         )
         self._restrict_to_owned(table, shard_policy.VERTEX_UNITS)
-        self._barrier()
+        self._barrier("seed-vertices")
         return table
 
     def seed_edges(self, table: ShardedTable):
         self._each(lambda i: self.shards[i].seed_edges(table.parts[i]))
         self._restrict_to_owned(table, shard_policy.EDGE_UNITS)
-        self._barrier()
+        self._barrier("seed-edges")
         return table
 
     def _seed_explicit(self, table: ShardedTable, values: np.ndarray) -> None:
@@ -264,7 +298,7 @@ class ShardedGamma:
         assignment = self._assignment(units)
         for index, part in enumerate(table.parts):
             part.seed(values[assignment[values] == index])
-        self._barrier()
+        self._barrier("seed-explicit")
 
     # -- extension -----------------------------------------------------------
     def _merge_stats(self, stats: List[ExtensionStats]) -> ExtensionStats:
@@ -292,7 +326,7 @@ class ShardedGamma:
             greater_than_cols=greater_than_cols,
             less_than_cols=less_than_cols, injective=injective,
         ))
-        self._barrier()
+        self._barrier("vertex-extension")
         return self._merge_stats(stats)
 
     def vertex_extension_any(self, table: ShardedTable, anchor_cols,
@@ -306,7 +340,7 @@ class ShardedGamma:
             greater_than_cols=greater_than_cols,
             less_than_cols=less_than_cols, injective=injective,
         ))
-        self._barrier()
+        self._barrier("vertex-extension-any")
         return self._merge_stats(stats)
 
     def edge_extension(self, table: ShardedTable,
@@ -316,7 +350,7 @@ class ShardedGamma:
             lambda i: self.shards[i].edge_extension(
                 table.parts[i], greater_than_col=greater_than_col)
         )
-        self._barrier()
+        self._barrier("edge-extension")
         return self._merge_stats(stats)
 
     # -- dedup (with cross-shard reconciliation) ------------------------------
@@ -336,7 +370,7 @@ class ShardedGamma:
         if self.num_shards <= 1:
             self._barrier()
             return removed
-        self._barrier()
+        self._barrier("dedup-local")
 
         keys = [embedding_set_keys(_host_rows(part)) for part in table.parts]
         counts = [len(k) for k in keys]
@@ -362,7 +396,7 @@ class ShardedGamma:
             )
 
         removed += sum(self._each(reconcile))
-        self._barrier()
+        self._barrier("dedup-reconcile")
         return removed
 
     # -- aggregation / filtering ----------------------------------------------
@@ -389,14 +423,14 @@ class ShardedGamma:
         codes = self._each(lambda i: self.shards[i].aggregation(
             table.parts[i], local_tables[i], support_metric
         ))
-        self._barrier()
+        self._barrier("aggregation-local")
         payload = [len(pt) * _PATTERN_BYTES for pt in local_tables]
         total_patterns = sum(len(pt) for pt in local_tables)
         self._exchange("pattern-table", payload, float(total_patterns))
         for local in local_tables:
             if len(local):
                 pattern_table.merge(local.codes, local.supports)
-        self._barrier()
+        self._barrier("aggregation-merge")
         return ShardedCodes(codes)
 
     def filtering(self, table: ShardedTable,
@@ -416,7 +450,7 @@ class ShardedGamma:
             removed = sum(self._each(lambda i: self.shards[i].filtering(
                 table.parts[i], keep_mask=masks[i]
             )))
-            self._barrier()
+            self._barrier("filtering")
             return removed
         if pattern_table is None or row_codes is None or constraint is None:
             raise ExecutionError(
@@ -431,7 +465,7 @@ class ShardedGamma:
             table.parts[i], pattern_table=pattern_table,
             row_codes=per_shard[i], constraint=constraint,
         )))
-        self._barrier()
+        self._barrier("filtering")
         return removed
 
     def output_results(self, table: ShardedTable | None = None,
@@ -452,7 +486,7 @@ class ShardedGamma:
             )
         if pattern_table is not None:
             outputs.append(pattern_table.as_dict())
-        self._barrier()
+        self._barrier("output")
         if not outputs:
             raise ExecutionError("nothing to output")
         return outputs[0] if len(outputs) == 1 else tuple(outputs)

@@ -12,6 +12,9 @@ and wraps them in one merged document:
   ``clock_buckets_total`` (aggregate GPU-seconds per category);
 * ``shards`` — the full per-shard manifests, each tagged with its index
   and utilization (1 − sync idle / shard clock);
+* ``straggler`` — per-barrier gating shards, utilization skew and
+  exchange-bytes share (:func:`repro.obs.profile.straggler_report`);
+  present only when the run actually barriered (N > 1);
 * the sharding configuration (shard count, policy, interconnect model).
 
 :func:`canonical_manifest_bytes` strips the volatile fields
@@ -111,6 +114,15 @@ def build_sharded_manifest(
         "clock_buckets_total": buckets_total,
         "shards": shard_docs,
     }
+    # Straggler section: which shard gated each superstep, utilization
+    # skew, exchange-bytes share.  Derived purely from simulated clocks,
+    # so it is deterministic and safe inside the canonical bytes.  N=1
+    # runs log no barriers and carry no section, preserving the bit-parity
+    # with unsharded manifests that the determinism tests pin.
+    if getattr(engine, "barrier_log", None):
+        from ..obs.profile.straggler import straggler_report
+
+        merged["straggler"] = straggler_report(engine)
     # Carry volatile provenance at the top level only, so canonical bytes
     # (which strip these) cover every shard completely.
     first = shard_docs[0]

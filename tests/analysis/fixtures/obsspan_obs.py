@@ -1,0 +1,13 @@
+# gammalint-fixture: src/repro/obs/fixture_layer.py
+"""The telemetry layer itself (repro/obs/ outside profile/) IS in the
+obs-span scope: a phase-boundary-shaped public function there must open
+a span like the engine core's."""
+
+
+def aggregate_samples(platform, samples):  # expect[obs-span]
+    return sorted(samples)
+
+
+def extend_export(platform, rows):
+    with platform.telemetry.span("export", kind="phase"):
+        return list(rows)

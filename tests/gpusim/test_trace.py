@@ -101,27 +101,16 @@ class TestClockListeners:
         assert first.total == pytest.approx(2.0)
         assert second.total == pytest.approx(2.0)
 
-    def test_legacy_listener_attribute_still_works(self):
-        clock = SimClock()
-        seen_new, seen_old = [], []
-        clock.add_listener(lambda cat, s: seen_new.append(cat))
-        with pytest.deprecated_call():
-            clock.listener = lambda cat, s: seen_old.append(cat)
-        clock.advance("compute", 1.0)
-        assert seen_old == ["compute"]
-        assert seen_new == ["compute"], "legacy setter must not evict others"
-
-    def test_legacy_setter_replaces_only_its_own_slot(self):
-        clock = SimClock()
-        first, second = [], []
-        with pytest.deprecated_call():
-            clock.listener = lambda cat, s: first.append(cat)
-        with pytest.deprecated_call():
-            clock.listener = lambda cat, s: second.append(cat)
-        clock.advance("compute", 1.0)
-        assert first == []
-        assert second == ["compute"]
-        assert clock.listener is not None
+    def test_legacy_listener_shim_is_gone(self):
+        # The deprecated single-slot `listener` property was removed in
+        # favour of add_listener()/remove_listener().  Check the *class*:
+        # after a property is deleted, instance assignment would silently
+        # create a plain attribute, so hasattr on an instance alone would
+        # not catch a reintroduction.
+        assert "listener" not in vars(SimClock)
+        assert not hasattr(SimClock, "listener")
+        assert not hasattr(SimClock(), "listener")
+        assert "_legacy_listener" not in vars(SimClock())
 
 
 class TestPhaseTimerNesting:

@@ -74,6 +74,40 @@ class TestMetricsJsonl:
         assert len(path.read_text().splitlines()) >= 1
 
 
+class TestSpanTreeRecords:
+    def test_parent_links_and_depths(self):
+        records = obs.span_tree_records(_collected())
+        by_name = {r["name"]: r for r in records}
+        root = by_name["run"]
+        assert root["parent"] == -1 or root["parent"] == root["index"]
+        assert by_name["phase-a"]["parent"] == root["index"]
+        assert by_name["kernel:x"]["parent"] == by_name["phase-a"]["index"]
+        assert by_name["kernel:x"]["depth"] == by_name["phase-a"]["depth"] + 1
+        assert by_name["kernel:x"]["kind"] == "kernel"
+
+    def test_self_sim_partitions_the_clock(self):
+        import math
+        collector = _collected()
+        records = obs.span_tree_records(collector)
+        total_self = math.fsum(r["sim_self_seconds"] for r in records)
+        assert total_self == pytest.approx(3e-3)
+        # sim_self_seconds is exactly the sum of the per-bucket self table.
+        for record in records:
+            assert record["sim_self_seconds"] == pytest.approx(
+                math.fsum(record["sim_self"].values()))
+
+    def test_inclusive_counters_roll_up(self):
+        records = obs.span_tree_records(_collected())
+        by_name = {r["name"]: r for r in records}
+        assert by_name["phase-a"]["counters"]["widgets"] == 5
+        assert by_name["run"]["counters"]["widgets"] == 5
+        assert by_name["kernel:x"]["counters_self"].get("widgets", 0) == 0
+
+    def test_records_are_json_stable(self):
+        records = obs.span_tree_records(_collected())
+        assert json.loads(json.dumps(records)) == records
+
+
 class TestAsciiRenderers:
     def test_render_bars_rows(self):
         out = obs.render_bars([("compute", 0.003, 0.75),
@@ -92,3 +126,12 @@ class TestAsciiRenderers:
         kernel_line = next(l for l in lines if "kernel:x" in l)
         indent = lambda l: len(l) - len(l.lstrip())  # noqa: E731
         assert indent(kernel_line) > indent(run_line)
+
+    def test_render_span_tree_max_depth_prunes(self):
+        out = obs.render_span_tree(_collected(), max_depth=1)
+        assert "phase-a" in out
+        assert "kernel:x" not in out
+
+    def test_render_span_tree_shows_hot_counters(self):
+        out = obs.render_span_tree(_collected())
+        assert "widgets" in out

@@ -1,0 +1,209 @@
+"""Perf-history store and regression-sentinel gating."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.profile import (
+    HistoryStore,
+    SentinelConfig,
+    check_run,
+    inject_slowdown,
+    render_verdicts,
+)
+from repro.obs.profile.history import HISTORY_SCHEMA
+from repro.obs.profile.sentinel import (
+    VERDICT_SCHEMA,
+    attribute_buckets,
+    attribute_subtrees,
+)
+
+
+def _tree_records():
+    """Synthetic run > {setup, work > {kernel:a, kernel:b}} records."""
+    return [
+        {"index": 0, "parent": -1, "name": "run", "depth": 0,
+         "sim_seconds": 8e-3, "sim_self_seconds": 0.0},
+        {"index": 1, "parent": 0, "name": "setup", "depth": 1,
+         "sim_seconds": 1e-3, "sim_self_seconds": 1e-3},
+        {"index": 2, "parent": 0, "name": "work", "depth": 1,
+         "sim_seconds": 7e-3, "sim_self_seconds": 1e-3},
+        {"index": 3, "parent": 2, "name": "kernel:a", "depth": 2,
+         "sim_seconds": 4e-3, "sim_self_seconds": 4e-3},
+        {"index": 4, "parent": 2, "name": "kernel:b", "depth": 2,
+         "sim_seconds": 2e-3, "sim_self_seconds": 2e-3},
+    ]
+
+
+def _baseline_record(seq, **overrides):
+    record = {
+        "bench": "t", "workload": "w", "arm": "", "seq": seq,
+        "git_rev": "deadbeef", "simulated_seconds": 8e-3,
+        "span_tree": _tree_records(),
+    }
+    record.update(overrides)
+    return record
+
+
+class TestHistoryStore:
+    def test_append_assigns_monotonic_seq(self, tmp_path):
+        with HistoryStore(tmp_path) as store:
+            first = store.append(bench="a", workload="w")
+            second = store.append(bench="a", workload="w")
+        assert first["schema"] == HISTORY_SCHEMA
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert first["git_rev"]  # always stamped, even outside a checkout
+
+    def test_jsonl_is_the_source_of_truth(self, tmp_path):
+        with HistoryStore(tmp_path) as store:
+            store.append(bench="a", workload="w", simulated_seconds=1.0)
+        lines = (tmp_path / "history.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["simulated_seconds"] == 1.0
+
+    def test_window_is_newest_first_with_limit(self, tmp_path):
+        with HistoryStore(tmp_path) as store:
+            for i in range(5):
+                store.append(bench="a", workload="w",
+                             simulated_seconds=float(i))
+            rows = store.window("a", "w", limit=3)
+        assert [r["simulated_seconds"] for r in rows] == [4.0, 3.0, 2.0]
+
+    def test_window_before_seq_excludes_the_candidate(self, tmp_path):
+        with HistoryStore(tmp_path) as store:
+            for i in range(4):
+                store.append(bench="a", workload="w",
+                             simulated_seconds=float(i))
+            rows = store.window("a", "w", before_seq=4)
+        assert [r["seq"] for r in rows] == [3, 2, 1]
+
+    def test_cells_and_latest_and_len(self, tmp_path):
+        with HistoryStore(tmp_path) as store:
+            store.append(bench="a", workload="w", arm="fast")
+            store.append(bench="a", workload="w", arm="fast")
+            store.append(bench="b", workload="x")
+            assert len(store) == 3
+            cells = store.cells()
+            assert cells == [
+                {"bench": "a", "workload": "w", "arm": "fast", "count": 2},
+                {"bench": "b", "workload": "x", "arm": "", "count": 1},
+            ]
+            assert store.latest("a", "w", arm="fast")["seq"] == 2
+            assert store.latest("a", "nope") is None
+
+    def test_arm_partitions_the_cell(self, tmp_path):
+        with HistoryStore(tmp_path) as store:
+            store.append(bench="a", workload="w", arm="fast")
+            store.append(bench="a", workload="w", arm="reference")
+            assert len(store.window("a", "w", arm="fast")) == 1
+            assert store.window("a", "w", arm="other") == []
+
+    def test_index_rebuilds_after_deletion(self, tmp_path):
+        with HistoryStore(tmp_path) as store:
+            for i in range(3):
+                store.append(bench="a", workload="w",
+                             simulated_seconds=float(i))
+        (tmp_path / "index.sqlite").unlink()
+        with HistoryStore(tmp_path) as store:
+            assert len(store) == 3
+            assert store.latest("a", "w")["simulated_seconds"] == 2.0
+
+    def test_pickle_drops_the_connection(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(bench="a", workload="w")
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone._conn is None
+        # The clone reopens lazily and sees (and extends) the same file.
+        record = clone.append(bench="a", workload="w")
+        assert record["seq"] == 2
+        clone.close()
+        store.close()
+
+
+class TestCheckRun:
+    def test_insufficient_history_is_not_flagged(self):
+        window = [_baseline_record(1), _baseline_record(2)]
+        verdict = check_run(_baseline_record(3), window)
+        assert verdict["insufficient_history"]
+        assert not verdict["flagged"]
+        assert verdict["schema"] == VERDICT_SCHEMA
+
+    def test_identical_runs_are_clean(self):
+        window = [_baseline_record(i) for i in (1, 2, 3)]
+        verdict = check_run(_baseline_record(4), window)
+        assert not verdict["flagged"]
+        assert verdict["metrics"]["simulated_seconds"]["ratio"] == (
+            pytest.approx(1.0))
+
+    def test_wall_noise_stays_under_the_relative_floor(self):
+        window = [_baseline_record(i, wall_seconds=w)
+                  for i, w in ((1, 1.00), (2, 1.02), (3, 0.98))]
+        verdict = check_run(_baseline_record(4, wall_seconds=1.05), window)
+        assert "wall_seconds" in verdict["metrics"]
+        assert not verdict["flagged"]
+
+    def test_injected_slowdown_is_flagged_and_attributed(self):
+        window = [_baseline_record(i) for i in (1, 2, 3)]
+        slowed, added = inject_slowdown(_tree_records(), "run/work", 1.3)
+        candidate = _baseline_record(
+            4, simulated_seconds=8e-3 + added, span_tree=slowed)
+        verdict = check_run(candidate, window)
+        assert verdict["flagged"]
+        (flag,) = verdict["flags"]
+        assert flag["metric"] == "simulated_seconds"
+        assert flag["attribution_kind"] == "span_tree"
+        top = flag["attribution"][0]["path"]
+        # Deepest-subtree semantics: the injected path or a child of it.
+        assert top == "run/work" or top.startswith("run/work/")
+
+    def test_clock_bucket_fallback_when_no_trees(self):
+        window = [
+            {"bench": "t", "workload": "w", "arm": "", "seq": i,
+             "simulated_seconds": 1.0,
+             "clock_buckets": {"compute": 0.7, "pcie": 0.3}}
+            for i in (1, 2, 3)
+        ]
+        candidate = {
+            "bench": "t", "workload": "w", "arm": "", "seq": 4,
+            "simulated_seconds": 1.4,
+            "clock_buckets": {"compute": 1.1, "pcie": 0.3},
+        }
+        verdict = check_run(candidate, window)
+        assert verdict["flagged"]
+        (flag,) = verdict["flags"]
+        assert flag["attribution_kind"] == "clock_buckets"
+        assert flag["attribution"][0]["path"] == "compute"
+
+    def test_render_verdicts(self):
+        window = [_baseline_record(i) for i in (1, 2, 3)]
+        slowed, added = inject_slowdown(_tree_records(), "run/work", 1.3)
+        bad = check_run(
+            _baseline_record(4, simulated_seconds=8e-3 + added,
+                             span_tree=slowed), window)
+        good = check_run(_baseline_record(5), window)
+        text = render_verdicts([bad, good])
+        assert "REGRESSION t/w/-" in text
+        assert "ok" in text
+        assert render_verdicts([]) == "(no verdicts)"
+
+
+class TestAttribution:
+    def test_subtrees_prefer_the_deepest_qualifying_path(self):
+        slowed, __ = inject_slowdown(_tree_records(), "run/work", 1.3)
+        rows = attribute_subtrees(_tree_records(), slowed)
+        paths = [row["path"] for row in rows]
+        # run and run/work are ancestors of qualifying kernels; dropped.
+        assert "run" not in paths
+        assert paths[0] == "run/work/kernel:a"
+        assert rows[0]["delta"] == pytest.approx(4e-3 * 0.3)
+
+    def test_subtrees_empty_when_nothing_regressed(self):
+        assert attribute_subtrees(_tree_records(), _tree_records()) == []
+
+    def test_bucket_shares_sum_to_one(self):
+        rows = attribute_buckets(
+            {"compute": 1.0, "pcie": 1.0}, {"compute": 1.5, "pcie": 1.25})
+        assert [r["path"] for r in rows] == ["compute", "pcie"]
+        assert sum(r["share_of_regression"] for r in rows) == (
+            pytest.approx(1.0))

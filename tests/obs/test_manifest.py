@@ -107,6 +107,49 @@ class TestDiffManifests:
         assert not any(f["regression"] for f in loose)
         assert any(f["regression"] for f in tight)
 
+    def test_missing_counter_is_treated_as_zero(self, manifest):
+        worse = copy.deepcopy(manifest)
+        worse["counters"]["brand_new_counter"] = 100
+        findings = obs.diff_manifests(manifest, worse)
+        new = next(f for f in findings if f["name"] == "brand_new_counter")
+        assert new["baseline"] == 0
+        assert new["regression"]  # 0 -> 100 clears the absolute floor
+        # ...but a tiny new counter stays under it.
+        small = copy.deepcopy(manifest)
+        small["counters"]["tiny_new_counter"] = 3
+        assert [f for f in obs.diff_manifests(manifest, small)
+                if f["regression"]] == []
+
+    def test_nan_candidate_counter_fails_the_gate(self, manifest):
+        worse = copy.deepcopy(manifest)
+        worse["counters"]["page_faults"] = float("nan")
+        findings = obs.diff_manifests(manifest, worse)
+        bad = next(f for f in findings if f["name"] == "page_faults")
+        assert bad["regression"]
+        assert bad["ratio"] is None
+
+    def test_nan_baseline_counter_only_warns(self, manifest):
+        broken = copy.deepcopy(manifest)
+        broken["counters"]["page_faults"] = float("nan")
+        findings = obs.diff_manifests(broken, manifest)
+        warn = next(f for f in findings if f["name"] == "page_faults")
+        assert not warn["regression"]  # recovery must not fail the gate
+
+    def test_nan_sim_time_fails_the_gate(self, manifest):
+        worse = copy.deepcopy(manifest)
+        worse["simulated_seconds"] = float("nan")
+        findings = obs.diff_manifests(manifest, worse)
+        assert any(f["regression"] and f["kind"] == "sim_time"
+                   for f in findings)
+
+    def test_zero_baseline_sim_time_is_informational(self, manifest):
+        zero = copy.deepcopy(manifest)
+        zero["simulated_seconds"] = 0.0
+        findings = obs.diff_manifests(zero, manifest)
+        sim = next(f for f in findings if f["kind"] == "sim_time")
+        assert not sim["regression"]
+        assert sim["ratio"] is None
+
     def test_format_findings(self, manifest):
         worse = copy.deepcopy(manifest)
         worse["counters"]["page_faults"] = (

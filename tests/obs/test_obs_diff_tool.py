@@ -96,3 +96,22 @@ class TestObsDiffTool:
         proc = _run_tool(manifest_path, other_path)
         assert proc.returncode == 0
         assert "no comparable manifests" in proc.stdout
+
+    def test_manifestless_candidate_exits_two_strict(self, manifest_path,
+                                                     tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("{}")
+        proc = _run_tool(manifest_path, empty)
+        assert proc.returncode == 2
+        # ...but warn-only reports and succeeds (bedding-in mode).
+        proc = _run_tool(manifest_path, empty, "--warn-only")
+        assert proc.returncode == 0
+
+    def test_named_exit_code_constants(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location("obs_diff", TOOL)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert (module.EXIT_OK, module.EXIT_REGRESSIONS,
+                module.EXIT_NO_CANDIDATE) == (0, 1, 2)

@@ -194,6 +194,66 @@ class TestObservabilityFlags:
         assert obs.spans._default_collector() is None
 
 
+class TestProfilingFlags:
+    def test_critical_path_flag(self, capsys):
+        assert main(["run", "--task", "triangles", "--dataset", "ER",
+                     "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path (simulated time):" in out
+        assert "hot subtrees" in out
+
+    def test_history_dir_appends_records(self, capsys, tmp_path):
+        from repro.obs.profile import HistoryStore
+
+        history = tmp_path / "history"
+        for __ in range(2):
+            assert main(["run", "--task", "triangles", "--dataset", "ER",
+                         "--history-dir", str(history)]) == 0
+        assert "perf history: appended seq" in capsys.readouterr().out
+        with HistoryStore(history) as store:
+            assert len(store) == 2
+            latest = store.latest("cli", "triangles-ER", arm="GAMMA")
+            assert latest["simulated_seconds"] > 0
+            assert latest["span_tree"], "span tree not persisted"
+
+
+class TestPerfReportCommand:
+    def _populate(self, history, runs=4):
+        for __ in range(runs):
+            assert main(["run", "--task", "triangles", "--dataset", "ER",
+                         "--history-dir", str(history)]) == 0
+
+    def test_no_history_exits_two(self, capsys, tmp_path):
+        assert main(["perf-report",
+                     "--history", str(tmp_path / "nope")]) == 2
+        assert "no perf history" in capsys.readouterr().err
+
+    def test_no_history_warn_only_exits_zero(self, tmp_path):
+        assert main(["perf-report", "--history", str(tmp_path / "nope"),
+                     "--warn-only"]) == 0
+
+    def test_clean_history_passes(self, capsys, tmp_path):
+        import json
+
+        history = tmp_path / "history"
+        self._populate(history)
+        capsys.readouterr()
+        json_out = tmp_path / "verdicts.json"
+        assert main(["perf-report", "--history", str(history),
+                     "--json", str(json_out)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        verdicts = json.loads(json_out.read_text())
+        assert verdicts and not any(v["flagged"] for v in verdicts)
+        assert all(v["schema"] == "gamma-perf-verdict/1" for v in verdicts)
+
+    def test_cell_filters_select_nothing(self, tmp_path):
+        history = tmp_path / "history"
+        self._populate(history, runs=1)
+        assert main(["perf-report", "--history", str(history),
+                     "--bench", "not-a-bench"]) == 2
+
+
 class TestShardedRun:
     def test_gpus_flag_runs_sharded(self, capsys):
         assert main(["run", "--task", "kcl", "--k", "3", "--dataset", "ER",

@@ -16,6 +16,7 @@ import repro.core
 import repro.graph
 import repro.gpusim
 import repro.obs
+import repro.obs.profile
 import repro.plan
 import repro.resilience
 import repro.shard
@@ -23,8 +24,8 @@ import repro.shard
 MODULES = (
     repro, repro.gpusim, repro.graph, repro.core,
     repro.algorithms, repro.baselines, repro.bench, repro.analysis,
-    repro.analysis.flow, repro.obs, repro.plan, repro.resilience,
-    repro.shard,
+    repro.analysis.flow, repro.obs, repro.obs.profile, repro.plan,
+    repro.resilience, repro.shard,
 )
 
 

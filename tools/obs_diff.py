@@ -14,6 +14,24 @@ one side are reported but never fail the gate.  The simulation is
 deterministic, so on identical code the diff is empty — the thresholds
 exist only to absorb intentional cost-model tweaks.
 
+Exit codes (CI asserts on these, so they are a contract):
+
+====  ==========  =====================================================
+code  mode        meaning
+====  ==========  =====================================================
+0     both        within thresholds; or nothing to gate (empty/
+                  pre-telemetry baseline, no comparable manifests)
+0     --warn-only regressions or a missing candidate were found, but
+                  warn-only mode reports and exits clean
+1     strict      at least one regression beyond thresholds
+2     strict      the candidate file holds no manifests (broken run
+                  or wrong path — distinct from "slower")
+====  ==========  =====================================================
+
+An *empty baseline* is exit 0 in both modes: a brand-new workload has
+nothing to regress against, and failing there would block the first run
+that creates the baseline.
+
 Usage:
     PYTHONPATH=src python tools/obs_diff.py BENCH_hotpath.json new.json
     PYTHONPATH=src python tools/obs_diff.py base-manifest.json cand.json \
@@ -33,6 +51,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.obs import diff_manifests, format_findings  # noqa: E402
 
 MANIFEST_SCHEMA_PREFIX = "gamma-manifest/"
+
+#: Documented exit codes (see module docstring; CI asserts on them).
+EXIT_OK = 0
+EXIT_REGRESSIONS = 1
+EXIT_NO_CANDIDATE = 2
 
 
 def _extract(path: Path) -> "dict[tuple, dict]":
@@ -70,10 +93,10 @@ def main(argv=None) -> int:
     if not base:
         print(f"{args.baseline}: no manifests found "
               f"(pre-telemetry baseline?); nothing to gate")
-        return 0
+        return EXIT_OK
     if not cand:
         print(f"{args.candidate}: no manifests found", file=sys.stderr)
-        return 0 if args.warn_only else 2
+        return EXIT_OK if args.warn_only else EXIT_NO_CANDIDATE
 
     regressions = 0
     compared = 0
@@ -96,13 +119,13 @@ def main(argv=None) -> int:
 
     if not compared:
         print("no comparable manifests between the two files")
-        return 0
+        return EXIT_OK
     if regressions:
         print(f"\n{regressions} regression(s) beyond thresholds",
               file=sys.stderr)
-        return 0 if args.warn_only else 1
+        return EXIT_OK if args.warn_only else EXIT_REGRESSIONS
     print(f"\nOK: {compared} manifest(s) within thresholds")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""Perf regression sentinel: gate perf history, and the CI self-smoke.
+
+Two subcommands:
+
+``check``
+    Gate the newest record of each matching perf-history cell against its
+    baseline window (``repro.obs.profile.check_run``).  Thin wrapper over
+    ``repro perf-report`` so scripts can call either spelling; the exit
+    codes are the same contract as ``tools/obs_diff.py``:
+
+    ====  ==========  ================================================
+    code  mode        meaning
+    ====  ==========  ================================================
+    0     both        nothing flagged (or nothing to gate)
+    0     --warn-only regressions found but reported only
+    1     strict      at least one cell flagged as a regression
+    2     strict      no history / no matching cell
+    ====  ==========  ================================================
+
+``smoke``
+    End-to-end self-test the CI perf-sentinel leg runs: execute a small
+    workload three times into a scratch history store, assert a fourth
+    identical run is NOT flagged, then inject a synthetic 1.3x slowdown
+    into one span subtree (``inject_slowdown``) and assert the sentinel
+    flags it *and* attributes it to that subtree.  Writes the verdicts
+    and the clean run's critical-path report under ``--out``.  Exit 0
+    when every assertion holds, 1 otherwise.
+
+Usage:
+    PYTHONPATH=src python tools/perf_sentinel.py check \
+        --history benchmarks/reports/history --warn-only
+    PYTHONPATH=src python tools/perf_sentinel.py smoke --out reports/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Synthetic slowdown factor the smoke injects (well past the sentinel's
+#: 2% simulated-time floor, far below anything a real run would hide).
+SMOKE_FACTOR = 1.3
+#: Identical baseline runs recorded before the candidate is gated.
+SMOKE_BASELINE_RUNS = 3
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Delegate to ``repro perf-report`` (single implementation of the
+    gate; this entry point exists for tool-shaped CI invocations)."""
+    from repro.cli import main as repro_main
+
+    argv = ["perf-report", "--history", str(args.history),
+            "--window", str(args.window)]
+    for flag, value in (("--bench", args.bench),
+                        ("--workload", args.workload),
+                        ("--arm", args.arm),
+                        ("--json", args.json_out)):
+        if value is not None:
+            argv += [flag, str(value)]
+    if args.warn_only:
+        argv.append("--warn-only")
+    return repro_main(argv)
+
+
+def _smoke_run():
+    """One instrumented triangle-count run on a small Kronecker graph.
+
+    Returns ``(simulated_seconds, clock_buckets, counters, span_records)``.
+    Wall time is deliberately not recorded: the smoke asserts on exact
+    sentinel behaviour, and only simulated time is deterministic enough
+    for "three identical runs" to mean identical.
+    """
+    from repro import obs
+    from repro.algorithms import triangle_count
+    from repro.core import Gamma
+    from repro.graph import kronecker
+
+    graph = kronecker(7, 4, seed=1)
+    collector = obs.install(obs.SpanCollector())
+    engine = Gamma(graph)
+    try:
+        triangle_count(engine)
+        collector.finish()
+        return (
+            engine.platform.clock.total,
+            engine.platform.clock.snapshot(),
+            engine.platform.counters.snapshot(),
+            obs.span_tree_records(collector),
+        )
+    finally:
+        collector.finish()
+        engine.close()
+
+
+def _heaviest_subtree(records) -> str:
+    """Deterministic injection target: the heaviest depth-1 subtree."""
+    from repro.obs.profile import aggregate_paths, build_tree
+    from repro.obs.profile.spantree import path_depth
+
+    paths = aggregate_paths(build_tree(records))
+    candidates = [p for p in paths if path_depth(p) == 1]
+    if not candidates:
+        raise SystemExit("smoke: span tree has no depth-1 subtrees")
+    return max(candidates, key=lambda p: (paths[p]["sim_seconds"], p))
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    from repro.obs.profile import (
+        HistoryStore,
+        SentinelConfig,
+        check_run,
+        inject_slowdown,
+        render_critical_path,
+        render_verdicts,
+    )
+
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = []
+
+    def check(ok: bool, what: str) -> None:
+        print(("ok   " if ok else "FAIL ") + what)
+        if not ok:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory(prefix="perf-sentinel-smoke-") as tmp:
+        store = HistoryStore(Path(tmp) / "history")
+        config = SentinelConfig()
+        runs = [_smoke_run() for __ in range(SMOKE_BASELINE_RUNS + 1)]
+        sims = sorted({sim for sim, *__ in runs})
+        check(len(sims) == 1,
+              f"{len(runs)} runs simulate identically ({sims})")
+        for sim, buckets, counters, records in runs:
+            store.append(bench="smoke", workload="triangles-kron7",
+                         simulated_seconds=sim, clock_buckets=buckets,
+                         counters=counters, span_tree=records)
+
+        rows = store.window("smoke", "triangles-kron7",
+                            limit=config.window + 1)
+        clean = check_run(rows[0], rows[1:], config)
+        check(not clean["flagged"], "clean re-run is not flagged")
+        check(not clean["insufficient_history"],
+              f"window of {len(rows) - 1} is enough history")
+
+        sim, buckets, counters, records = runs[-1]
+        target = _heaviest_subtree(records)
+        slowed, added = inject_slowdown(records, target, SMOKE_FACTOR)
+        check(added > 0.0, f"injection at {target} added {added:.3e} s")
+        injected = store.append(
+            bench="smoke", workload="triangles-kron7",
+            simulated_seconds=sim + added, clock_buckets=buckets,
+            counters=counters, span_tree=slowed,
+            extra={"injected": {"path": target, "factor": SMOKE_FACTOR}})
+        window = store.window("smoke", "triangles-kron7",
+                              limit=config.window + 1,
+                              before_seq=injected["seq"])
+        verdict = check_run(injected, window, config)
+        check(verdict["flagged"],
+              f"{SMOKE_FACTOR}x slowdown at {target} is flagged")
+        flags = {f["metric"]: f for f in verdict["flags"]}
+        sim_flag = flags.get("simulated_seconds")
+        check(sim_flag is not None, "simulated_seconds carries the flag")
+        top = None
+        if sim_flag and sim_flag["attribution"]:
+            top = sim_flag["attribution"][0]["path"]
+        # Deepest-subtree semantics: the top attribution may name a child
+        # of the injected subtree (the heavy node inside it), never an
+        # unrelated sibling or a bare ancestor.
+        check(top is not None
+              and (top == target or top.startswith(target + "/")),
+              f"top attribution {top!r} lies within {target!r}")
+
+        store.close()
+        print()
+        print(render_verdicts([clean, verdict]))
+        if out_dir is not None:
+            (out_dir / "critical-path.txt").write_text(
+                render_critical_path(records) + "\n")
+            (out_dir / "perf-verdict-clean.json").write_text(
+                json.dumps(clean, indent=2, sort_keys=True) + "\n")
+            (out_dir / "perf-verdict-injected.json").write_text(
+                json.dumps(verdict, indent=2, sort_keys=True) + "\n")
+            print(f"\nartifacts written to {out_dir}")
+
+    if failures:
+        print(f"\nsmoke FAILED ({len(failures)} assertion(s))",
+              file=sys.stderr)
+        return 1
+    print("\nsmoke passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chk = sub.add_parser("check", help="gate perf history (exit 0/1/2)")
+    chk.add_argument("--history", default="benchmarks/reports/history",
+                     metavar="DIR")
+    chk.add_argument("--bench")
+    chk.add_argument("--workload")
+    chk.add_argument("--arm")
+    chk.add_argument("--window", type=int, default=8)
+    chk.add_argument("--json", metavar="PATH", dest="json_out")
+    chk.add_argument("--warn-only", action="store_true")
+
+    smk = sub.add_parser(
+        "smoke", help="self-test: inject a 1.3x slowdown, assert flagged "
+                      "and attributed")
+    smk.add_argument("--out", metavar="DIR",
+                     help="write verdicts + critical-path artifacts here")
+
+    args = parser.parse_args(argv)
+    if args.command == "check":
+        return _cmd_check(args)
+    return _cmd_smoke(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,9 +44,9 @@ BOUNDARY_SINKS: dict[str, "tuple[int, ...] | None"] = {
     "pickle.dumps": (0,),
     "multiprocessing.Process": None,
     "multiprocessing.process.Process": None,
-    # Pre-registered for the multiprocessing refactor (ROADMAP items 1-2):
-    # per-shard worker submission APIs are boundary sinks from day one.
-    "repro.shard.engine.submit_shard_op": None,
+    # The shard process executor's single request-shipping call: every
+    # command the coordinator sends a worker crosses a pickle boundary
+    # here (see repro/shard/worker.py).
     "repro.shard.worker.submit": None,
 }
 

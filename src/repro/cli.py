@@ -107,6 +107,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shard-policy", default="static",
                      choices=("static", "degree", "stealing"),
                      help="frontier partitioning policy for --gpus > 1")
+    run.add_argument("--executor", default=None,
+                     choices=("serial", "process"),
+                     help="shard execution backend for --gpus > 1: "
+                          "'serial' runs shards in-process, 'process' "
+                          "forks one worker per shard for true wall-clock "
+                          "parallelism (default: $REPRO_SHARD_EXECUTOR or "
+                          "serial; results are identical either way)")
     run.add_argument("--interconnect", default="nvlink",
                      choices=("nvlink", "pcie"),
                      help="inter-GPU link model for --gpus > 1 "
@@ -276,6 +283,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 num_shards=args.gpus,
                 policy=args.shard_policy,
                 interconnect=InterconnectSpec(kind=args.interconnect),
+                executor=args.executor,
             )
         else:
             engine = SYSTEMS[args.system](graph)
@@ -284,10 +292,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .gpusim.trace import TraceRecorder
 
         trace = TraceRecorder().attach(engine.platform)
+        if sharded and engine.executor_name == "process":
+            print("note: --breakdown/--profile trace the coordinator only "
+                  "under --executor process (shard platforms live in "
+                  "worker processes)", file=sys.stderr)
     if args.fault_plan:
         from .resilience import load_plan
 
-        engine.platform.install_fault_plan(load_plan(args.fault_plan))
+        plan = load_plan(args.fault_plan)
+        if sharded:
+            # Shard 0, matching the old platform-level install.
+            engine.install_fault_plan(plan)
+        else:
+            engine.platform.install_fault_plan(plan)
     plan_obj = None
     plan_cache = None
     try:
@@ -439,6 +456,11 @@ def _write_obs_outputs(args, engine, collector, plan=None,
     """Close the telemetry collector and emit the requested artifacts."""
     from . import obs
 
+    # Process-backend sharded runs graft the worker span trees under the
+    # coordinator's root before the collector closes.
+    finalize = getattr(engine, "finalize_telemetry", None)
+    if finalize is not None:
+        finalize()
     collector.finish()
     platform = getattr(engine, "platform", None)
     if args.trace_out:

@@ -32,6 +32,12 @@ class DeviceOutOfMemory(GammaError):
             f"{available} available"
         )
 
+    def __reduce__(self):
+        # Default Exception pickling replays ``args`` (the formatted
+        # message) into __init__; rebuild from the real fields instead so
+        # faults survive the worker->coordinator pipe.
+        return (type(self), (self.requested, self.available, self.tag))
+
 
 class MemoryPoolExhausted(DeviceOutOfMemory):
     """Raised when the result-buffer block pool cannot serve a block.
@@ -55,14 +61,42 @@ class HostOutOfMemory(GammaError):
             f"{available} available"
         )
 
+    def __reduce__(self):
+        return (type(self), (self.requested, self.available, self.tag))
+
 
 class SpillIOError(GammaError):
     """Raised when a spill-tier read or write fails (simulated disk fault)."""
 
     def __init__(self, site: str, message: str = "") -> None:
         self.site = site
+        self.message = message
         detail = message or f"simulated I/O failure at {site!r}"
         super().__init__(detail)
+
+    def __reduce__(self):
+        return (type(self), (self.site, self.message))
+
+
+class WorkerCrashed(GammaError):
+    """Raised when a shard worker process dies mid-command.
+
+    Covers both injected crashes (the ``worker_crash`` fault kind) and real
+    kills (``SIGKILL``, OOM-killer).  Unlike the out-of-memory family this is
+    *not* retried in place by the degradation ladder: the worker's in-memory
+    state is gone, so recovery means resuming a fresh engine from the last
+    per-shard checkpoint.
+    """
+
+    def __init__(self, message: str, shard: "int | None" = None,
+                 exit_code: "int | None" = None) -> None:
+        self.shard = shard
+        self.exit_code = exit_code
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "",
+                             self.shard, self.exit_code))
 
 
 class InvalidGraphError(GammaError):

@@ -121,20 +121,32 @@ def build_manifest(platform: Any, collector: Any = None, *,
     if wall_seconds is not None:
         manifest["wall_seconds"] = wall_seconds
     if collector is not None:
-        by_kind: Dict[str, int] = {}
-        for span in collector.walk():
-            by_kind[span.kind] = by_kind.get(span.kind, 0) + 1
-        root = collector.root
-        manifest["spans"] = {
-            "count": len(collector.spans),
-            "max_depth": collector.max_depth(),
-            "by_kind": by_kind,
-        }
-        if root is not None and "wall_seconds" not in manifest:
-            manifest["wall_seconds"] = root.wall_seconds
-        manifest["metrics"] = collector.metrics.summary()
+        attach_collector_summary(manifest, collector)
     if extra:
         manifest["extra"] = extra
+    return manifest
+
+
+def attach_collector_summary(manifest: Dict[str, Any],
+                             collector: Any) -> Dict[str, Any]:
+    """Fold a collector's span/metric summary into ``manifest`` in place.
+
+    Split out of :func:`build_manifest` so the sharded process executor can
+    attach the *coordinator's* (grafted) collector to a manifest document
+    that was assembled inside a worker process.
+    """
+    by_kind: Dict[str, int] = {}
+    for span in collector.walk():
+        by_kind[span.kind] = by_kind.get(span.kind, 0) + 1
+    root = collector.root
+    manifest["spans"] = {
+        "count": len(collector.spans),
+        "max_depth": collector.max_depth(),
+        "by_kind": by_kind,
+    }
+    if root is not None and "wall_seconds" not in manifest:
+        manifest["wall_seconds"] = root.wall_seconds
+    manifest["metrics"] = collector.metrics.summary()
     return manifest
 
 

@@ -335,6 +335,59 @@ class SpanCollector:
                 totals[key] = totals.get(key, 0.0) + value
         return totals
 
+    # -- grafting -----------------------------------------------------------
+    def graft_records(self, records: List[Dict[str, Any]],
+                      shard: "int | None" = None) -> List[Span]:
+        """Re-root a worker collector's exported span records here.
+
+        ``records`` is the :func:`repro.obs.exporters.span_tree_records`
+        form a shard worker ships back over the pipe.  Indices are rebased
+        past the spans already recorded, record roots re-parent under the
+        currently open span (the coordinator's ``run`` root), and the
+        record roots' *inclusive* deltas are charged to that anchor's child
+        accumulators — so the anchor's eventual self deltas stay exact and
+        the partition invariant (:meth:`self_counter_totals` equals the
+        summed worker totals) survives the graft.
+        """
+        base = len(self.spans)
+        anchor = self._stack[-1] if self._stack else None
+        depth0 = anchor.depth + 1 if anchor is not None else 0
+        grafted: List[Span] = []
+        for record in records:
+            parent = int(record.get("parent", -1))
+            attrs: Dict[str, Any] = {"grafted": True}
+            if shard is not None:
+                attrs["shard"] = shard
+            span = Span(
+                index=base + int(record["index"]),
+                name=record["name"], kind=record["kind"],
+                level=record.get("level"),
+                parent=(base + parent if parent >= 0
+                        else (anchor.index if anchor is not None else -1)),
+                depth=int(record.get("depth", 0)) + depth0,
+                attrs=attrs,
+            )
+            wall = float(record.get("wall_seconds", 0.0))
+            span.t1 = wall
+            span._child_wall = max(
+                wall - float(record.get("wall_self_seconds", 0.0)), 0.0)
+            span.sim1 = float(record.get("sim_seconds", 0.0))
+            span.counters = dict(record.get("counters", {}))
+            span.counters_self = dict(record.get("counters_self", {}))
+            span.sim_buckets = dict(record.get("sim_buckets", {}))
+            span.sim_self = dict(record.get("sim_self", {}))
+            self.spans.append(span)
+            grafted.append(span)
+            if parent < 0 and anchor is not None:
+                for key, value in span.counters.items():
+                    anchor._child_counters[key] = \
+                        anchor._child_counters.get(key, 0) + value
+                for key, fvalue in span.sim_buckets.items():
+                    anchor._child_buckets[key] = \
+                        anchor._child_buckets.get(key, 0.0) + fvalue
+                anchor._child_wall += span.wall_seconds
+        return grafted
+
 
 # ---------------------------------------------------------------------------
 # Default-collector slot.  ``GpuPlatform.__init__`` calls

@@ -30,6 +30,7 @@ from ..errors import (
     HostOutOfMemory,
     MemoryPoolExhausted,
     SpillIOError,
+    WorkerCrashed,
 )
 
 __all__ = [
@@ -53,6 +54,7 @@ FAULT_KINDS = (
     "pool_exhausted",   # raise MemoryPoolExhausted (block pool pressure)
     "pcie_stall",       # non-raising: charge a stall burst to the clock
     "spill_io",         # raise SpillIOError (disk-tier failure)
+    "worker_crash",     # raise WorkerCrashed (shard worker dies abruptly)
 )
 
 STALL_CATEGORY = "pcie_stall"
@@ -249,6 +251,11 @@ class FaultInjector:
             spec_host = self.platform.spec.host_memory_bytes
             free = max(0, spec_host - self.platform._host_used)
             raise HostOutOfMemory(free + 1, free, f"fault:{spec.at}")
+        if spec.kind == "worker_crash":
+            # Inside a shard worker this escapes the serve loop and the
+            # process dies via os._exit — the coordinator only ever sees the
+            # broken pipe.  Under the serial backend it propagates directly.
+            raise WorkerCrashed(f"injected worker crash at {path}")
         raise SpillIOError(path)
 
     # -- checkpoint support ------------------------------------------------

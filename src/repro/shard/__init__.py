@@ -8,6 +8,17 @@ modelled interconnect.  See ``docs/SHARDING.md``.
 """
 
 from .engine import ShardedCodes, ShardedGamma, make_sharded
+from .executor import (
+    EXECUTOR_ENV_VAR,
+    EXECUTORS,
+    PROCESS_EXECUTOR,
+    SERIAL_EXECUTOR,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    default_executor,
+    make_executor,
+)
 from .manifest import build_sharded_manifest, canonical_manifest_bytes
 from .policy import (
     DEGREE,
@@ -16,12 +27,13 @@ from .policy import (
     STEALING,
     assign_units,
 )
-from .table import ShardedTable
+from .table import RemotePart, ShardedTable
 
 __all__ = [
     "ShardedCodes",
     "ShardedGamma",
     "ShardedTable",
+    "RemotePart",
     "make_sharded",
     "build_sharded_manifest",
     "canonical_manifest_bytes",
@@ -30,4 +42,13 @@ __all__ = [
     "STATIC",
     "DEGREE",
     "STEALING",
+    "EXECUTORS",
+    "EXECUTOR_ENV_VAR",
+    "SERIAL_EXECUTOR",
+    "PROCESS_EXECUTOR",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "default_executor",
+    "make_executor",
 ]

@@ -28,9 +28,6 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
-from ..obs.manifest import build_manifest
-from ..gpusim import clock as clk
-
 #: Fields that vary run-to-run without the simulation differing.
 VOLATILE_FIELDS = ("created_utc", "wall_seconds", "git_rev")
 
@@ -65,21 +62,13 @@ def build_sharded_manifest(
     ``collector`` (bound to shard 0's platform) only contributes spans to
     shard 0's sub-manifest, mirroring how telemetry attaches.
     """
-    utilizations = engine.shard_utilization()
-    shard_docs = []
-    for index, shard in enumerate(engine.shards):
-        doc = build_manifest(
-            shard.platform,
-            collector if index == 0 else None,
-            system=system,
-            dataset=dataset,
-            task=task,
-            config=config if index == 0 else None,
-            wall_seconds=None,
-        )
+    states = engine.shard_states()
+    utilizations = engine.shard_utilization(states)
+    shard_docs = engine.shard_manifest_docs(
+        collector, system=system, dataset=dataset, task=task, config=config)
+    for index, doc in enumerate(shard_docs):
         doc["shard"] = index
         doc["utilization"] = utilizations[index]
-        shard_docs.append(doc)
 
     counters: Dict[str, int] = {}
     buckets_total: Dict[str, float] = {}
@@ -102,10 +91,7 @@ def build_sharded_manifest(
             "latency": engine.interconnect_spec.latency,
         },
         "simulated_seconds": engine.simulated_seconds,
-        "sync_seconds": [
-            shard.platform.clock.time_in(clk.SHARD_SYNC)
-            for shard in engine.shards
-        ],
+        "sync_seconds": [state["sync_seconds"] for state in states],
         "utilization": utilizations,
         "peak_device_bytes": engine.peak_device_bytes,
         "peak_host_bytes": engine.peak_host_bytes,

@@ -1,0 +1,158 @@
+"""Shared-memory shipping of read-only CSR graphs to shard workers.
+
+The process executor must hand every worker the full graph.  Pickling it
+through the bootstrap works but copies the arrays once per worker; for the
+multi-hundred-MB graphs the sharding layer targets that dominates startup.
+Instead the coordinator *publishes* the graph once into POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) and workers attach zero-copy,
+read-only views.  Graphs below :data:`SHM_THRESHOLD_BYTES` skip the segment
+and travel pickled inside the bootstrap — for tiny test graphs the mmap +
+attach round trip costs more than the copy it saves.
+
+Lifecycle contract (documented in ``docs/SHARDING.md``):
+
+* the coordinator owns the segment: it creates it in ``publish_graph`` and
+  is the only side that ever ``unlink``\\ s it (``release``);
+* workers attach by name with the ``resource_tracker`` registration
+  suppressed (the coordinator tracks it; duplicate tracking either unlinks
+  a live segment early or floods the shared tracker with KeyErrors) and
+  hold the mapping open until ``AttachedGraph.close``;
+* every published segment is recorded in a module-level registry so tests
+  can assert nothing leaks (:func:`live_segments` must be empty after
+  engine teardown).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "SHM_THRESHOLD_BYTES",
+    "AttachedGraph",
+    "attach_graph",
+    "graph_nbytes",
+    "live_segments",
+    "publish_graph",
+    "release_graph",
+]
+
+#: Graphs smaller than this ship pickled in the worker bootstrap instead of
+#: through a shared-memory segment (1 MiB: below it, copy beats mmap).
+SHM_THRESHOLD_BYTES = 1 << 20
+
+#: The CSR arrays shipped, in segment layout order.
+_FIELDS = ("offsets", "neighbors", "edge_ids", "edge_src", "edge_dst",
+           "labels")
+
+#: Coordinator-side registry of live segments: name -> SharedMemory.  The
+#: leak check in the crash-matrix tests asserts this drains to empty.
+_LIVE: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def graph_nbytes(graph: CSRGraph) -> int:
+    """Total payload bytes the CSR arrays of ``graph`` occupy."""
+    return sum(int(getattr(graph, field).nbytes) for field in _FIELDS)
+
+
+def publish_graph(graph: CSRGraph,
+                  threshold: int = SHM_THRESHOLD_BYTES) -> Dict[str, Any]:
+    """Describe ``graph`` as plain data a worker bootstrap can carry.
+
+    Returns either ``{"mode": "pickle", ...}`` with the graph object inline
+    (small graphs — the multiprocessing machinery pickles it for spawn and
+    shares it copy-on-write for fork) or ``{"mode": "shm", ...}`` naming a
+    freshly created shared-memory segment holding every CSR array.
+    """
+    nbytes = graph_nbytes(graph)
+    if nbytes < threshold:
+        return {"mode": "pickle", "graph": graph, "nbytes": nbytes}
+    segment = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+    fields: List[Tuple[str, int, int]] = []
+    offset = 0
+    for field in _FIELDS:
+        array = np.ascontiguousarray(getattr(graph, field), dtype=np.int64)
+        length = int(array.shape[0])
+        view = np.ndarray((length,), dtype=np.int64,
+                          buffer=segment.buf, offset=offset)
+        view[:] = array
+        fields.append((field, length, offset))
+        offset += array.nbytes
+    _LIVE[segment.name] = segment
+    return {
+        "mode": "shm",
+        "segment": segment.name,
+        "fields": fields,
+        "name": graph.name,
+        "nbytes": nbytes,
+    }
+
+
+class AttachedGraph:
+    """A worker-side view of a published graph plus its release handle."""
+
+    __slots__ = ("graph", "_segment")
+
+    def __init__(self, graph: CSRGraph, segment=None) -> None:
+        self.graph = graph
+        self._segment = segment
+
+    def close(self) -> None:
+        """Drop this worker's mapping (the coordinator still owns it)."""
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+
+def attach_graph(meta: Dict[str, Any]) -> AttachedGraph:
+    """Rebuild the published graph inside a worker process."""
+    if meta["mode"] == "pickle":
+        return AttachedGraph(meta["graph"])
+    # The coordinator owns the segment's lifetime; an attacher must not add
+    # its own resource-tracker registration.  Python 3.11 has no
+    # ``track=False``, and register-then-unregister is racy when forked
+    # workers share the parent's tracker (N registers collapse into one
+    # set entry, so N-1 unregisters hit KeyError in the tracker process) —
+    # so suppress the registration call around the attach instead.
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        segment = shared_memory.SharedMemory(name=meta["segment"],
+                                             create=False)
+    finally:
+        resource_tracker.register = original_register
+    arrays = {}
+    for field, length, offset in meta["fields"]:
+        view = np.ndarray((length,), dtype=np.int64,
+                          buffer=segment.buf, offset=offset)
+        view.flags.writeable = False
+        arrays[field] = view
+    graph = CSRGraph(arrays["offsets"], arrays["neighbors"],
+                     arrays["edge_ids"], arrays["edge_src"],
+                     arrays["edge_dst"], labels=arrays["labels"],
+                     name=meta.get("name", "graph"))
+    return AttachedGraph(graph, segment)
+
+
+def release_graph(meta: Dict[str, Any]) -> None:
+    """Coordinator-side teardown: close and unlink the published segment."""
+    if meta.get("mode") != "shm":
+        return
+    segment = _LIVE.pop(meta["segment"], None)
+    if segment is None:
+        raise ExecutionError(
+            f"shared-memory segment {meta['segment']!r} was already "
+            f"released (double close?)"
+        )
+    segment.close()
+    segment.unlink()
+
+
+def live_segments() -> Tuple[str, ...]:
+    """Names of segments this process published and has not yet released."""
+    return tuple(sorted(_LIVE))

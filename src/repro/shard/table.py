@@ -26,15 +26,124 @@ from ..core.embedding_table import EmbeddingTable
 from ..errors import ExecutionError
 
 
-class ShardedTable:
-    """Global view over per-shard embedding tables (shard-major rows)."""
+class _RemoteColumn:
+    """Len-only stand-in for one level's column of a remote part."""
 
-    def __init__(self, kind: str, name: str, parts: List[EmbeddingTable]) -> None:
+    __slots__ = ("_part", "_level")
+
+    def __init__(self, part: "RemotePart", level: int) -> None:
+        self._part = part
+        self._level = level
+
+    def __len__(self) -> int:
+        return self._part.column_length(self._level)
+
+
+class _RemoteColumns:
+    """``part.columns[level]`` compatibility shim for remote parts."""
+
+    __slots__ = ("_part",)
+
+    def __init__(self, part: "RemotePart") -> None:
+        self._part = part
+
+    def __getitem__(self, level: int) -> _RemoteColumn:
+        return _RemoteColumn(self._part, level)
+
+    def __len__(self) -> int:
+        return self._part.num_levels
+
+
+class RemotePart:
+    """Read proxy for one shard's embedding table in a worker process.
+
+    Presents the slice of the :class:`~repro.core.embedding_table
+    .EmbeddingTable` surface that :class:`ShardedTable` and the algorithm
+    drivers actually touch; every access is one ``call`` round trip to the
+    owning worker.  Mutation happens only through engine ops, exactly as
+    with in-process parts.
+    """
+
+    __slots__ = ("_executor", "shard", "handle")
+
+    def __init__(self, executor, shard: int, handle: int) -> None:
+        self._executor = executor
+        self.shard = shard
+        self.handle = handle
+
+    def _call(self, op: str, **args):
+        return self._executor.call(self.shard, op,
+                                   dict(table=self.handle, **args))
+
+    def _info(self) -> dict:
+        return self._call("table_info")
+
+    @property
+    def num_embeddings(self) -> int:
+        return self._info()["num_embeddings"]
+
+    @property
+    def depth(self) -> int:
+        return self._info()["depth"]
+
+    @property
+    def total_cells(self) -> int:
+        return self._info()["total_cells"]
+
+    @property
+    def nbytes(self) -> int:
+        return self._info()["nbytes"]
+
+    @property
+    def num_levels(self) -> int:
+        return self._info()["num_levels"]
+
+    @property
+    def columns(self) -> _RemoteColumns:
+        return _RemoteColumns(self)
+
+    def column_length(self, level: int) -> int:
+        return self._call("column", what="length", level=level)
+
+    def column_values(self, level: int) -> np.ndarray:
+        return self._call("column", what="values", level=level)
+
+    def column_parents(self, level: int) -> np.ndarray:
+        return self._call("column", what="parents", level=level)
+
+    def materialize(self) -> np.ndarray:
+        return self._call("materialize")
+
+    def seed(self, values: np.ndarray) -> None:
+        self._call("seed_explicit",
+                   values=np.ascontiguousarray(values, dtype=np.int64))
+
+    def release(self) -> None:
+        self._call("release_table")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemotePart(shard={self.shard}, handle={self.handle})"
+
+
+class ShardedTable:
+    """Global view over per-shard embedding tables (shard-major rows).
+
+    ``parts`` are real :class:`EmbeddingTable` objects on the serial
+    backend and :class:`RemotePart` proxies on the process backend;
+    ``handles`` are the per-worker table indices engine commands address
+    shards by (defaults to positional identity for direct construction in
+    tests).
+    """
+
+    def __init__(self, kind: str, name: str, parts: List[EmbeddingTable],
+                 handles: "List[int] | None" = None) -> None:
         if not parts:
             raise ExecutionError("a sharded table needs at least one shard")
         self.kind = kind
         self.name = name
         self.parts = list(parts)
+        self.handles = (list(handles) if handles is not None
+                        else list(range(len(self.parts))))
 
     # -- shape ---------------------------------------------------------------
     @property

@@ -1,0 +1,100 @@
+"""Partition invariant for grafted worker span trees.
+
+Under the process shard executor each worker runs its own span collector
+and ships its exported tree back at finalize; the coordinator grafts the
+records under its open root (``SpanCollector.graft_records``).  The
+grafting must preserve the partition invariant the in-process collector
+guarantees: summed self deltas over the whole (grafted) tree equal the
+summed global totals of every platform involved — coordinator stand-in
+plus all shard workers.  Straggler attribution, which is derived from
+coordinator-side barrier/exchange journals, must not care which backend
+ran the shards.
+"""
+
+import pytest
+
+from repro import obs
+from repro.algorithms import count_kcliques
+from repro.graph import generators
+from repro.obs.profile.straggler import straggler_report
+from repro.shard import ShardedGamma
+
+
+def _run(executor, num_shards=2, policy="degree"):
+    graph = generators.erdos_renyi(30, 100, seed=9, labels=3)
+    collector = obs.install(obs.SpanCollector())
+    engine = ShardedGamma(graph, num_shards=num_shards, policy=policy,
+                          executor=executor)
+    try:
+        count_kcliques(engine, 4)
+        states = engine.shard_states()
+        coordinator_counters = engine.platform.counters.snapshot(
+            include_zero=False)
+        coordinator_sim = engine.platform.clock.total
+        straggler = straggler_report(engine)
+        engine.finalize_telemetry()
+        collector.finish()
+    finally:
+        engine.close()
+    return {
+        "collector": collector,
+        "states": states,
+        "coordinator_counters": coordinator_counters,
+        "coordinator_sim": coordinator_sim,
+        "straggler": straggler,
+    }
+
+
+def _summed_counters(run):
+    totals = dict(run["coordinator_counters"])
+    for state in run["states"]:
+        for key, value in state["counters"].items():
+            totals[key] = totals.get(key, 0) + value
+    return {key: value for key, value in totals.items() if value}
+
+
+@pytest.fixture(scope="module")
+def process_run():
+    return _run("process")
+
+
+def test_grafted_counter_partition(process_run):
+    got = {key: value
+           for key, value in process_run["collector"]
+           .self_counter_totals().items() if value}
+    assert got == _summed_counters(process_run)
+
+
+def test_grafted_sim_time_partition(process_run):
+    totals = process_run["collector"].self_sim_totals()
+    expected = process_run["coordinator_sim"] + sum(
+        state["clock_total"] for state in process_run["states"])
+    assert sum(totals.values()) == pytest.approx(expected, abs=1e-9)
+
+
+def test_grafted_spans_are_tagged_and_rooted(process_run):
+    collector = process_run["collector"]
+    grafted = [span for span in collector.walk()
+               if span.attrs.get("grafted")]
+    assert grafted
+    assert {span.attrs["shard"] for span in grafted} == {0, 1}
+    # Record roots hang off the coordinator's root span, never float free.
+    roots = [span for span in grafted
+             if not collector.spans[span.parent].attrs.get("grafted")]
+    assert roots
+    for span in roots:
+        assert collector.spans[span.parent].kind == "run"
+
+
+def test_straggler_attribution_matches_serial():
+    serial = _run("serial", num_shards=4, policy="stealing")
+    process = _run("process", num_shards=4, policy="stealing")
+    assert serial["straggler"] == process["straggler"]
+    # And the gating-shard attribution is well-formed on both.
+    for run in (serial, process):
+        report = run["straggler"]
+        assert report["supersteps"] > 0
+        for entry in report["worst_barriers"]:
+            assert 0 <= entry["gating_shard"] < 4
+        assert sum(row["gated_supersteps"]
+                   for row in report["per_shard"]) == report["supersteps"]

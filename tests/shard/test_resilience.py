@@ -22,10 +22,10 @@ def test_crash_then_resume_matches_clean_run(graph, tmp_path):
     ckpt = tmp_path / "ck"
 
     crashed = ShardedGamma(graph, num_shards=2)
-    crashed.shards[1].platform.install_fault_plan(FaultPlan(
+    crashed.install_fault_plan(FaultPlan(
         name="kill",
         specs=(FaultSpec(kind="device_oom", at="*/level:2"),),
-    ))
+    ), shard=1)
     with pytest.raises(GammaError):
         crashed.run(_task, checkpoint_dir=str(ckpt))
     crashed.close()
@@ -39,21 +39,20 @@ def test_crash_then_resume_matches_clean_run(graph, tmp_path):
     clean = ShardedGamma(graph, num_shards=2)
     reference = _task(clean)
     assert result.cliques == reference.cliques
+    resumed_states = resumed.shard_states()
+    clean_states = clean.shard_states()
     for i in range(2):
-        resumed_platform = resumed.shards[i].platform
-        clean_platform = clean.shards[i].platform
-        assert (resumed_platform.counters.snapshot()
-                == clean_platform.counters.snapshot())
-        assert (resumed_platform.clock.snapshot()
-                == clean_platform.clock.snapshot())
+        assert resumed_states[i]["counters"] == clean_states[i]["counters"]
+        assert (resumed_states[i]["clock_buckets"]
+                == clean_states[i]["clock_buckets"])
 
 
 def test_degradation_policy_targets_faulting_shard(graph):
     engine = ShardedGamma(graph, num_shards=2)
-    engine.shards[1].platform.install_fault_plan(FaultPlan(
+    engine.install_fault_plan(FaultPlan(
         name="pressure",
         specs=(FaultSpec(kind="device_oom", at="*/level:2", count=1),),
-    ))
+    ), shard=1)
     result = engine.run(_task, policy="halve-chunk")
     reference = _task(ShardedGamma(graph, num_shards=2))
     assert result.cliques == reference.cliques

@@ -1,0 +1,289 @@
+#!/usr/bin/env python
+"""Serve-mode load benchmark: concurrent multi-tenant query latency.
+
+Drives the mining service with a mixed workload (k-clique, motifs,
+subgraph matching, FPM) from ``--tenants`` concurrent tenants and
+reports per-query latency (p50/p99/mean) and sustained queries/sec.
+Two load paths share the same workload:
+
+* ``direct`` (always run) — tenants submit straight into a threaded
+  :class:`repro.serve.Scheduler`, isolating scheduler/queue overhead;
+* ``http`` (``--http``) — tenants run over a real
+  :class:`repro.serve.MiningService` + :class:`repro.serve.ServeClient`
+  round trip, adding the stdlib HTTP stack.
+
+Every completed query is verified against a direct single-engine run of
+the same spec — serving must never change an answer.  The acceptance
+bar: with at least 4 tenants, the run must actually sustain >= 4
+distinct tenants in flight at once (replayed from the queue trace).
+
+Each arm appends one record to the perf-history store
+(``bench="serve"``) so ``repro perf-report`` gates latency regressions.
+Writes ``BENCH_serve.json`` at the repo root.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.framework import Gamma  # noqa: E402
+from repro.graph import generators  # noqa: E402
+from repro.obs.profile import HistoryStore  # noqa: E402
+from repro.serve import (  # noqa: E402
+    MiningService,
+    QuerySpec,
+    Scheduler,
+    ServeClient,
+    ServeConfig,
+    result_payload,
+    run_query,
+)
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serve.json"
+DEFAULT_HISTORY = REPO_ROOT / "benchmarks" / "reports" / "history"
+
+#: The acceptance bar: with >= 4 tenants the run must keep at least this
+#: many distinct tenants in flight simultaneously at some point.
+CONCURRENT_TENANTS_BAR = 4
+
+#: The mixed workload each tenant cycles through.
+MIX = (
+    dict(family="kcl", k=4),
+    dict(family="motifs", num_edges=2),
+    dict(family="sm", query=1),
+    dict(family="fpm", iterations=2, min_support=8),
+)
+
+
+def _percentile(values, q):
+    """Nearest-rank percentile of a non-empty list."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * len(ordered) + 0.5)) - 1))
+    return ordered[rank]
+
+
+def _latency_stats(latencies, wall_seconds):
+    return {
+        "queries": len(latencies),
+        "p50_ms": round(_percentile(latencies, 50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 99) * 1e3, 3),
+        "mean_ms": round(sum(latencies) / len(latencies) * 1e3, 3),
+        "wall_seconds": round(wall_seconds, 3),
+        "queries_per_sec": round(len(latencies) / wall_seconds, 2),
+    }
+
+
+def _workload(tenants, per_tenant):
+    specs = []
+    for tenant in range(tenants):
+        for index in range(per_tenant):
+            params = MIX[(tenant + index) % len(MIX)]
+            specs.append(QuerySpec(dataset="BENCH", tenant=f"t{tenant}",
+                                   **params))
+    return specs
+
+
+def _oracle(graph, specs):
+    """Direct single-engine answers, one per distinct spec signature."""
+    answers = {}
+    for spec in specs:
+        key = (spec.family, tuple(sorted(spec.params().items())))
+        if key in answers:
+            continue
+        engine = Gamma(graph)
+        try:
+            answers[key] = result_payload(spec, run_query(engine, spec))
+        finally:
+            engine.close()
+    return answers
+
+
+def _verify(graph, specs, results, answers):
+    for spec, result in zip(specs, results):
+        key = (spec.family, tuple(sorted(spec.params().items())))
+        expected = answers[key]
+        for field, value in expected.items():
+            if field == "simulated_seconds":
+                continue
+            got = result[field]
+            assert got == value, (
+                f"{spec.family} served {field}={got!r}, "
+                f"batch oracle says {value!r}")
+
+
+def _max_concurrent_tenants(trace):
+    """Replay the queue trace: peak count of tenants in flight at once."""
+    inflight = {}
+    peak = 0
+    for event in trace:
+        if event["event"] == "acquire":
+            inflight[event["tenant"]] = \
+                inflight.get(event["tenant"], 0) + 1
+        elif event["event"] in ("release", "requeue"):
+            inflight[event["tenant"]] = \
+                max(0, inflight.get(event["tenant"], 0) - 1)
+        peak = max(peak, sum(1 for n in inflight.values() if n > 0))
+    return peak
+
+
+def run_direct(graph, specs, slots):
+    scheduler = Scheduler(ServeConfig(slots=slots),
+                          graphs={"BENCH": graph})
+    try:
+        start = time.monotonic()
+        states = [scheduler.submit(spec) for spec in specs]
+        scheduler.start()
+        if not scheduler.wait_idle(timeout=600.0):
+            raise RuntimeError("serve benchmark did not drain in 600s")
+        wall = time.monotonic() - start
+        scheduler.stop()
+        failed = [s for s in states if s.status != "completed"]
+        assert not failed, f"{len(failed)} queries failed: " \
+            f"{failed[0].error}"
+        latencies = [s.latency_seconds for s in states]
+        stats = _latency_stats(latencies, wall)
+        stats["preemptions"] = sum(s.preemptions for s in states)
+        stats["max_concurrent_tenants"] = _max_concurrent_tenants(
+            scheduler.queue.trace)
+        return stats, [s.result for s in states]
+    finally:
+        scheduler.close()
+
+
+def run_http(graph, specs, slots):
+    scheduler = Scheduler(ServeConfig(slots=slots),
+                          graphs={"BENCH": graph})
+    service = MiningService(scheduler, port=0).start()
+    results = {}
+    errors = []
+
+    def tenant_loop(tenant, tenant_specs):
+        client = ServeClient(service.url, timeout=600.0)
+        for index, spec in tenant_specs:
+            try:
+                doc = client.run(spec)
+                assert doc["status"] == "completed", doc.get("error")
+                results[index] = (doc["result"],
+                                  doc["billing"]["latency_seconds"])
+            except Exception as exc:  # pragma: no cover - bench guard
+                errors.append((tenant, exc))
+                return
+
+    try:
+        by_tenant = {}
+        for index, spec in enumerate(specs):
+            by_tenant.setdefault(spec.tenant, []).append((index, spec))
+        start = time.monotonic()
+        threads = [threading.Thread(target=tenant_loop, args=item)
+                   for item in by_tenant.items()]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.monotonic() - start
+        assert not errors, f"http tenants failed: {errors[:1]}"
+        assert len(results) == len(specs)
+        latencies = [results[i][1] for i in range(len(specs))]
+        stats = _latency_stats(latencies, wall)
+        stats["max_concurrent_tenants"] = _max_concurrent_tenants(
+            scheduler.queue.trace)
+        return stats, [results[i][0] for i in range(len(specs))]
+    finally:
+        service.close()
+
+
+def run(quick=False, tenants=4, per_tenant=None, slots=4, http=False,
+        history_dir=None):
+    per_tenant = per_tenant or (2 if quick else 6)
+    size = (36, 120) if quick else (48, 180)
+    graph = generators.erdos_renyi(size[0], size[1], seed=7, labels=3)
+    specs = _workload(tenants, per_tenant)
+    answers = _oracle(graph, specs)
+    print(f"serve bench: {tenants} tenants x {per_tenant} queries, "
+          f"{slots} slots, graph |V|={size[0]} |E|~{size[1]}")
+
+    report = {
+        "tenants": tenants,
+        "per_tenant": per_tenant,
+        "slots": slots,
+        "graph": {"vertices": size[0], "edges": size[1]},
+        "concurrent_tenants_bar": CONCURRENT_TENANTS_BAR,
+        "arms": {},
+    }
+    history = HistoryStore(history_dir) if history_dir else None
+    try:
+        arms = [("direct", run_direct)] + ([("http", run_http)]
+                                           if http else [])
+        for arm, runner in arms:
+            stats, results = runner(graph, specs, slots)
+            _verify(graph, specs, results, answers)
+            stats["verified"] = True
+            if tenants >= CONCURRENT_TENANTS_BAR:
+                assert (stats["max_concurrent_tenants"]
+                        >= CONCURRENT_TENANTS_BAR), (
+                    f"{arm}: only {stats['max_concurrent_tenants']} "
+                    f"tenants ever ran concurrently "
+                    f"(bar {CONCURRENT_TENANTS_BAR})")
+            report["arms"][arm] = stats
+            print(f"  {arm}: p50 {stats['p50_ms']}ms  "
+                  f"p99 {stats['p99_ms']}ms  "
+                  f"{stats['queries_per_sec']} q/s  "
+                  f"({stats['max_concurrent_tenants']} tenants "
+                  f"concurrent)")
+            if history is not None:
+                history.append(
+                    bench="serve",
+                    workload=f"mixed-{tenants}t",
+                    arm=arm,
+                    wall_seconds=stats["wall_seconds"],
+                    counters={
+                        "p50_ms": stats["p50_ms"],
+                        "p99_ms": stats["p99_ms"],
+                        "queries_per_sec": stats["queries_per_sec"],
+                    },
+                )
+    finally:
+        if history is not None:
+            history.close()
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graph / fewer queries for CI")
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--per-tenant", type=int, default=None)
+    parser.add_argument("--slots", type=int, default=4)
+    parser.add_argument("--http", action="store_true",
+                        help="also drive the HTTP front end")
+    parser.add_argument("--out", default=str(DEFAULT_OUTPUT))
+    parser.add_argument("--history-dir", default=str(DEFAULT_HISTORY),
+                        help="perf-history store directory (empty string "
+                             "disables the append)")
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick, tenants=args.tenants,
+                 per_tenant=args.per_tenant, slots=args.slots,
+                 http=args.http,
+                 history_dir=Path(args.history_dir)
+                 if args.history_dir else None)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,7 @@ class FPMResult:
 
 def frequent_pattern_mining(
     engine, iterations: int, min_support: int,
-    support_metric: str = "instances", plan=None,
+    support_metric: str = "instances", plan=None, level_hook=None,
 ) -> FPMResult:
     """Algorithm 2: mine all patterns of up to ``iterations`` edges with
     support at least ``min_support``.
@@ -59,6 +59,9 @@ def frequent_pattern_mining(
 
     table = engine.new_edge_table("FPM")
     engine.seed_edges(table)
+    if level_hook is not None:
+        level_hook({"level": 0, "stage": "seed",
+                    "embeddings": table.num_embeddings})
     pattern_table = PatternTable()
     frequent_per_level: list[int] = []
 
@@ -74,6 +77,12 @@ def frequent_pattern_mining(
             constraint=constraint,
         )
         frequent_per_level.append(len(pattern_table))
+        if level_hook is not None:
+            level_hook({"level": level, "stage": "filter",
+                        "frequent": len(pattern_table),
+                        "patterns": {str(code): support
+                                     for code, support
+                                     in sorted(pattern_table.as_dict().items())}})
         if level < iterations:
             strategy = (dict(plan.level_strategies[level - 1])
                         if level - 1 < len(plan.level_strategies)

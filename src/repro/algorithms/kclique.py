@@ -24,7 +24,8 @@ class KCliqueResult:
     peak_memory_bytes: int
 
 
-def count_kcliques(engine, k: int, keep_table: bool = False, plan=None):
+def count_kcliques(engine, k: int, keep_table: bool = False, plan=None,
+                   level_hook=None):
     """List/count all k-cliques.
 
     Returns :class:`KCliqueResult`, or ``(result, table)`` with
@@ -33,6 +34,10 @@ def count_kcliques(engine, k: int, keep_table: bool = False, plan=None):
     Every matching order of a complete pattern is isomorphic, so the plan
     only validates/records provenance here; ascending-id growth is already
     canonical.
+
+    ``level_hook``, when given, is called after each completed level with a
+    summary dict; it may raise (e.g. :class:`~repro.errors.QueryPreempted`)
+    to suspend between levels without losing journaled work.
     """
     if k < 1:
         raise InvalidPatternError("k must be >= 1")
@@ -42,6 +47,9 @@ def count_kcliques(engine, k: int, keep_table: bool = False, plan=None):
     start = engine.simulated_seconds
     table = engine.new_vertex_table(f"kCL:{k}")
     engine.seed_vertices(table)
+    if level_hook is not None:
+        level_hook({"level": 1, "stage": "seed",
+                    "embeddings": table.num_embeddings})
     for depth in range(1, k):
         # New vertex adjacent to every matched vertex, id-ordered.
         engine.vertex_extension(
@@ -50,6 +58,9 @@ def count_kcliques(engine, k: int, keep_table: bool = False, plan=None):
             greater_than_col=depth - 1,
             injective=False,  # the ordering constraint already implies it
         )
+        if level_hook is not None:
+            level_hook({"level": depth + 1, "stage": "extend",
+                        "embeddings": table.num_embeddings})
     result = KCliqueResult(
         k=k,
         cliques=table.num_embeddings,

@@ -26,13 +26,16 @@ class MotifResult:
     peak_memory_bytes: int
 
 
-def motif_count(engine, num_edges: int, plan=None) -> MotifResult:
+def motif_count(engine, num_edges: int, plan=None,
+                level_hook=None) -> MotifResult:
     """Count all connected ``num_edges``-edge subgraphs by pattern.
 
     ``plan`` selects per-level growth strategies (see
     :func:`repro.algorithms.fpm.frequent_pattern_mining`); the planner's
     ordered pair-level growth skips the first dedup pass with identical
-    histograms."""
+    histograms.  ``level_hook`` is called after each completed stage (see
+    :func:`repro.algorithms.kclique.count_kcliques`); the final
+    ``aggregate`` stage carries the full histogram."""
     if num_edges < 1:
         raise ExecutionError("motifs need at least one edge")
     from ..plan import resolve_plan
@@ -41,6 +44,9 @@ def motif_count(engine, num_edges: int, plan=None) -> MotifResult:
     start = engine.simulated_seconds
     table = engine.new_edge_table(f"motif:{num_edges}")
     engine.seed_edges(table)
+    if level_hook is not None:
+        level_hook({"level": 1, "stage": "seed",
+                    "embeddings": table.num_embeddings})
     for level in range(1, num_edges):
         strategy = (dict(plan.level_strategies[level - 1])
                     if level - 1 < len(plan.level_strategies)
@@ -55,9 +61,17 @@ def motif_count(engine, num_edges: int, plan=None) -> MotifResult:
             engine.edge_extension(table)
         if strategy.get("dedup", True):
             engine.dedup(table)
+        if level_hook is not None:
+            level_hook({"level": level + 1, "stage": "extend",
+                        "embeddings": table.num_embeddings})
     pattern_table = PatternTable()
     engine.aggregation(table, pattern_table)
     histogram = pattern_table.as_dict()
+    if level_hook is not None:
+        level_hook({"level": num_edges, "stage": "aggregate",
+                    "histogram": {str(code): count
+                                  for code, count in sorted(histogram.items())},
+                    "total_instances": sum(histogram.values())})
     result = MotifResult(
         num_edges=num_edges,
         histogram=histogram,

@@ -45,6 +45,7 @@ def match_pattern(
     keep_table: bool = False,
     symmetry_breaking: bool = False,
     plan=None,
+    level_hook=None,
 ):
     """WOJ subgraph matching (Algorithm 1).
 
@@ -80,6 +81,9 @@ def match_pattern(
 
     first_label = pattern.label(order[0]) if pattern.labeled else None
     engine.seed_vertices(table, label=first_label)
+    if level_hook is not None:
+        level_hook({"level": 1, "stage": "seed",
+                    "embeddings": table.num_embeddings})
 
     for step in range(1, len(order)):
         qv = order[step]
@@ -104,6 +108,9 @@ def match_pattern(
             greater_than_cols=greater_than_cols,
             less_than_cols=less_than_cols,
         )
+        if level_hook is not None:
+            level_hook({"level": step + 1, "stage": "extend",
+                        "embeddings": table.num_embeddings})
 
     embeddings = table.num_embeddings
     autos = pattern.automorphism_count()

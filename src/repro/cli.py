@@ -190,6 +190,80 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write the machine-readable verdicts to PATH")
     perf.add_argument("--warn-only", action="store_true",
                       help="report regressions but exit 0 (CI soft-launch)")
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived mining service (docs/SERVING.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="bind port; 0 picks a free one (default 8750)")
+    serve.add_argument("--slots", type=int, default=2,
+                       help="concurrent execution slots (default 2)")
+    serve.add_argument("--executor", choices=("serial", "process"),
+                       metavar="NAME",
+                       help="shard backend for multi-GPU queries "
+                            "(default: process on >=4-core hosts; "
+                            "REPRO_SHARD_EXECUTOR wins)")
+    serve.add_argument("--tenant", action="append", default=[],
+                       metavar="NAME[:INFLIGHT[:PENDING]]",
+                       help="register a tenant with quota overrides "
+                            "(repeatable)")
+    serve.add_argument("--no-auto-tenants", action="store_true",
+                       help="reject queries from unregistered tenants")
+    serve.add_argument("--no-reuse-pools", action="store_true",
+                       help="cold-start a worker pool per query instead of "
+                            "resetting warm pools")
+    serve.add_argument("--no-preemption", action="store_true",
+                       help="never suspend running queries for "
+                            "higher-priority arrivals")
+    serve.add_argument("--workdir", metavar="DIR",
+                       help="root for per-query checkpoints and the shared "
+                            "plan cache (default: a temp dir)")
+    serve.add_argument("--manifest-dir", metavar="DIR",
+                       help="write per-query manifests and billing records "
+                            "here")
+    serve.add_argument("--preload", action="append", default=[],
+                       metavar="DATASET",
+                       help="load a dataset before serving (repeatable)")
+
+    query = sub.add_parser(
+        "query", help="submit one query to a running mining service")
+    query.add_argument("--url", default="http://127.0.0.1:8750",
+                       help="service base URL (default "
+                            "http://127.0.0.1:8750)")
+    query.add_argument("--task", required=True,
+                       choices=("sm", "kcl", "fpm", "motifs"))
+    query.add_argument("--dataset", default="CL",
+                       help="Table II abbreviation (default CL)")
+    query.add_argument("--tenant", default="default",
+                       help="tenant to bill (default 'default')")
+    query.add_argument("--priority", type=int, default=0,
+                       help="admission priority; higher preempts lower")
+    query.add_argument("--gpus", type=int, default=1,
+                       help="simulated GPUs (default 1)")
+    query.add_argument("--shard-policy", default="static",
+                       choices=("static", "degree", "stealing"),
+                       help="frontier partitioning policy for --gpus > 1")
+    query.add_argument("--plan", default="baseline", metavar="SPEC",
+                       help="'baseline' (default), 'auto', or a plan JSON "
+                            "file")
+    query.add_argument("--query", type=int, default=1, dest="sm_query",
+                       help="SM query number q1-q6 (default 1)")
+    query.add_argument("--symmetry-breaking", action="store_true",
+                       help="SM: enumerate each subgraph once")
+    query.add_argument("--k", type=int, default=4, help="kCL clique size")
+    query.add_argument("--iterations", type=int, default=2,
+                       help="FPM: maximum pattern edges")
+    query.add_argument("--min-support", type=int, default=10,
+                       help="FPM: support threshold")
+    query.add_argument("--metric", default="instances",
+                       choices=("instances", "mni"),
+                       help="FPM support metric")
+    query.add_argument("--edges", type=int, default=2, help="motifs: size")
+    query.add_argument("--no-stream", action="store_true",
+                       help="submit and poll instead of streaming partials")
+    query.add_argument("--timeout", type=float, default=300.0,
+                       help="client timeout in seconds (default 300)")
     return parser
 
 
@@ -655,6 +729,122 @@ def _cmd_figure(name: str) -> int:
     return 1 if diverged else 0
 
 
+def _parse_tenant_flag(flag: str) -> tuple:
+    """``NAME[:INFLIGHT[:PENDING]]`` -> (name, max_inflight, max_pending)."""
+    parts = flag.split(":")
+    name = parts[0]
+    if not name:
+        raise GammaError(f"bad --tenant spec {flag!r}")
+    try:
+        inflight = int(parts[1]) if len(parts) > 1 and parts[1] else None
+        pending = int(parts[2]) if len(parts) > 2 and parts[2] else None
+    except ValueError:
+        raise GammaError(f"bad --tenant spec {flag!r}")
+    return name, inflight, pending
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import MiningService, Scheduler, ServeConfig
+
+    config = ServeConfig(
+        slots=args.slots,
+        executor=args.executor,
+        reuse_pools=not args.no_reuse_pools,
+        preemption=not args.no_preemption,
+        workdir=args.workdir,
+        manifest_dir=args.manifest_dir,
+        auto_register=not args.no_auto_tenants,
+    )
+    scheduler = Scheduler(config)
+    for flag in args.tenant:
+        name, inflight, pending = _parse_tenant_flag(flag)
+        scheduler.queue.register_tenant(name, max_inflight=inflight,
+                                        max_pending=pending)
+    for abbrev in args.preload:
+        scheduler._graph(abbrev)
+    service = MiningService(scheduler, host=args.host, port=args.port)
+    host, port = service.address
+    print(f"gamma mining service on http://{host}:{port} "
+          f"({args.slots} slots; POST /v1/shutdown or Ctrl-C to stop)")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+        service.close()
+    return 0
+
+
+def _abridge(doc, max_items: int = 6):
+    """Compact large dict fields (motif/FPM histograms) for terminal
+    output; the full payload is always available over the API."""
+    if isinstance(doc, dict):
+        if len(doc) > max_items:
+            head = dict(sorted(doc.items())[:max_items])
+            return {**{k: _abridge(v) for k, v in head.items()},
+                    "...": f"{len(doc) - max_items} more"}
+        return {k: _abridge(v) for k, v in doc.items()}
+    return doc
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .serve import ServeClient
+
+    spec = {
+        "family": args.task,
+        "tenant": args.tenant,
+        "priority": args.priority,
+        "dataset": args.dataset,
+        "gpus": args.gpus,
+        "shard_policy": args.shard_policy,
+        "plan": args.plan,
+        "k": args.k,
+        "query": args.sm_query,
+        "symmetry_breaking": args.symmetry_breaking,
+        "num_edges": args.edges,
+        "iterations": args.iterations,
+        "min_support": args.min_support,
+        "support_metric": args.metric,
+    }
+    client = ServeClient(args.url, timeout=args.timeout)
+    if args.no_stream:
+        import time as _time
+        submitted = client.submit_nowait(spec)
+        query_id = submitted["query"]
+        print(f"query {query_id} queued")
+        deadline = _time.monotonic() + args.timeout
+        while _time.monotonic() < deadline:
+            doc = client.query(query_id)
+            if doc["status"] in ("completed", "failed"):
+                break
+            _time.sleep(0.1)
+        else:
+            print("timed out waiting for the query", file=sys.stderr)
+            return 1
+    else:
+        records = list(client.submit(spec))
+        for record in records:
+            kind = record["type"]
+            if kind == "partial":
+                detail = {key: value for key, value in record.items()
+                          if key not in ("seq", "query", "type", "n")}
+                print(f"  level {record.get('level')}: "
+                      f"{_abridge(detail)}")
+            elif kind in ("preempted", "resumed", "crash"):
+                print(f"  [{kind}]")
+        doc = client.query(records[0]["query"])
+    if doc["status"] == "completed":
+        print(f"query {doc['query']} completed: "
+              f"{_abridge(doc['result'])}")
+        billing = doc.get("billing") or {}
+        print(f"billed: {billing.get('simulated_seconds')} simulated "
+              f"seconds, latency {billing.get('latency_seconds'):.3f}s, "
+              f"{billing.get('preemptions')} preemptions")
+        return 0
+    print(f"query {doc['query']} failed: {doc.get('error')}",
+          file=sys.stderr)
+    return 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -670,6 +860,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_report(args)
         if args.command == "perf-report":
             return _cmd_perf_report(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "query":
+            return _cmd_query(args)
         return _cmd_figure(args.name)
     except BrokenPipeError:  # output piped into head/less and closed early
         return 0

@@ -99,6 +99,45 @@ class WorkerCrashed(GammaError):
                              self.shard, self.exit_code))
 
 
+class QueryPreempted(GammaError):
+    """Raised between levels to suspend a running query.
+
+    The serve scheduler's level hook raises this when a higher-priority
+    query is waiting.  It deliberately does *not* belong to the
+    out-of-memory family, so :meth:`Gamma.run`'s degradation ladder lets
+    it propagate: the scheduler catches it, the op-journal checkpoint
+    already holds every completed level, and a later resume replays the
+    journal bit-identically before continuing.
+    """
+
+    def __init__(self, query_id: "int | None" = None,
+                 level: "int | None" = None) -> None:
+        self.query_id = query_id
+        self.level = level
+        where = f" at level {level}" if level is not None else ""
+        who = f"query {query_id}" if query_id is not None else "query"
+        super().__init__(f"{who} preempted{where}")
+
+    def __reduce__(self):
+        return (type(self), (self.query_id, self.level))
+
+
+class AdmissionError(GammaError):
+    """Raised when the serve queue rejects a query at admission time.
+
+    Covers unknown tenants (when auto-registration is disabled) and
+    per-tenant ``max_pending`` overflows.  Maps to HTTP 429/403 in the
+    service layer.
+    """
+
+    def __init__(self, message: str, tenant: "str | None" = None) -> None:
+        self.tenant = tenant
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "", self.tenant))
+
+
 class InvalidGraphError(GammaError):
     """Raised for malformed graph inputs (bad CSR, negative IDs, ...)."""
 

@@ -24,6 +24,7 @@ from .exporters import (
     write_metrics_jsonl,
 )
 from .manifest import (
+    attach_query_tags,
     build_manifest,
     diff_manifests,
     format_findings,
@@ -60,6 +61,7 @@ __all__ = [
     "render_bars",
     "render_span_tree",
     "span_tree_records",
+    "attach_query_tags",
     "build_manifest",
     "write_manifest",
     "load_manifest",

@@ -150,6 +150,21 @@ def attach_collector_summary(manifest: Dict[str, Any],
     return manifest
 
 
+def attach_query_tags(manifest: Dict[str, Any], *, query_id: int,
+                      tenant: str, priority: int = 0,
+                      **fields: Any) -> Dict[str, Any]:
+    """Tag a manifest with serve-layer query identity, in place.
+
+    The serve scheduler stamps every per-query manifest with the tenant
+    and query id so a manifest doubles as the technical half of a billing
+    record (``repro.serve.records`` holds the QoS half); extra keyword
+    fields (family, plan id, ...) ride along verbatim.
+    """
+    manifest["query"] = {"id": query_id, "tenant": tenant,
+                         "priority": priority, **fields}
+    return manifest
+
+
 def write_manifest(manifest: Dict[str, Any],
                    path: "str | pathlib.Path") -> pathlib.Path:
     target = pathlib.Path(path)

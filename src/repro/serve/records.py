@@ -1,0 +1,69 @@
+"""Per-query billing / QoS records.
+
+Every completed (or failed) query yields one ``gamma-billing/1`` record:
+identity (query id, tenant, priority), what ran (family, params, dataset,
+execution shape), what it cost (simulated seconds, peak memory, queue and
+execution wall time), and how rough the ride was (preemptions, resumes,
+crashes).  The record is the telemetry manifest's billing-facing sibling:
+manifests answer "what did the hardware do", billing records answer "what
+does the tenant owe and did we meet the QoS bar".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict
+
+__all__ = ["BILLING_SCHEMA", "billing_record", "write_billing_record"]
+
+BILLING_SCHEMA = "gamma-billing/1"
+
+
+def _iso(stamp: "float | None") -> "str | None":
+    if stamp is None:
+        return None
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(stamp))
+
+
+def billing_record(state, *, executor: "str | None" = None) -> Dict[str, Any]:
+    """Build the billing/QoS record for a finished :class:`QueryState`."""
+    spec = state.spec
+    result = state.result or {}
+    return {
+        "schema": BILLING_SCHEMA,
+        "query": state.id,
+        "tenant": spec.tenant,
+        "priority": spec.priority,
+        "family": spec.family,
+        "params": spec.params(),
+        "dataset": spec.dataset,
+        "gpus": spec.gpus,
+        "shard_policy": spec.shard_policy if spec.gpus > 1 else None,
+        "executor": executor or state.executor_used,
+        "plan": spec.plan,
+        "status": state.status,
+        "submitted_utc": _iso(state.submitted_wall),
+        "finished_utc": _iso(state.finished_wall),
+        "queue_seconds": state.queue_seconds,
+        "exec_seconds": state.exec_seconds,
+        "latency_seconds": state.latency_seconds,
+        "stages": state.stages_emitted,
+        "preemptions": state.preemptions,
+        "resumes": state.resumes,
+        "crashes": state.crashes,
+        "simulated_seconds": result.get("simulated_seconds"),
+        "peak_memory_bytes": result.get("peak_memory_bytes"),
+        "error": state.error,
+    }
+
+
+def write_billing_record(record: Dict[str, Any], directory: str) -> str:
+    """Write one record as ``billing-<id>.json`` under ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"billing-{record['query']:06d}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,81 @@
+"""Per-query result streams: ordered JSON-safe records, followable live.
+
+Every query owns one :class:`ResultStream`.  The scheduler emits
+lifecycle and per-level records into it; HTTP handlers (and tests)
+``follow()`` it concurrently, receiving each record exactly once, in
+emission order, until the stream closes.  Records are plain dicts with a
+monotonically increasing ``seq`` — the chunked JSON-lines wire format is
+just one record per line.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, List, Optional
+
+__all__ = ["ResultStream"]
+
+
+class ResultStream:
+    """Thread-safe append-only record log with blocking followers."""
+
+    def __init__(self, query_id: int) -> None:
+        self.query_id = query_id
+        self._records: List[dict] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def emit(self, kind: str, **payload) -> dict:
+        """Append one record; wakes every follower."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError(
+                    f"stream for query {self.query_id} is closed")
+            record = {"seq": len(self._records) + 1,
+                      "query": self.query_id, "type": kind}
+            record.update(payload)
+            self._records.append(record)
+            self._cond.notify_all()
+            return record
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def records(self) -> List[dict]:
+        """Snapshot of everything emitted so far."""
+        with self._cond:
+            return list(self._records)
+
+    def wait(self, timeout: "float | None" = None) -> bool:
+        """Block until the stream closes; True when it did."""
+        with self._cond:
+            return self._cond.wait_for(lambda: self._closed, timeout)
+
+    def follow(self, timeout: Optional[float] = None) -> Iterator[dict]:
+        """Yield records in order, blocking for new ones until close.
+
+        ``timeout`` bounds each *wait* (not the total); a stall past it
+        stops the iteration early rather than hanging a handler thread.
+        """
+        cursor = 0
+        while True:
+            with self._cond:
+                ready = self._cond.wait_for(
+                    lambda: len(self._records) > cursor or self._closed,
+                    timeout)
+                if not ready:
+                    return
+                batch = self._records[cursor:]
+                cursor += len(batch)
+                done = self._closed and cursor == len(self._records)
+            for record in batch:
+                yield record
+            if done:
+                return

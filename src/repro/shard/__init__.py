@@ -13,11 +13,13 @@ from .executor import (
     EXECUTORS,
     PROCESS_EXECUTOR,
     SERIAL_EXECUTOR,
+    SERVE_MIN_CORES,
     ProcessExecutor,
     SerialExecutor,
     ShardExecutor,
     default_executor,
     make_executor,
+    serve_default_executor,
 )
 from .manifest import build_sharded_manifest, canonical_manifest_bytes
 from .policy import (
@@ -51,4 +53,6 @@ __all__ = [
     "ProcessExecutor",
     "default_executor",
     "make_executor",
+    "SERVE_MIN_CORES",
+    "serve_default_executor",
 ]

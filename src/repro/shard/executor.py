@@ -41,12 +41,14 @@ __all__ = [
     "PROCESS_EXECUTOR",
     "SERIAL_EXECUTOR",
     "EXECUTOR_ENV_VAR",
+    "SERVE_MIN_CORES",
     "START_METHOD_ENV_VAR",
     "ProcessExecutor",
     "SerialExecutor",
     "ShardExecutor",
     "default_executor",
     "make_executor",
+    "serve_default_executor",
 ]
 
 SERIAL_EXECUTOR = "serial"
@@ -64,6 +66,26 @@ START_METHOD_ENV_VAR = "REPRO_SHARD_START_METHOD"
 def default_executor() -> str:
     name = os.environ.get(EXECUTOR_ENV_VAR, "").strip()
     return name if name else SERIAL_EXECUTOR
+
+
+#: The serve scheduler defaults to the process backend on hosts with at
+#: least this many cores (below it, fork+IPC overhead eats the overlap).
+SERVE_MIN_CORES = 4
+
+
+def serve_default_executor(cpu_count: "int | None" = None) -> str:
+    """Backend the serve scheduler uses when a query does not pick one.
+
+    ``REPRO_SHARD_EXECUTOR`` still wins (CI legs and tests pin backends
+    through it); otherwise hosts with ``>= SERVE_MIN_CORES`` cores get the
+    process backend, everything smaller stays serial.  ``cpu_count``
+    overrides :func:`os.cpu_count` for deterministic unit tests.
+    """
+    name = os.environ.get(EXECUTOR_ENV_VAR, "").strip()
+    if name:
+        return name
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    return PROCESS_EXECUTOR if cores >= SERVE_MIN_CORES else SERIAL_EXECUTOR
 
 
 def default_start_method() -> str:
@@ -106,6 +128,19 @@ class ShardExecutor:
 
     def shutdown(self) -> None:
         raise NotImplementedError
+
+    def reset(self, *, graph, config, num_shards: int, policy: str,
+              interconnect, telemetry: bool = False) -> bool:
+        """Try to warm-reuse a live pool for a new run.
+
+        Returns ``True`` when the pool was reset in place (caller skips the
+        cold start).  The base implementation has no pool to amortize.
+        """
+        return False
+
+    def terminate(self) -> None:
+        """Tear down unconditionally, even for a reusable pool."""
+        self.shutdown()
 
     @property
     def pids(self) -> "List[int] | None":
@@ -180,18 +215,33 @@ class ProcessExecutor(ShardExecutor):
     name = PROCESS_EXECUTOR
     parallel = True
 
-    def __init__(self, start_method: "str | None" = None) -> None:
+    def __init__(self, start_method: "str | None" = None,
+                 reusable: bool = False) -> None:
         self.start_method = start_method or default_start_method()
+        #: Reusable pools survive ``shutdown()`` (``terminate()`` tears
+        #: down for real): the serve scheduler runs many short queries and
+        #: amortizes fork+shm startup by resetting workers between them.
+        self.reusable = bool(reusable)
+        self.pool_reuses = 0
         self._procs: list = []
         self._conns: list = []
         self._clocks: List[float] = []
         self._graph_meta: "Dict[str, Any] | None" = None
+        self._started: "Dict[str, Any] | None" = None
         self.last_faulted: "int | None" = None
         self._broken = False
         self._closed = False
 
     def start(self, *, graph, config, num_shards: int, policy: str,
               interconnect, telemetry: bool = False) -> None:
+        if self._procs and self.reset(
+            graph=graph, config=config, num_shards=num_shards,
+            policy=policy, interconnect=interconnect, telemetry=telemetry,
+        ):
+            return
+        self._broken = False
+        self._closed = False
+        self.last_faulted = None
         context = multiprocessing.get_context(self.start_method)
         self._graph_meta = shm.publish_graph(graph)
         try:
@@ -220,8 +270,9 @@ class ProcessExecutor(ShardExecutor):
             self._clocks = [0.0] * num_shards
             for index in range(num_shards):
                 self._recv(index)  # build ack (engine construction charge)
+            self._started = {"graph": graph, "num_shards": num_shards}
         except Exception:
-            self.shutdown()
+            self.terminate()
             raise
 
     # -- wire protocol -------------------------------------------------------
@@ -298,10 +349,47 @@ class ProcessExecutor(ShardExecutor):
     def pids(self) -> List[int]:
         return [process.pid for process in self._procs]
 
+    def reset(self, *, graph, config, num_shards: int, policy: str,
+              interconnect, telemetry: bool = False) -> bool:
+        """Warm-reuse the live pool: reset every worker for a new run.
+
+        Succeeds only when the pool is healthy and shaped for the request
+        (same worker count, same graph object — :mod:`repro.graph.datasets`
+        caches loads, so object identity is the cheap and sound test for
+        "the shm segments already hold this graph").  On any mismatch the
+        pool is torn down and ``False`` tells the caller to start cold.
+        """
+        if not self._procs or self._broken or self._closed:
+            return False
+        started = self._started
+        if (started is None or started["num_shards"] != num_shards
+                or started["graph"] is not graph):
+            self._teardown()
+            return False
+        self.last_faulted = None
+        args = {"config": config, "policy": policy,
+                "interconnect": interconnect, "telemetry": telemetry}
+        for index in range(num_shards):
+            self._submit(index, {"op": "reset", "args": args})
+        replies = [self._recv(index) for index in range(num_shards)]
+        self._unwrap(replies)
+        self.pool_reuses += 1
+        return True
+
     def shutdown(self) -> None:
+        if self.reusable and self._procs and not self._broken:
+            # The pool outlives this engine; ``terminate()`` ends it.
+            return
+        self._teardown()
+
+    def terminate(self) -> None:
+        self._teardown()
+
+    def _teardown(self) -> None:
         if self._closed:
             return
         self._closed = True
+        self._started = None
         for conn in self._conns:
             try:
                 conn.send(None)  # orderly-exit sentinel
@@ -324,10 +412,12 @@ class ProcessExecutor(ShardExecutor):
             self._graph_meta = None
 
     def __getstate__(self) -> dict:
-        return {"start_method": self.start_method}
+        return {"start_method": self.start_method,
+                "reusable": self.reusable}
 
     def __setstate__(self, state: dict) -> None:
-        self.__init__(state.get("start_method"))
+        self.__init__(state.get("start_method"),
+                      reusable=state.get("reusable", False))
 
 
 def make_executor(name: "str | ShardExecutor | None") -> ShardExecutor:

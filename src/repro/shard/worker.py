@@ -302,6 +302,30 @@ class ShardWorker:
     def do_close(self) -> None:
         self.engine.close()
 
+    def do_reset(self, config, policy, interconnect,
+                 telemetry: bool = False) -> None:
+        """Rebuild the per-run state for a warm-pool reuse of this worker.
+
+        The process (and its shm graph attachment) survives across runs;
+        everything per-run — engine, tables, unit assignments, telemetry
+        collector — is rebuilt exactly as the constructor would build it,
+        so a reused pool is indistinguishable from a cold one (the pool
+        regression test pins byte-identical manifests).
+        """
+        graph = self.engine.graph
+        self.engine.close()
+        self.policy = policy
+        self.tables = []
+        self._assignments = {}
+        self._policies = {}
+        if self.collector is not None or telemetry:
+            from ..obs import spans as obs_spans
+            obs_spans.uninstall()
+            self.collector = (obs_spans.install(obs_spans.SpanCollector())
+                              if telemetry else None)
+        self.engine = Gamma(graph, config)
+        self.link = Interconnect(self.engine.platform, interconnect)
+
 
 def dispatch(worker: ShardWorker, request: dict):
     """Execute one command on a worker (shared by both backends)."""

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the serve-layer suites.
+
+Every serve test runs under an autouse leak sentinel: after the test,
+no shared-memory segments may be live and no ``gamma-spill-*`` scratch
+directories may have appeared — crash containment (docs/SERVING.md)
+promises a dead worker never strands either.
+"""
+
+import glob
+import os
+import tempfile
+
+import pytest
+
+from repro.graph import generators
+from repro.shard import shm
+
+
+@pytest.fixture(scope="session")
+def er_graph():
+    """The serve suites' workhorse graph (small, deterministic)."""
+    return generators.erdos_renyi(36, 120, seed=23, labels=3)
+
+
+def spill_dirs():
+    return set(glob.glob(
+        os.path.join(tempfile.gettempdir(), "gamma-spill-*")))
+
+
+@pytest.fixture(autouse=True)
+def _no_resource_leaks():
+    before = spill_dirs()
+    yield
+    assert shm.live_segments() == (), "leaked shared-memory segments"
+    leaked = spill_dirs() - before
+    assert not leaked, f"leaked spill dirs: {sorted(leaked)}"
+
+
+def stream_payloads(state, kind=None):
+    """A query's stream records with per-submission identity stripped.
+
+    The parity contracts are over record *payloads*: a resumed run
+    interleaves ``preempted``/``resumed`` records (shifting ``seq``),
+    and comparing two submissions of the same spec means their query
+    ids differ — neither is part of the computation.
+    """
+    return [
+        {key: value for key, value in record.items()
+         if key not in ("seq", "query")}
+        for record in state.stream.records()
+        if kind is None or record["type"] == kind
+    ]

@@ -1,0 +1,132 @@
+"""`repro serve` / `repro query` driven end-to-end through cli.main,
+plus the serve-mode flag-parsing helpers."""
+
+import json
+import socket
+import threading
+import urllib.request
+
+import pytest
+
+from repro import cli
+from repro.errors import GammaError
+
+
+class TestTenantFlagParsing:
+    def test_full_spec(self):
+        assert cli._parse_tenant_flag("acme:3:9") == ("acme", 3, 9)
+
+    def test_name_only(self):
+        assert cli._parse_tenant_flag("acme") == ("acme", None, None)
+
+    def test_empty_fields_mean_defaults(self):
+        assert cli._parse_tenant_flag("acme::16") == ("acme", None, 16)
+
+    @pytest.mark.parametrize("flag", [":", ":3", "acme:x", "acme:1:y"])
+    def test_bad_specs_rejected(self, flag):
+        with pytest.raises(GammaError, match="bad --tenant spec"):
+            cli._parse_tenant_flag(flag)
+
+
+class TestAbridge:
+    def test_small_docs_pass_through(self):
+        doc = {"a": 1, "b": {"c": 2}}
+        assert cli._abridge(doc) == doc
+
+    def test_large_dicts_truncate_with_a_count(self):
+        doc = {f"k{i:02d}": i for i in range(10)}
+        out = cli._abridge(doc, max_items=6)
+        assert out["..."] == "4 more"
+        assert len(out) == 7
+        assert out["k00"] == 0
+
+    def test_nested_dicts_abridged_recursively(self):
+        doc = {"outer": {f"k{i:02d}": i for i in range(9)}}
+        assert cli._abridge(doc)["outer"]["..."] == "3 more"
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture(scope="module")
+def served():
+    """A live `repro serve` process (in a thread) on a free port."""
+    port = _free_port()
+    rc = {}
+
+    def run():
+        rc["serve"] = cli.main([
+            "serve", "--port", str(port), "--slots", "1",
+            "--preload", "ER", "--tenant", "acme:4:16",
+        ])
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{port}"
+    for _ in range(300):
+        try:
+            with urllib.request.urlopen(url + "/healthz", timeout=5):
+                break
+        except OSError:
+            thread.join(timeout=0.1)
+            assert thread.is_alive(), "server exited before becoming healthy"
+    else:
+        raise AssertionError("server never became healthy")
+    yield url
+    request = urllib.request.Request(
+        url + "/v1/shutdown", data=b"{}", method="POST")
+    with urllib.request.urlopen(request, timeout=10):
+        pass
+    thread.join(timeout=30.0)
+    assert not thread.is_alive()
+    assert rc["serve"] == 0
+
+
+class TestQueryCommand:
+    def test_streamed_kclique(self, served, capsys):
+        rc = cli.main([
+            "query", "--url", served, "--task", "kcl", "--k", "3",
+            "--dataset", "ER", "--tenant", "acme",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "completed" in out
+        assert "level" in out  # streamed partials were printed
+        assert "billed:" in out
+
+    def test_streamed_motifs_output_is_abridged(self, served, capsys):
+        rc = cli.main([
+            "query", "--url", served, "--task", "motifs", "--edges", "2",
+            "--dataset", "ER", "--tenant", "acme",
+        ])
+        assert rc == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_no_stream_polls_to_completion(self, served, capsys):
+        rc = cli.main([
+            "query", "--url", served, "--task", "sm", "--query", "1",
+            "--dataset", "ER", "--tenant", "acme", "--no-stream",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "queued" in out
+        assert "completed" in out
+
+    def test_failed_query_returns_one(self, served, capsys):
+        rc = cli.main([
+            "query", "--url", served, "--task", "kcl",
+            "--dataset", "NO-SUCH", "--tenant", "acme",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "failed" in captured.err
+
+    def test_registered_tenant_quota_visible(self, served):
+        with urllib.request.urlopen(served + "/v1/tenants",
+                                    timeout=10) as response:
+            tenants = json.load(response)
+        assert tenants["acme"]["max_inflight"] == 4
+        assert tenants["acme"]["max_pending"] == 16

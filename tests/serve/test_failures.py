@@ -1,0 +1,155 @@
+"""The crash matrix: worker deaths, OOM degradation, bad submissions.
+
+Crash containment (docs/SERVING.md): a fault mid-query affects exactly
+that query — retried from its op-journal checkpoint or failed, per its
+``on_crash`` policy — while other tenants' queries run to completion and
+no shared-memory segment or spill directory is left behind (the autouse
+leak sentinel in ``conftest.py`` checks after every test here).
+
+Injected fault plans model *transient* failures: a plan that has killed
+a worker once is not re-installed on the retry, so the resumed attempt
+runs clean and must reproduce the unfaulted result bit for bit.
+"""
+
+import pytest
+
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.serve import QuerySpec, Scheduler, ServeConfig
+from tests.serve.conftest import stream_payloads
+
+CRASH_PLAN = FaultPlan(
+    name="die",
+    specs=(FaultSpec(kind="worker_crash", at="*/level:2"),),
+).to_dict()
+
+OOM_PLAN = FaultPlan(
+    name="tight",
+    specs=(FaultSpec(kind="device_oom", at="*/level:2/io:pool:alloc",
+                     count=1),),
+).to_dict()
+
+
+def _crash_spec(**overrides):
+    base = dict(family="kcl", k=4, dataset="G", tenant="victim", gpus=2,
+                executor="process", fault_plan=CRASH_PLAN, fault_shard=1)
+    base.update(overrides)
+    return QuerySpec(**base)
+
+
+@pytest.fixture
+def scheduler(er_graph):
+    sched = Scheduler(ServeConfig(slots=2), graphs={"G": er_graph})
+    yield sched
+    sched.close()
+
+
+def test_crash_retry_resumes_bit_identical(er_graph, scheduler):
+    clean = scheduler.submit(_crash_spec(tenant="clean", fault_plan=None))
+    scheduler.run_until_idle()
+    faulted = scheduler.submit(_crash_spec())
+    scheduler.run_until_idle()
+    assert faulted.status == "completed", faulted.error
+    assert faulted.crashes == 1
+    kinds = [r["type"] for r in faulted.stream.records()]
+    assert "crash" in kinds
+    crash = next(r for r in faulted.stream.records()
+                 if r["type"] == "crash")
+    assert crash["shard"] == 1
+    # The retried run reproduces the unfaulted result bit for bit.
+    assert faulted.result == clean.result
+    assert stream_payloads(faulted, "partial") == \
+        stream_payloads(clean, "partial")
+    assert faulted.billing["crashes"] == 1
+
+
+def test_crash_does_not_disturb_other_tenants(er_graph, scheduler):
+    bystander = scheduler.submit(QuerySpec(
+        family="motifs", num_edges=2, dataset="G", tenant="bystander"))
+    faulted = scheduler.submit(_crash_spec())
+    scheduler.run_until_idle()
+    assert bystander.status == "completed", bystander.error
+    assert bystander.crashes == 0
+    assert faulted.status == "completed"
+    assert scheduler.queue.inflight_count() == 0
+
+
+def test_on_crash_fail_policy(er_graph, scheduler):
+    faulted = scheduler.submit(_crash_spec(on_crash="fail"))
+    scheduler.run_until_idle()
+    assert faulted.status == "failed"
+    assert "crash" in faulted.error
+    assert faulted.stream.closed
+    assert faulted.billing["status"] == "failed"
+    assert faulted.billing["crashes"] == 1
+
+
+def test_crash_retries_exhausted(er_graph):
+    scheduler = Scheduler(ServeConfig(slots=1, crash_retries=0),
+                          graphs={"G": er_graph})
+    try:
+        faulted = scheduler.submit(_crash_spec())
+        scheduler.run_until_idle()
+        assert faulted.status == "failed"
+        assert faulted.crashes == 1
+    finally:
+        scheduler.close()
+
+
+def test_broken_pool_is_not_reused(er_graph, scheduler):
+    first = scheduler.submit(_crash_spec())
+    scheduler.run_until_idle()
+    assert first.status == "completed"
+    # The crash evicted its pool; a later clean query must still work
+    # (on a fresh pool) and the scheduler must not have re-pooled the
+    # broken one.
+    second = scheduler.submit(_crash_spec(tenant="later", fault_plan=None))
+    scheduler.run_until_idle()
+    assert second.status == "completed"
+    assert second.result == first.result
+
+
+def test_oom_degradation_policy_completes(er_graph, scheduler):
+    rescued = scheduler.submit(QuerySpec(
+        family="kcl", k=4, dataset="G", tenant="tight",
+        fault_plan=OOM_PLAN, degradation="halve-chunk"))
+    scheduler.run_until_idle()
+    assert rescued.status == "completed", rescued.error
+    clean = scheduler.submit(QuerySpec(
+        family="kcl", k=4, dataset="G", tenant="tight"))
+    scheduler.run_until_idle()
+    assert rescued.result["cliques"] == clean.result["cliques"]
+
+
+def test_oom_without_policy_fails_only_that_query(er_graph, scheduler):
+    doomed = scheduler.submit(QuerySpec(
+        family="kcl", k=4, dataset="G", tenant="tight",
+        fault_plan=OOM_PLAN))
+    bystander = scheduler.submit(QuerySpec(
+        family="kcl", k=3, dataset="G", tenant="other"))
+    scheduler.run_until_idle()
+    assert doomed.status == "failed"
+    assert bystander.status == "completed"
+
+
+def test_unknown_dataset_fails_cleanly(er_graph, scheduler):
+    bad = scheduler.submit(QuerySpec(family="kcl", k=3,
+                                     dataset="NO-SUCH", tenant="a"))
+    good = scheduler.submit(QuerySpec(family="kcl", k=3, dataset="G",
+                                      tenant="a"))
+    scheduler.run_until_idle()
+    assert bad.status == "failed"
+    assert "unknown dataset" in bad.error
+    assert bad.stream.closed
+    assert good.status == "completed"
+    # The failed build released its slot.
+    assert scheduler.queue.inflight_count() == 0
+
+
+def test_failed_query_still_bills(er_graph, scheduler):
+    bad = scheduler.submit(QuerySpec(family="kcl", k=3,
+                                     dataset="NO-SUCH", tenant="a"))
+    scheduler.run_until_idle()
+    assert bad.billing is not None
+    assert bad.billing["status"] == "failed"
+    assert bad.billing["error"] == bad.error
+    assert bad.billing["tenant"] == "a"

@@ -1,0 +1,71 @@
+"""QuerySpec validation, aliasing, and the partial-fold reductions."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.serve import FAMILIES, QuerySpec, fold_partials
+
+
+def test_round_trip():
+    spec = QuerySpec(family="motifs", tenant="acme", priority=3,
+                     dataset="CL", gpus=2, num_edges=3)
+    assert QuerySpec.from_dict(spec.to_dict()) == spec
+
+
+def test_family_aliases_normalize():
+    assert QuerySpec.from_dict({"family": "kclique"}).family == "kcl"
+    assert QuerySpec.from_dict({"family": "clique"}).family == "kcl"
+    assert QuerySpec.from_dict({"family": "motif"}).family == "motifs"
+    assert QuerySpec.from_dict({"family": "subgraph"}).family == "sm"
+    assert QuerySpec.from_dict({"family": "match"}).family == "sm"
+
+
+@pytest.mark.parametrize("doc", [
+    {"family": "pagerank"},
+    {"family": "kcl", "k": 0},
+    {"family": "fpm", "iterations": 0},
+    {"family": "motifs", "num_edges": 0},
+    {"family": "kcl", "gpus": 0},
+    {"family": "kcl", "on_crash": "shrug"},
+    {"family": "kcl", "no_such_field": 1},
+    "not a dict",
+])
+def test_invalid_specs_rejected(doc):
+    with pytest.raises(ExecutionError):
+        QuerySpec.from_dict(doc)
+
+
+def test_params_are_family_relevant():
+    assert QuerySpec(family="kcl", k=5).params() == {"k": 5}
+    assert QuerySpec(family="sm", query=2).params() == {
+        "query": 2, "symmetry_breaking": False}
+    assert QuerySpec(family="motifs", num_edges=3).params() == {
+        "num_edges": 3}
+    assert set(QuerySpec(family="fpm").params()) == {
+        "iterations", "min_support", "support_metric"}
+    assert set(FAMILIES) == {"kcl", "sm", "motifs", "fpm"}
+
+
+def test_fold_partials_empty_and_missing_stages():
+    assert fold_partials(QuerySpec(family="kcl"), []) == {}
+    # A motifs stream cut off before aggregation folds to nothing.
+    assert fold_partials(
+        QuerySpec(family="motifs"),
+        [{"stage": "extend", "embeddings": 7}]) == {}
+    assert fold_partials(
+        QuerySpec(family="fpm"),
+        [{"stage": "seed", "embeddings": 7}]) == {}
+
+
+def test_fold_partials_reductions():
+    kcl = fold_partials(QuerySpec(family="kcl"), [
+        {"stage": "seed", "embeddings": 9},
+        {"stage": "extend", "embeddings": 4},
+    ])
+    assert kcl == {"cliques": 4}
+    fpm = fold_partials(QuerySpec(family="fpm"), [
+        {"stage": "seed", "embeddings": 30},
+        {"stage": "filter", "frequent": 2, "patterns": {"5": 12}},
+        {"stage": "filter", "frequent": 1, "patterns": {"9": 11}},
+    ])
+    assert fpm == {"patterns": {"9": 11}, "frequent_per_level": [2, 1]}

@@ -1,0 +1,205 @@
+"""QueryQueue unit contract: admission, quotas, priority, fair shares."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as hst
+
+from repro.errors import AdmissionError
+from repro.serve import QueryQueue, QuerySpec, TenantQuota
+from repro.serve.queue import PREEMPTED, QUEUED
+
+FAST = settings(max_examples=40, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def _spec(tenant="t", priority=0, **kw):
+    return QuerySpec(family="kcl", k=3, tenant=tenant, priority=priority,
+                     **kw)
+
+
+# -- admission ----------------------------------------------------------------
+def test_auto_registration_uses_default_quota():
+    queue = QueryQueue(slots=2)
+    state = queue.submit(_spec(tenant="fresh"))
+    assert state.status == QUEUED
+    assert queue.tenants()["fresh"]["max_inflight"] == 2
+
+
+def test_unknown_tenant_rejected_when_auto_registration_off():
+    queue = QueryQueue(slots=2, auto_register=False)
+    queue.register_tenant("known")
+    queue.submit(_spec(tenant="known"))
+    with pytest.raises(AdmissionError) as excinfo:
+        queue.submit(_spec(tenant="stranger"))
+    assert excinfo.value.tenant == "stranger"
+
+
+def test_backlog_quota_enforced():
+    queue = QueryQueue(slots=1)
+    queue.register_tenant("small", max_pending=2)
+    queue.submit(_spec(tenant="small"))
+    queue.submit(_spec(tenant="small"))
+    with pytest.raises(AdmissionError):
+        queue.submit(_spec(tenant="small"))
+    # Another tenant's backlog is unaffected.
+    queue.submit(_spec(tenant="other"))
+
+
+def test_submit_emits_queued_record():
+    queue = QueryQueue()
+    state = queue.submit(_spec(tenant="a", priority=4))
+    (record,) = state.stream.records()
+    assert record["type"] == "queued"
+    assert record["tenant"] == "a" and record["priority"] == 4
+
+
+# -- priority and ordering ----------------------------------------------------
+def test_higher_priority_acquired_first():
+    queue = QueryQueue(slots=2)
+    low = queue.submit(_spec(tenant="a", priority=0))
+    high = queue.submit(_spec(tenant="b", priority=5))
+    assert queue.acquire().id == high.id
+    assert queue.acquire().id == low.id
+
+
+def test_fifo_within_priority():
+    queue = QueryQueue(slots=4)
+    first = queue.submit(_spec(tenant="a"))
+    second = queue.submit(_spec(tenant="b"))
+    assert queue.acquire().id == first.id
+    assert queue.acquire().id == second.id
+
+
+def test_requeued_query_keeps_its_seq():
+    queue = QueryQueue(slots=1)
+    victim = queue.submit(_spec(tenant="a"))
+    assert queue.acquire().id == victim.id
+    late = queue.submit(_spec(tenant="a"))
+    queue.requeue(victim)
+    assert victim.status == PREEMPTED
+    # Within a tenant, the original submission sequence orders the
+    # tie-break: the preempted query resumes ahead of its later arrival.
+    assert queue.acquire().id == victim.id
+    queue.release(victim)
+    assert queue.acquire().id == late.id
+
+
+def test_requeue_does_not_jump_other_tenants():
+    # Across tenants the least-recently-scheduled tenant wins the tie:
+    # a preempted query cannot starve a tenant that never ran.
+    queue = QueryQueue(slots=1)
+    victim = queue.submit(_spec(tenant="a"))
+    assert queue.acquire().id == victim.id
+    other = queue.submit(_spec(tenant="b"))
+    queue.requeue(victim)
+    assert queue.acquire().id == other.id
+
+
+def test_ties_prefer_least_loaded_tenant():
+    queue = QueryQueue(slots=4)
+    queue.submit(_spec(tenant="busy"))
+    running = queue.acquire()
+    assert running.spec.tenant == "busy"
+    queue.submit(_spec(tenant="busy"))
+    idle = queue.submit(_spec(tenant="idle"))
+    assert queue.acquire().id == idle.id
+
+
+# -- fairness bound -----------------------------------------------------------
+def test_share_bound_limits_a_flooding_tenant():
+    queue = QueryQueue(slots=4)
+    queue.register_tenant("flood", max_inflight=8)
+    queue.register_tenant("meek", max_inflight=8)
+    for _ in range(6):
+        queue.submit(_spec(tenant="flood"))
+    queue.submit(_spec(tenant="meek"))
+    picked = []
+    while True:
+        state = queue.acquire()
+        if state is None:
+            break
+        picked.append(state.spec.tenant)
+    # share = 4 // 2 = 2; the flooding tenant is capped at share + 1.
+    assert picked.count("flood") == 3
+    assert picked.count("meek") == 1
+
+
+def test_max_inflight_caps_below_share():
+    queue = QueryQueue(slots=8)
+    queue.register_tenant("capped", max_inflight=1)
+    queue.submit(_spec(tenant="capped"))
+    queue.submit(_spec(tenant="capped"))
+    assert queue.acquire() is not None
+    assert queue.acquire() is None  # second blocked by max_inflight=1
+    assert queue.pending_count("capped") == 1
+
+
+def test_preemptor_waiting_semantics():
+    queue = QueryQueue(slots=1)
+    victim = queue.acquire_or_fail = queue.submit(_spec(tenant="a",
+                                                        priority=0))
+    assert queue.acquire().id == victim.id
+    assert not queue.preemptor_waiting(victim)
+    queue.submit(_spec(tenant="b", priority=0))
+    assert not queue.preemptor_waiting(victim)  # equal priority never
+    queue.submit(_spec(tenant="b", priority=3))
+    assert queue.preemptor_waiting(victim)
+
+
+def test_preemptor_waiting_same_tenant_at_quota_bound():
+    # The high-priority query comes from the *victim's own* tenant while
+    # the tenant sits at its inflight bound: eligibility must be judged
+    # as if the victim had already yielded, else preemption deadlocks.
+    queue = QueryQueue(slots=1)
+    queue.register_tenant("a", max_inflight=1)
+    victim = queue.submit(_spec(tenant="a", priority=0))
+    assert queue.acquire().id == victim.id
+    queue.submit(_spec(tenant="a", priority=5))
+    assert queue.preemptor_waiting(victim)
+
+
+# -- trace-replay fairness property ------------------------------------------
+@FAST
+@given(
+    submissions=hst.lists(
+        hst.tuples(hst.integers(0, 3), hst.integers(0, 3)),
+        min_size=1, max_size=24),
+    slots=hst.integers(1, 4),
+    max_inflight=hst.integers(1, 4),
+)
+def test_no_tenant_exceeds_share_plus_one(submissions, slots, max_inflight):
+    """Replay the queue trace: every acquire respects the fairness bound."""
+    queue = QueryQueue(slots=slots, default_quota=TenantQuota(
+        max_inflight=max_inflight, max_pending=64))
+    for tenant_index, priority in submissions:
+        queue.submit(_spec(tenant=f"t{tenant_index}", priority=priority))
+    running = []
+    while True:
+        while len(running) < slots:
+            state = queue.acquire()
+            if state is None:
+                break
+            running.append(state)
+        if not running:
+            break
+        queue.release(running.pop(0))
+    assert queue.pending_count() == 0 and queue.inflight_count() == 0
+    acquires = [ev for ev in queue.trace if ev["event"] == "acquire"]
+    assert len(acquires) == len(submissions)
+    for event in acquires:
+        inflight = event["inflight"][event["tenant"]]
+        assert inflight <= event["share"] + 1
+        assert inflight <= max_inflight
+
+
+def test_stats_shape():
+    queue = QueryQueue(slots=3)
+    queue.submit(_spec(tenant="a"))
+    queue.acquire()
+    queue.submit(_spec(tenant="b"))
+    stats = queue.stats()
+    assert stats["slots"] == 3
+    assert stats["submitted"] == 2
+    assert stats["pending"] == 1
+    assert stats["inflight"] == 1
+    assert stats["tenants"] == 2

@@ -1,0 +1,166 @@
+"""Warm process-pool reuse: reset-in-place must be invisible.
+
+The serve scheduler keeps ``ProcessExecutor(reusable=True)`` pools alive
+between queries; ``start()`` on a live pool fans out per-worker resets
+instead of forking.  The regression contract here: a run on a reused
+pool produces byte-identical canonical manifests (and identical results)
+to a run on a freshly forked pool — and actually reuses the worker
+processes it claims to.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import count_kcliques, motif_count
+from repro.graph import generators
+from repro.serve import QuerySpec, Scheduler, ServeConfig
+from repro.shard import (
+    ProcessExecutor,
+    ShardedGamma,
+    build_sharded_manifest,
+    canonical_manifest_bytes,
+)
+from repro.shard.executor import ShardExecutor
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.erdos_renyi(36, 120, seed=23, labels=3)
+
+
+def _observe(executor, graph, drive, num_shards=2):
+    engine = ShardedGamma(graph, num_shards=num_shards, policy="static",
+                          executor=executor)
+    try:
+        result = drive(engine)
+        manifest = build_sharded_manifest(
+            engine, system="GAMMA", dataset="reuse", task="reuse")
+        return result, canonical_manifest_bytes(manifest)
+    finally:
+        engine.close()
+
+
+DRIVES = [
+    lambda engine: count_kcliques(engine, 4).cliques,
+    lambda engine: motif_count(engine, 2).histogram,
+]
+
+
+def test_reused_pool_matches_fresh_pool_byte_for_byte(graph):
+    fresh = [_observe("process", graph, drive) for drive in DRIVES]
+
+    pool = ProcessExecutor(reusable=True)
+    try:
+        first = _observe(pool, graph, DRIVES[0])
+        pids = list(pool.pids)
+        assert pids and pool.pool_reuses == 0
+        second = _observe(pool, graph, DRIVES[1])
+        # Same worker processes, no refork; the reset really was a reset.
+        assert list(pool.pids) == pids
+        assert pool.pool_reuses == 1
+    finally:
+        pool.terminate()
+    assert not pool.pids
+
+    assert first[0] == fresh[0][0] and second[0] == fresh[1][0]
+    # Byte-identical canonical manifests: reused pools leak no state.
+    assert first[1] == fresh[0][1]
+    assert second[1] == fresh[1][1]
+
+
+def test_repeated_reuse_is_stable(graph):
+    pool = ProcessExecutor(reusable=True)
+    try:
+        blobs = {_observe(pool, graph, DRIVES[0])[1] for _ in range(3)}
+        assert len(blobs) == 1
+        assert pool.pool_reuses == 2
+    finally:
+        pool.terminate()
+
+
+def test_shape_mismatch_falls_back_to_cold_start(graph):
+    pool = ProcessExecutor(reusable=True)
+    try:
+        _observe(pool, graph, DRIVES[0], num_shards=2)
+        pids = list(pool.pids)
+        # A different shard count cannot be reset in place: the pool
+        # refoks and the run still succeeds.
+        result, _ = _observe(pool, graph, DRIVES[0], num_shards=3)
+        assert result == _observe("serial", graph, DRIVES[0],
+                                  num_shards=3)[0]
+        assert list(pool.pids) != pids
+        assert pool.pool_reuses == 0
+    finally:
+        pool.terminate()
+
+
+def test_graph_mismatch_falls_back_to_cold_start(graph):
+    other = generators.erdos_renyi(30, 90, seed=7, labels=3)
+    pool = ProcessExecutor(reusable=True)
+    try:
+        _observe(pool, graph, DRIVES[0])
+        pids = list(pool.pids)
+        result, blob = _observe(pool, other, DRIVES[0])
+        assert list(pool.pids) != pids
+        assert (result, blob) == _observe("process", other, DRIVES[0])
+    finally:
+        pool.terminate()
+
+
+def test_non_reusable_pool_still_tears_down(graph):
+    pool = ProcessExecutor(reusable=False)
+    _observe(pool, graph, DRIVES[0])
+    assert not pool.pids  # engine.close() really shut it down
+
+
+def test_base_executor_reset_declines():
+    assert ShardExecutor().reset(
+        graph=None, config=None, num_shards=2, policy="static",
+        interconnect=None) is False
+
+
+def test_scheduler_reuses_pools_across_queries(graph):
+    scheduler = Scheduler(ServeConfig(slots=1), graphs={"G": graph})
+    try:
+        states = [
+            scheduler.submit(QuerySpec(family="kcl", k=4, dataset="G",
+                                       gpus=2, executor="process"))
+            for _ in range(2)
+        ]
+        scheduler.run_until_idle()
+        assert all(s.status == "completed" for s in states)
+        assert states[0].result == states[1].result
+        assert scheduler.stats()["pool_reuses"] == 1
+        assert scheduler.stats()["pools"] == 1
+    finally:
+        scheduler.close()
+
+
+def test_scheduler_no_reuse_flag(graph):
+    scheduler = Scheduler(ServeConfig(slots=1, reuse_pools=False),
+                          graphs={"G": graph})
+    try:
+        states = [
+            scheduler.submit(QuerySpec(family="kcl", k=4, dataset="G",
+                                       gpus=2, executor="process"))
+            for _ in range(2)
+        ]
+        scheduler.run_until_idle()
+        assert all(s.status == "completed" for s in states)
+        assert scheduler.stats()["pools"] == 0
+    finally:
+        scheduler.close()
+
+
+def test_reset_serial_numpy_state_isolated(graph):
+    # A reset between runs must not let one query's RNG state bleed into
+    # the next: two identical runs bracketing an unrelated one agree.
+    pool = ProcessExecutor(reusable=True)
+    try:
+        a = _observe(pool, graph, DRIVES[0])
+        np.random.shuffle(np.arange(16))  # parent-side noise
+        _observe(pool, graph, DRIVES[1])
+        b = _observe(pool, graph, DRIVES[0])
+        assert a == b
+    finally:
+        pool.terminate()

@@ -14,6 +14,7 @@ class TestDeliverableFiles:
         "README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/ARCHITECTURE.md", "docs/COSTMODEL.md", "docs/API.md",
         "docs/LINTING.md", "docs/OBSERVABILITY.md", "docs/SHARDING.md",
+        "docs/RESILIENCE.md", "docs/SERVING.md",
     ])
     def test_exists_and_nonempty(self, name):
         path = ROOT / name

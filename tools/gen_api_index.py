@@ -19,13 +19,14 @@ import repro.obs
 import repro.obs.profile
 import repro.plan
 import repro.resilience
+import repro.serve
 import repro.shard
 
 MODULES = (
     repro, repro.gpusim, repro.graph, repro.core,
     repro.algorithms, repro.baselines, repro.bench, repro.analysis,
     repro.analysis.flow, repro.obs, repro.obs.profile, repro.plan,
-    repro.resilience, repro.shard,
+    repro.resilience, repro.shard, repro.serve,
 )
 
 
